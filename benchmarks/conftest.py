@@ -1,0 +1,31 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures at reduced
+sample size (fewer simulated accesses per run; same workloads, same
+policies, same machinery) and prints the rows the paper reports.  Shapes —
+who wins, roughly by how much, where crossovers fall — are asserted; exact
+numbers are expected to differ from the paper's testbed.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+def perf(rows, workload, config):
+    row = next(r for r in rows if r["workload"] == workload)
+    return row[f"perf:{config}"]
+
+
+def geomean_row(rows):
+    return next(r for r in rows if r["workload"] == "geomean")

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 1 (native page-size study).
+
+Paper shape: 2MB cuts walk cycles for everyone; the eight shaded
+applications gain >= ~3% more from 1GB; THP tracks static 2MB hugetlbfs.
+"""
+
+from conftest import perf
+
+from repro.experiments.figure1 import run
+from repro.experiments.report import format_table
+from repro.workloads.registry import SHADED_EIGHT
+
+WORKLOADS = ("GUPS", "Canneal", "Redis", "XSBench", "CC", "CG")
+
+
+def test_figure1(once):
+    rows = once(run, workloads=WORKLOADS, n_accesses=40_000)
+    print(format_table(rows, "Figure 1 (reduced)"))
+    for row in rows:
+        w = row["workload"]
+        # 2MB always helps over 4KB.
+        assert row["perf:2MB-THP"] > 1.0
+        # THP is competitive with static 2MB hugetlbfs (within a few %).
+        assert abs(row["perf:2MB-THP"] - row["perf:2MB-Hugetlbfs"]) < 0.12
+        if w in SHADED_EIGHT:
+            # Shaded apps gain from 1GB beyond 2MB.
+            assert row["perf:1GB-Hugetlbfs"] > row["perf:2MB-THP"] * 1.02, w
+        else:
+            # Unshaded apps barely gain.
+            assert row["perf:1GB-Hugetlbfs"] < row["perf:2MB-THP"] * 1.04, w

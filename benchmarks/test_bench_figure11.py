@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 11 (Trident component ablation).
+
+Paper shapes: Trident-1Gonly loses to full Trident (and can lose to THP)
+because 1GB-unmappable hot regions fall back to 4KB; Trident-NC equals
+Trident without fragmentation and trails it with fragmentation.
+"""
+
+from repro.experiments.figure11 import run
+from repro.experiments.report import format_table
+
+WORKLOADS = ("GUPS", "Graph500", "SVM")
+
+
+def test_figure11(once):
+    rows = once(run, workloads=WORKLOADS, n_accesses=40_000)
+    print(format_table(rows, "Figure 11 (reduced)"))
+    unfrag = {r["workload"]: r for r in rows if r["state"] == "unfrag"}
+    frag = {r["workload"]: r for r in rows if r["state"] == "frag"}
+    for w in WORKLOADS:
+        # All page sizes beat 1G-only everywhere.
+        assert unfrag[w]["perf:Trident"] >= unfrag[w]["perf:Trident-1Gonly"], w
+        # Without fragmentation, compaction never runs: NC == Trident.
+        assert abs(unfrag[w]["perf:Trident"] - unfrag[w]["perf:Trident-NC"]) < 0.06
+    # Graph500/SVM have hot 1GB-unmappable regions: 1G-only can trail THP.
+    assert (
+        unfrag["Graph500"]["perf:Trident-1Gonly"]
+        < unfrag["Graph500"]["perf:Trident"]
+    )
+    # Under fragmentation smart compaction pays (geomean at least equal).
+    g_frag = frag["geomean"]
+    assert g_frag["perf:Trident"] >= g_frag["perf:Trident-NC"] - 0.02

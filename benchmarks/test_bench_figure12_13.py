@@ -1,0 +1,43 @@
+"""Benchmarks: regenerate Figures 12 and 13 (virtualized evaluation).
+
+Paper shapes: Trident at both levels beats THP at both levels (~+16% avg);
+with fragmented gPA and a capped guest khugepaged, Trident-pv's copy-less
+promotion adds up to ~10% more for the mid-heavy workloads and little for
+the ones that promote 4KB straight to 1GB.
+"""
+
+from conftest import geomean_row
+
+from repro.experiments.figure12 import run as run_f12
+from repro.experiments.figure13 import run as run_f13
+from repro.experiments.report import format_table
+
+F12_WORKLOADS = ("GUPS", "Canneal", "SVM")
+F13_WORKLOADS = ("GUPS", "XSBench", "Btree")
+
+
+def test_figure12(once):
+    rows = once(run_f12, workloads=F12_WORKLOADS, n_accesses=30_000)
+    print(format_table(rows, "Figure 12 (reduced)"))
+    for row in rows[:-1]:
+        assert row["perf:Trident+Trident"] > 1.0, row["workload"]
+        assert (
+            row["perf:Trident+Trident"] >= row["perf:HawkEye+HawkEye"] * 0.98
+        )
+    mean = geomean_row(rows)
+    assert mean["perf:Trident+Trident"] > 1.05
+
+
+def test_figure13(once):
+    rows = once(run_f13, workloads=F13_WORKLOADS, n_accesses=30_000)
+    print(format_table(rows, "Figure 13 (reduced)"))
+    by = {r["workload"]: r for r in rows}
+    # Both Trident variants beat THP under fragmented gPA.
+    for w in F13_WORKLOADS:
+        assert by[w]["perf:Trident+Trident"] > 1.0
+    # pv roughly matches copy-based Trident overall (the paper's +5% on the
+    # mid-promotion-heavy set is only partially reproduced; see
+    # EXPERIMENTS.md "Known deviations").
+    assert by["GUPS"]["pv_vs_trident"] > 0.95
+    mean = geomean_row(rows)
+    assert mean["pv_vs_trident"] > 0.95

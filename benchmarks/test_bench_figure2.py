@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 2 (virtualized page-size study).
+
+Paper shape: two translation levels amplify the value of large pages;
+1GB+1GB beats 2MB+2MB clearly for the shaded applications.
+"""
+
+from repro.experiments.figure2 import run
+from repro.experiments.report import format_table
+
+WORKLOADS = ("GUPS", "Canneal", "XSBench", "PR")
+
+
+def test_figure2(once):
+    rows = once(run, workloads=WORKLOADS, n_accesses=30_000)
+    print(format_table(rows, "Figure 2 (reduced)"))
+    for row in rows:
+        assert row["perf:2MB+2MB"] > 1.0
+        assert row["walk_frac:1GB+1GB"] < row["walk_frac:2MB+2MB"]
+        if row["workload"] in ("GUPS", "Canneal"):
+            assert row["perf:1GB+1GB"] > row["perf:2MB+2MB"] * 1.1

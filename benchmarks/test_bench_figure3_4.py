@@ -1,0 +1,36 @@
+"""Benchmarks: regenerate Figures 3 and 4 (mappability and miss-frequency).
+
+Paper shapes: GBs of memory are 2MB- but not 1GB-mappable for Graph500 and
+SVM, and those 1GB-unmappable regions are disproportionately hot (the
+Graph500 frontier spike).
+"""
+
+from repro.experiments.figure3 import run as run_f3
+from repro.experiments.figure4 import run as run_f4
+from repro.experiments.report import format_table
+
+
+def test_figure3(once):
+    rows = once(run_f3)
+    print(format_table(rows, "Figure 3 (mappable GB over time)"))
+    for workload in ("Graph500", "SVM"):
+        wrows = [r for r in rows if r["workload"] == workload]
+        # Mid mappability always dominates large mappability.
+        assert all(r["mid_mappable_gb"] >= r["large_mappable_gb"] for r in wrows)
+        # By the end of setup a multi-GB gap exists (paper: several GB).
+        assert wrows[-1]["gap_gb"] > 1.0, workload
+
+
+def test_figure4(once):
+    rows = once(run_f4, n_accesses=30_000, sample_chunks=10)
+    print(format_table(rows, "Figure 4 (miss share by region class)"))
+    g500 = [r for r in rows if r["workload"] == "Graph500"]
+    mid_density = max(
+        (r["miss_per_gb"] for r in g500 if r["class"] == "mid"), default=0.0
+    )
+    large_density = max(
+        (r["miss_per_gb"] for r in g500 if r["class"] == "large"), default=0.0
+    )
+    # The circled Figure 4a spike: the hot 1GB-unmappable frontier has a far
+    # higher miss density than any 1GB-mappable region.
+    assert mid_density > 2 * large_density

@@ -1,0 +1,55 @@
+"""Benchmarks: regenerate Tables 3 and 4 (allocation mechanisms, failures).
+
+Paper shapes (Table 3): pre-allocators get their 1GB pages from the fault
+handler alone; incremental allocators need promotion; fragmentation cuts
+1GB coverage, and smart compaction recovers at least as much as normal.
+Table 4: under fragmentation, most fault-time 1GB attempts fail; promotion
+fails less; Redis/Btree never attempt at fault time ("NA").
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.table3 import run as run_t3
+from repro.experiments.table4 import run as run_t4
+
+T3_WORKLOADS = ("GUPS", "Redis", "Canneal")
+T4_WORKLOADS = ("XSBench", "GUPS", "Redis", "Btree")
+
+
+def test_table3(once):
+    rows = once(run_t3, workloads=T3_WORKLOADS, n_accesses=25_000)
+    print(format_table(rows, "Table 3 (reduced)"))
+    by = {r["workload"]: r for r in rows}
+    # GUPS pre-allocates: fault handler alone maps ~all of it with 1GB.
+    assert by["GUPS"]["unfrag:pf_only:1GB"] > 28.0
+    # Redis is incremental: fault-only maps (nearly) nothing with 1GB...
+    assert by["Redis"]["unfrag:pf_only:1GB"] < 6.0
+    # ...but promotion recovers tens of GB.
+    assert by["Redis"]["unfrag:smart_compaction:1GB"] > 30.0
+    for w, row in by.items():
+        # Fragmentation never increases 1GB coverage.
+        assert (
+            row["frag:smart_compaction:1GB"]
+            <= row["unfrag:smart_compaction:1GB"] + 1e-9
+        )
+        # Smart compaction >= normal compaction under fragmentation.
+        assert (
+            row["frag:smart_compaction:1GB"]
+            >= row["frag:normal_compaction:1GB"] - 1e-9
+        ), w
+
+
+def test_table4(once):
+    rows = once(run_t4, workloads=T4_WORKLOADS, n_accesses=25_000)
+    print(format_table(rows, "Table 4 (reduced)"))
+    by = {r["workload"]: r for r in rows}
+    # Fault-time 1GB allocations mostly fail under fragmentation.
+    assert by["XSBench"]["fault_fail_pct"] > 50
+    assert by["GUPS"]["fault_fail_pct"] > 40
+    # Redis and Btree (nearly) never attempt 1GB at fault time (Table 4
+    # "NA"): Redis's heap grows too incrementally; Btree's reserve pools
+    # leave a handful of accidental 1GB-mappable holes, still an order of
+    # magnitude fewer attempts than the pre-allocating workloads.
+    assert by["Redis"]["fault_attempts"] <= 3
+    assert by["Btree"]["fault_attempts"] < by["XSBench"]["fault_attempts"] / 3
+    # Promotion is attempted and fails less than faults for pre-allocators.
+    assert by["XSBench"]["promo_attempts"] > 0

@@ -1,0 +1,60 @@
+"""Smart vs normal compaction on fragmented physical memory.
+
+The paper's Figure 6/7 story, hands-on: fragment a machine to FMFI ~0.95,
+then ask each compactor to produce 1GB-contiguous chunks and compare the
+bytes they copy.  Smart compaction *selects* its source region by the
+per-region free/unmovable counters instead of scanning sequentially, so it
+copies far less and never wastes copies on regions with unmovable pages.
+
+    python examples/fragmentation_compaction.py
+"""
+
+from repro.config import default_machine
+from repro.core.baseline4k import Baseline4KPolicy
+from repro.core.compaction import NormalCompactor, SmartCompactor
+from repro.sim.system import System
+
+
+def fragmented_system(seed: int) -> System:
+    system = System(default_machine(48), Baseline4KPolicy, seed=seed)
+    index = system.fragment(residual_fraction=0.45)
+    print(f"  fragmented: FMFI={index:.2f}, free={system.buddy.free_frames} frames")
+    return system
+
+
+def drive(compactor_cls, label: str, seed: int = 11) -> None:
+    system = fragmented_system(seed)
+    compactor = compactor_cls(
+        system.buddy, system.regions, system.rmap, system.geometry, system.cost
+    )
+    order = system.geometry.large_order
+    chunks = 0
+    while chunks < 8:
+        result = compactor.compact(order)
+        if not result.success:
+            break
+        # Consume the chunk so the next attempt must create another.
+        system.buddy.alloc(order)
+        chunks += 1
+    s = compactor.stats
+    print(
+        f"  {label:18s} chunks={chunks}  copied={s.bytes_copied >> 20:4d} MB  "
+        f"wasted={s.wasted_bytes >> 20} MB  scanned={s.frames_scanned} frames  "
+        f"time={s.time_ns / 1e6:.1f} ms"
+    )
+
+
+def main() -> None:
+    print("normal (sequential-scan) compaction:")
+    drive(NormalCompactor, "normal")
+    print("\nsmart (counter-guided) compaction:")
+    drive(SmartCompactor, "smart")
+    print(
+        "\nSmart compaction evacuates the emptiest unmovable-free regions, so"
+        "\nit copies a fraction of the bytes for the same number of chunks"
+        "\n(Figure 7: up to 85% fewer bytes copied)."
+    )
+
+
+if __name__ == "__main__":
+    main()

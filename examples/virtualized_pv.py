@@ -1,0 +1,62 @@
+"""Trident in a VM, and Trident-pv's copy-less promotion (Section 6).
+
+Builds a full two-level setup — a guest OS with its own buddy allocator and
+policies, a KVM-like hypervisor backing guest-physical memory through the
+host's policy — fragments *guest-physical* memory, caps the guest's
+khugepaged at ~10% of a vCPU, and compares how quickly plain Trident vs
+Trident-pv re-assembles 1GB pages.  The pv variant swaps gPA->hPA mappings
+through a batched hypercall instead of copying 2MB chunks.
+
+    python examples/virtualized_pv.py
+"""
+
+import numpy as np
+
+from repro.config import PageSize
+from repro.experiments.runner import VirtRunConfig, VirtRunner
+
+
+def run(label: str, pv: bool):
+    runner = VirtRunner(
+        VirtRunConfig(
+            workload="GUPS",
+            guest_policy="Trident",
+            host_policy="Trident",
+            pv=pv,
+            guest_fragmented=True,
+            guest_daemon_budget_ns=200_000.0,  # ~10% of a vCPU
+            n_accesses=40_000,
+        )
+    )
+    metrics = runner.run()
+    guest = runner.vm.guest
+    mapped = metrics.mapped_bytes_by_size
+    print(
+        f"{label:12s} 1GB-mapped={mapped[PageSize.LARGE] >> 20:4d}M  "
+        f"walk-frac={metrics.walk_cycle_fraction:.3f}  "
+        f"daemon={metrics.daemon_ns / 1e6:8.1f} ms"
+    )
+    if pv:
+        policy = guest.policy
+        print(
+            f"{'':12s} pv promotions={policy.pv_promotions}, "
+            f"hypercalls={policy.pv.hypercalls}, "
+            f"exchanges={policy.pv.exchanges}, "
+            f"hypercall time={policy.pv.time_ns / 1e6:.2f} ms"
+        )
+    return metrics
+
+
+def main() -> None:
+    print("GUPS in a VM, fragmented guest-physical memory, capped khugepaged\n")
+    copy = run("Trident", pv=False)
+    pv = run("Trident-pv", pv=True)
+    gain = copy.runtime_ns / pv.runtime_ns
+    print(
+        f"\nTrident-pv vs Trident: {(gain - 1) * 100:+.1f}% "
+        "(paper: up to +10% for mid-promotion-heavy workloads)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Splice the current claims-check results into EXPERIMENTS.md.
+
+Run from the repo root after a full sweep:
+
+    python -m repro.experiments.run_all
+    python scripts/update_experiments.py
+"""
+
+from repro.analysis.compare import check_all, render_markdown
+
+MARKER = "<!-- RESULTS -->"
+
+results = check_all()
+table = render_markdown(results)
+text = open("EXPERIMENTS.md").read()
+head, _, tail = text.partition(MARKER)
+if not tail:
+    raise SystemExit("marker not found")
+# Keep the marker so the splice is repeatable; replace everything up to the
+# next section heading.
+rest = tail.split("\n## ", 1)
+remainder = ("\n## " + rest[1]) if len(rest) > 1 else ""
+open("EXPERIMENTS.md", "w").write(head + MARKER + "\n\n" + table + "\n" + remainder)
+print("updated EXPERIMENTS.md")

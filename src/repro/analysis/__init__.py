@@ -1,0 +1,19 @@
+"""Post-processing: compare regenerated results against the paper's claims.
+
+`paper_expectations` encodes, as data, every quantitative claim the paper
+makes per figure/table; `compare` loads the regenerated `report/*.csv`
+files and checks each claim, emitting the EXPERIMENTS.md results section.
+"""
+
+from repro.analysis.paper_expectations import PAPER_CLAIMS, Claim
+from repro.analysis.compare import check_all, render_markdown
+from repro.analysis.replication import Replication, replicate
+
+__all__ = [
+    "PAPER_CLAIMS",
+    "Claim",
+    "check_all",
+    "render_markdown",
+    "Replication",
+    "replicate",
+]

@@ -1,0 +1,108 @@
+"""Check regenerated results against the paper's claims.
+
+Reads ``report/*.csv`` (produced by ``python -m repro.experiments.run_all``)
+and evaluates every :class:`repro.analysis.paper_expectations.Claim`,
+producing the EXPERIMENTS.md results table:
+
+    python -m repro.analysis.compare            # print the table
+    python -m repro.analysis.compare --markdown # emit markdown
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import sys
+from dataclasses import dataclass
+
+from repro.analysis.paper_expectations import PAPER_CLAIMS, Claim
+
+
+@dataclass
+class CheckResult:
+    claim: Claim
+    measured: float | None
+    status: str  # "OK", "OUT-OF-BAND", "MISSING"
+
+    @property
+    def measured_str(self) -> str:
+        if self.measured is None:
+            return "-"
+        return f"{self.measured:.3f}"
+
+
+def load_report(source: str, directory: str = "report") -> list[dict] | None:
+    path = os.path.join(directory, f"{source}.csv")
+    if not os.path.exists(path):
+        return None
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def check_all(directory: str = "report") -> list[CheckResult]:
+    """Evaluate every claim against the CSVs in ``directory``."""
+    results = []
+    cache: dict[str, list[dict] | None] = {}
+    for claim in PAPER_CLAIMS:
+        if claim.source not in cache:
+            cache[claim.source] = load_report(claim.source, directory)
+        rows = cache[claim.source]
+        if rows is None:
+            results.append(CheckResult(claim, None, "MISSING"))
+            continue
+        try:
+            measured = claim.extract(rows)
+        except (KeyError, ValueError, ZeroDivisionError, IndexError):
+            results.append(CheckResult(claim, None, "MISSING"))
+            continue
+        status = "OK" if claim.lo <= measured <= claim.hi else "OUT-OF-BAND"
+        results.append(CheckResult(claim, measured, status))
+    return results
+
+
+def render_markdown(results: list[CheckResult]) -> str:
+    """The EXPERIMENTS.md results table."""
+    lines = [
+        "| # | Experiment / claim | Paper | Measured | Band | Status |",
+        "|---|---|---|---|---|---|",
+    ]
+    for r in results:
+        c = r.claim
+        band = f"[{c.lo:g}, {c.hi:g}]"
+        lines.append(
+            f"| {c.id} | {c.description} | {c.paper_value} | "
+            f"{r.measured_str} | {band} | {r.status} |"
+        )
+    ok = sum(1 for r in results if r.status == "OK")
+    lines.append("")
+    lines.append(
+        f"**{ok} of {len(results)} claims in band** "
+        f"({sum(1 for r in results if r.status == 'MISSING')} missing, "
+        f"{sum(1 for r in results if r.status == 'OUT-OF-BAND')} out of band)."
+    )
+    return "\n".join(lines)
+
+
+def render_text(results: list[CheckResult]) -> str:
+    lines = []
+    for r in results:
+        lines.append(
+            f"{r.status:12s} {r.claim.id:28s} measured={r.measured_str:>10s}  "
+            f"band=[{r.claim.lo:g}, {r.claim.hi:g}]  ({r.claim.paper_value})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    results = check_all()
+    if "--markdown" in argv:
+        print(render_markdown(results))
+    else:
+        print(render_text(results))
+    bad = [r for r in results if r.status == "OUT-OF-BAND"]
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,383 @@
+"""The paper's quantitative claims, encoded as checkable data.
+
+Each :class:`Claim` names the regenerated CSV it reads, how to compute the
+measured value from its rows, and the band the paper's text/figures put the
+value in.  Bands are deliberately wide where the paper gives prose rather
+than numbers ("significant", "barely gain"); exact quotes get tight bands.
+
+``kind`` semantics:
+    ``ratio``    measured value expected inside [lo, hi]
+    ``ordering`` measured boolean expected True (lo/hi unused)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper claim checkable against a regenerated CSV."""
+
+    id: str
+    source: str  # csv stem under report/
+    description: str
+    paper_value: str  # the paper's number/statement, for the report
+    lo: float
+    hi: float
+    extract: Callable[[list[dict]], float]
+    kind: str = "ratio"
+
+
+def _row(rows: list[dict], **match) -> dict:
+    for row in rows:
+        if all(str(row.get(k)) == str(v) for k, v in match.items()):
+            return row
+    raise KeyError(f"no row matching {match}")
+
+
+def _f(row: dict, key: str) -> float:
+    return float(row[key])
+
+
+PAPER_CLAIMS: tuple[Claim, ...] = (
+    # ---- Figure 1 (native page sizes) ---------------------------------------
+    Claim(
+        id="fig1-gups-1gb-vs-thp",
+        source="figure1",
+        description="GUPS: 1GB static pages vs THP, native",
+        paper_value="large (GUPS is the top 1GB beneficiary; +47% for Trident)",
+        lo=1.15,
+        hi=1.9,
+        extract=lambda r: _f(_row(r, workload="GUPS"), "perf:1GB-Hugetlbfs")
+        / _f(_row(r, workload="GUPS"), "perf:2MB-THP"),
+    ),
+    Claim(
+        id="fig1-canneal-1gb-vs-thp",
+        source="figure1",
+        description="Canneal: 1GB pages vs THP, native",
+        paper_value="+30%",
+        lo=1.10,
+        hi=1.55,
+        extract=lambda r: _f(_row(r, workload="Canneal"), "perf:1GB-Hugetlbfs")
+        / _f(_row(r, workload="Canneal"), "perf:2MB-THP"),
+    ),
+    Claim(
+        id="fig1-thp-tracks-hugetlbfs",
+        source="figure1",
+        description="THP within ~0.5% of static 2MB hugetlbfs (avg |delta|)",
+        paper_value="within 0.5%",
+        lo=0.0,
+        hi=0.06,
+        extract=lambda r: sum(
+            abs(_f(row, "perf:2MB-THP") - _f(row, "perf:2MB-Hugetlbfs"))
+            for row in r
+        )
+        / len(r),
+    ),
+    Claim(
+        id="fig1-unshaded-insensitive",
+        source="figure1",
+        description="CC/BC/PR/CG gain from 1GB beyond 2MB (max across the four)",
+        paper_value="barely gain (<~3%)",
+        lo=0.95,
+        hi=1.05,
+        extract=lambda r: max(
+            _f(_row(r, workload=w), "perf:1GB-Hugetlbfs")
+            / _f(_row(r, workload=w), "perf:2MB-THP")
+            for w in ("CC", "BC", "PR", "CG")
+        ),
+    ),
+    # ---- Figure 2 (virtualized page sizes) -----------------------------------
+    Claim(
+        id="fig2-shaded-1gb-vs-2mb",
+        source="figure2",
+        description="shaded eight: 1GB+1GB vs 2MB+2MB geomean, virtualized",
+        paper_value="+17.6% average",
+        lo=1.08,
+        hi=1.45,
+        extract=lambda r: _geomean(
+            _f(_row(r, workload=w), "perf:1GB+1GB")
+            / _f(_row(r, workload=w), "perf:2MB+2MB")
+            for w in (
+                "XSBench",
+                "SVM",
+                "Graph500",
+                "Btree",
+                "GUPS",
+                "Redis",
+                "Memcached",
+                "Canneal",
+            )
+        ),
+    ),
+    # ---- Figure 3 (mappability gap) ------------------------------------------
+    Claim(
+        id="fig3-svm-gap",
+        source="figure3",
+        description="SVM: GB 2MB- but not 1GB-mappable at end of setup",
+        paper_value="several GB (Figure 3b gap)",
+        lo=1.5,
+        hi=12.0,
+        extract=lambda r: _f(
+            [row for row in r if row["workload"] == "SVM"][-1], "gap_gb"
+        ),
+    ),
+    # ---- Figure 7 (smart compaction copies less) ------------------------------
+    Claim(
+        id="fig7-max-reduction",
+        source="figure7",
+        description="max % reduction in bytes copied, smart vs normal",
+        paper_value="up to 85%",
+        lo=35.0,
+        hi=100.0,
+        extract=lambda r: max(_f(row, "reduction_pct") for row in r),
+    ),
+    # ---- Figure 9 (unfragmented) ----------------------------------------------
+    Claim(
+        id="fig9-trident-vs-thp",
+        source="figure9",
+        description="Trident vs THP geomean, unfragmented",
+        paper_value="+14% average",
+        lo=1.06,
+        hi=1.30,
+        extract=lambda r: _f(_row(r, workload="geomean"), "perf:Trident"),
+    ),
+    Claim(
+        id="fig9-gups",
+        source="figure9",
+        description="GUPS: Trident vs THP, unfragmented",
+        paper_value="+47%",
+        lo=1.25,
+        hi=1.75,
+        extract=lambda r: _f(_row(r, workload="GUPS"), "perf:Trident"),
+    ),
+    Claim(
+        id="fig9-beats-hawkeye",
+        source="figure9",
+        description="Trident >= HawkEye on the geomean",
+        paper_value="+14% over HawkEye",
+        lo=0.98,
+        hi=2.0,
+        extract=lambda r: _f(_row(r, workload="geomean"), "perf:Trident")
+        / _f(_row(r, workload="geomean"), "perf:HawkEye"),
+    ),
+    # ---- Figure 10 (fragmented) -------------------------------------------------
+    Claim(
+        id="fig10-trident-vs-thp",
+        source="figure10",
+        description="Trident vs THP geomean, fragmented",
+        paper_value="+18% average",
+        lo=1.05,
+        hi=1.35,
+        extract=lambda r: _f(_row(r, workload="geomean"), "perf:Trident"),
+    ),
+    # ---- Figure 11 (ablation) -----------------------------------------------------
+    Claim(
+        id="fig11-1gonly-loses",
+        source="figure11",
+        description="Trident / Trident-1Gonly geomean, unfragmented",
+        paper_value="significant gap (1Gonly can lose even to THP)",
+        lo=1.02,
+        hi=2.5,
+        extract=lambda r: _f(
+            _row(r, state="unfrag", workload="geomean"), "perf:Trident"
+        )
+        / _f(_row(r, state="unfrag", workload="geomean"), "perf:Trident-1Gonly"),
+    ),
+    Claim(
+        id="fig11-nc-equal-unfrag",
+        source="figure11",
+        description="|Trident - Trident-NC| geomean, unfragmented",
+        paper_value="no difference (compaction never runs)",
+        lo=0.0,
+        hi=0.05,
+        extract=lambda r: abs(
+            _f(_row(r, state="unfrag", workload="geomean"), "perf:Trident")
+            - _f(_row(r, state="unfrag", workload="geomean"), "perf:Trident-NC")
+        ),
+    ),
+    Claim(
+        id="fig11-smart-helps-frag",
+        source="figure11",
+        description="Trident / Trident-NC geomean, fragmented",
+        paper_value="smart compaction adds 2-6% for several workloads",
+        lo=0.99,
+        hi=1.25,
+        extract=lambda r: _f(
+            _row(r, state="frag", workload="geomean"), "perf:Trident"
+        )
+        / _f(_row(r, state="frag", workload="geomean"), "perf:Trident-NC"),
+    ),
+    # ---- Figure 12 (virtualized dynamic) ---------------------------------------------
+    Claim(
+        id="fig12-trident-vs-thp",
+        source="figure12",
+        description="Trident+Trident vs THP+THP geomean",
+        paper_value="+16% average",
+        lo=1.06,
+        hi=1.35,
+        extract=lambda r: _f(
+            _row(r, workload="geomean"), "perf:Trident+Trident"
+        ),
+    ),
+    # ---- Figure 13 (Trident-pv) -----------------------------------------------------
+    Claim(
+        id="fig13-trident-beats-thp",
+        source="figure13",
+        description="Trident vs THP geomean, fragmented gPA, capped khugepaged",
+        paper_value="Trident > THP here too",
+        lo=1.02,
+        hi=1.6,
+        extract=lambda r: _f(
+            _row(r, workload="geomean"), "perf:Trident+Trident"
+        ),
+    ),
+    Claim(
+        id="fig13-pv-vs-trident",
+        source="figure13",
+        description="Trident-pv vs Trident geomean",
+        paper_value="+5% on XSBench/GUPS/Memcached/SVM, up to +10%; not universal",
+        lo=0.95,
+        hi=1.15,
+        extract=lambda r: _f(_row(r, workload="geomean"), "pv_vs_trident"),
+    ),
+    # ---- Table 3 ---------------------------------------------------------------------
+    Claim(
+        id="t3-gups-prealloc",
+        source="table3",
+        description="GUPS page-fault-only 1GB coverage, unfragmented (GB)",
+        paper_value="31 of 32 GB",
+        lo=28.0,
+        hi=32.5,
+        extract=lambda r: _f(_row(r, workload="GUPS"), "unfrag:pf_only:1GB"),
+    ),
+    Claim(
+        id="t3-redis-needs-promotion",
+        source="table3",
+        description="Redis page-fault-only 1GB coverage, unfragmented (GB)",
+        paper_value="0 GB (incremental allocation)",
+        lo=0.0,
+        hi=6.0,
+        extract=lambda r: _f(_row(r, workload="Redis"), "unfrag:pf_only:1GB"),
+    ),
+    Claim(
+        id="t3-redis-promotion-recovers",
+        source="table3",
+        description="Redis 1GB coverage after promotion, unfragmented (GB)",
+        paper_value="39 GB",
+        lo=30.0,
+        hi=44.0,
+        extract=lambda r: _f(
+            _row(r, workload="Redis"), "unfrag:smart_compaction:1GB"
+        ),
+    ),
+    Claim(
+        id="t3-xsbench-frag-partial",
+        source="table3",
+        description="XSBench 1GB coverage with smart compaction, fragmented (GB)",
+        paper_value="80 of 117 GB",
+        lo=40.0,
+        hi=117.5,
+        extract=lambda r: _f(
+            _row(r, workload="XSBench"), "frag:smart_compaction:1GB"
+        ),
+    ),
+    # ---- Table 4 ----------------------------------------------------------------------
+    Claim(
+        id="t4-fault-failures-high",
+        source="table4",
+        description="XSBench % fault-time 1GB failures under fragmentation",
+        paper_value="94%",
+        lo=60.0,
+        hi=100.0,
+        extract=lambda r: _f(_row(r, workload="XSBench"), "fault_fail_pct"),
+    ),
+    Claim(
+        id="t4-redis-na",
+        source="table4",
+        description="Redis fault-time 1GB attempts (paper: NA)",
+        paper_value="NA (no 1GB-mappable ranges at fault time)",
+        lo=0.0,
+        hi=4.0,
+        extract=lambda r: _f(_row(r, workload="Redis"), "fault_attempts"),
+    ),
+    # ---- Table 5 ----------------------------------------------------------------------
+    Claim(
+        id="t5-tail-safe",
+        source="table5",
+        description="worst Trident p99 / THP p99 across Redis+Memcached x frag states",
+        paper_value="Trident does not hurt tail latency",
+        lo=0.0,
+        hi=1.2,
+        extract=lambda r: max(
+            _f(row, "p99_us:Trident") / _f(row, "p99_us:2MB-THP") for row in r
+        ),
+    ),
+    # ---- Latency microbenchmarks ----------------------------------------------------------
+    Claim(
+        id="lat-1gb-fault-sync",
+        source="latency_micro",
+        description="1GB fault with synchronous zeroing (ms)",
+        paper_value="~400 ms",
+        lo=330.0,
+        hi=480.0,
+        extract=lambda r: _f(
+            _row(r, metric="1GB fault, sync zero (ms)"), "measured"
+        ),
+    ),
+    Claim(
+        id="lat-1gb-fault-async",
+        source="latency_micro",
+        description="1GB fault from the zero-fill pool (ms)",
+        paper_value="2.7 ms",
+        lo=2.4,
+        hi=3.0,
+        extract=lambda r: _f(
+            _row(r, metric="1GB fault, async pool (ms)"), "measured"
+        ),
+    ),
+    Claim(
+        id="lat-pv-batched",
+        source="latency_micro",
+        description="batched pv promotion of one 1GB region (us)",
+        paper_value="~500 us",
+        lo=420.0,
+        hi=580.0,
+        extract=lambda r: _f(
+            _row(r, metric="1GB promotion, pv batched (us)"), "measured"
+        ),
+    ),
+    # ---- Bloat -------------------------------------------------------------------------------
+    Claim(
+        id="bloat-memcached",
+        source="bloat",
+        description="Memcached bloat, Trident over THP (GB)",
+        paper_value="+38 GB",
+        lo=3.0,
+        hi=70.0,
+        extract=lambda r: _f(_row(r, workload="Memcached"), "trident_over_thp_gb"),
+    ),
+    # ---- Kernel direct map ----------------------------------------------------------------------
+    Claim(
+        id="directmap-gain",
+        source="kernel_directmap",
+        description="kernel speedup from 1GB direct map (%)",
+        paper_value="2-3%",
+        lo=0.5,
+        hi=7.0,
+        extract=lambda r: _f(
+            _row(r, direct_map="1GB vs 2MB kernel speedup (%)"),
+            "kernel_cycles_per_access",
+        ),
+    ),
+)
+
+
+def _geomean(values) -> float:
+    vals = list(values)
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,102 @@
+"""Seed replication: run a configuration across seeds, report mean ± std.
+
+The figures regenerate from single seeded runs; this module quantifies how
+much the headline ratios move across seeds, which is what EXPERIMENTS.md's
+"a few points with seed" statement is based on.
+
+    python -m repro.analysis.replication GUPS Trident 2MB-THP --seeds 5
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from dataclasses import dataclass
+
+from repro.experiments.runner import NativeRunner, RunConfig
+
+
+@dataclass
+class Replication:
+    """Speedup of ``policy`` over ``baseline`` across seeds."""
+
+    workload: str
+    policy: str
+    baseline: str
+    speedups: list[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.speedups) / len(self.speedups)
+
+    @property
+    def std(self) -> float:
+        if len(self.speedups) < 2:
+            return 0.0
+        m = self.mean
+        var = sum((s - m) ** 2 for s in self.speedups) / (len(self.speedups) - 1)
+        return math.sqrt(var)
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% half-width (fine for n >= 5)."""
+        if len(self.speedups) < 2:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(len(self.speedups))
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload}: {self.policy} vs {self.baseline} = "
+            f"{self.mean:.3f} +/- {self.ci95_halfwidth:.3f} "
+            f"(std {self.std:.3f}, n={len(self.speedups)})"
+        )
+
+
+def replicate(
+    workload: str,
+    policy: str,
+    baseline: str,
+    seeds: tuple[int, ...] = (1, 2, 3, 5, 7),
+    n_accesses: int = 40_000,
+    fragmented: bool = False,
+) -> Replication:
+    """Measure speedup across seeds (both runs share each seed)."""
+    speedups = []
+    for seed in seeds:
+        runs = {}
+        for p in (policy, baseline):
+            runs[p] = NativeRunner(
+                RunConfig(
+                    workload,
+                    p,
+                    fragmented=fragmented,
+                    n_accesses=n_accesses,
+                    seed=seed,
+                )
+            ).run()
+        speedups.append(runs[baseline].runtime_ns / runs[policy].runtime_ns)
+    return Replication(workload, policy, baseline, speedups)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) < 3:
+        print(
+            "usage: python -m repro.analysis.replication "
+            "<workload> <policy> <baseline> [--seeds N] [--fragmented]"
+        )
+        return 2
+    workload, policy, baseline = argv[:3]
+    n_seeds = 5
+    if "--seeds" in argv:
+        n_seeds = int(argv[argv.index("--seeds") + 1])
+    seeds = tuple(range(1, n_seeds + 1))
+    result = replicate(
+        workload, policy, baseline, seeds, fragmented="--fragmented" in argv
+    )
+    print(result.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``run``        one (workload, policy) measurement, native or virtualized
+``experiment`` regenerate a figure/table by name (or ``all``)
+``list``       show available workloads, policies and experiments
+
+Examples::
+
+    python -m repro list
+    python -m repro run GUPS Trident --fragmented
+    python -m repro run Canneal Trident --virt --host-policy Trident
+    python -m repro experiment figure9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import SCALE_FACTOR, PageSize
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Trident (MICRO 2021) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="measure one workload under one policy")
+    run.add_argument("workload", help="Table 2 name, e.g. GUPS")
+    run.add_argument("policy", help="policy config, e.g. Trident or 2MB-THP")
+    run.add_argument("--fragmented", action="store_true")
+    run.add_argument("--virt", action="store_true", help="run inside a VM")
+    run.add_argument("--host-policy", default="Trident")
+    run.add_argument("--accesses", type=int, default=80_000)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--baseline",
+        default=None,
+        help="also run this policy and report relative numbers",
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate a figure/table")
+    exp.add_argument("name", help="e.g. figure9, table3, latency_micro, all")
+
+    sub.add_parser("list", help="list workloads, policies, experiments")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.configs import POLICY_CONFIGS
+    from repro.experiments.run_all import MODULES
+    from repro.workloads.registry import REGISTRY, SHADED_EIGHT
+
+    print("Workloads (Table 2):")
+    for name, cls in REGISTRY.items():
+        spec = cls.spec
+        tag = " *" if name in SHADED_EIGHT else ""
+        print(
+            f"  {name:10s} {spec.paper_footprint_gb:6.1f} GB  "
+            f"{spec.threads:2d} threads  {spec.description}{tag}"
+        )
+    print("  (* = 1GB-sensitive, the paper's shaded set)\n")
+    print("Policies:")
+    for name in POLICY_CONFIGS:
+        print(f"  {name}")
+    print("\nExperiments:")
+    for name, _ in MODULES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import (
+        NativeRunner,
+        RunConfig,
+        VirtRunConfig,
+        VirtRunner,
+    )
+
+    def one(policy: str):
+        if args.virt:
+            return VirtRunner(
+                VirtRunConfig(
+                    args.workload,
+                    policy,
+                    args.host_policy,
+                    n_accesses=args.accesses,
+                    seed=args.seed,
+                    guest_fragmented=args.fragmented,
+                )
+            ).run()
+        return NativeRunner(
+            RunConfig(
+                args.workload,
+                policy,
+                fragmented=args.fragmented,
+                n_accesses=args.accesses,
+                seed=args.seed,
+            )
+        ).run()
+
+    metrics = one(args.policy)
+    _print_metrics(metrics)
+    if args.baseline:
+        base = one(args.baseline)
+        print(
+            f"\nvs {base.policy}: speedup {metrics.speedup_over(base):.3f}x, "
+            f"walk-cycle fraction {metrics.walk_fraction_vs(base):.3f}x"
+        )
+    return 0
+
+
+def _print_metrics(m) -> None:
+    print(f"policy:            {m.policy}")
+    print(f"workload:          {m.workload}")
+    print(f"accesses sampled:  {m.accesses}")
+    print(f"walk cycles/acc:   {m.walk_cycles_per_access:.2f}")
+    print(f"walk fraction:     {m.walk_cycle_fraction:.3f}")
+    print(f"modeled runtime:   {m.runtime_ns / 1e9:.2f} s")
+    if m.mapped_bytes_by_size:
+        for size in reversed(PageSize.ALL):
+            nbytes = m.mapped_bytes_by_size[size]
+            print(
+                f"  {PageSize.X86_NAMES[size]:4s} mapped: "
+                f"{nbytes * SCALE_FACTOR / (1 << 30):8.1f} GB (paper scale)"
+            )
+    if m.bloat_bytes:
+        print(
+            f"bloat:             {m.bloat_bytes * SCALE_FACTOR / (1 << 30):.1f} GB"
+        )
+
+
+def _cmd_experiment(name: str) -> int:
+    from repro.experiments.run_all import MODULES, main as run_all_main
+
+    if name == "all":
+        run_all_main([])
+        return 0
+    table = dict(MODULES)
+    if name not in table:
+        print(f"unknown experiment {name!r}; try one of: {', '.join(table)}")
+        return 2
+    table[name].main()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.name)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

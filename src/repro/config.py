@@ -1,0 +1,381 @@
+"""Global configuration objects for the Trident reproduction.
+
+Three dataclasses parameterise the whole simulator:
+
+* :class:`PageGeometry` — the three page sizes (base / mid / large, the
+  analogues of 4KB / 2MB / 1GB on x86-64) expressed as power-of-two frame
+  counts, so every size relation used by the paper (alignment, mappability,
+  buddy orders, region counters) is derived from one place.
+* :class:`MachineConfig` — physical memory size, TLB shapes (Table 1 of the
+  paper) and page-walk parameters.
+* :class:`CostModel` — the latency/bandwidth constants behind the paper's
+  wall-clock claims (1GB fault 400 ms -> 2.7 ms with async zero-fill;
+  copy-based 1GB promotion 600 ms vs ~500 us with a batched hypercall).
+
+Experiments usually run a *scaled* geometry so that a full figure regenerates
+in seconds.  Scaling shrinks the mid/large orders and the machine memory by
+the same factor; every claim in the paper is about ratios (page-size reach
+vs. footprint, fragmentation vs. contiguity), which scaling preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class PageGeometry:
+    """The three page sizes available to the policies.
+
+    ``base_shift`` is log2 of the base page size in bytes.  ``mid_order`` and
+    ``large_order`` are log2 of the number of *base pages* per mid page and
+    per large page respectively.  The real x86-64 geometry is
+    ``PageGeometry(12, 9, 18)``: 4KB base, 2MB mid, 1GB large.
+    """
+
+    base_shift: int = 12
+    mid_order: int = 9
+    large_order: int = 18
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mid_order < self.large_order:
+            raise ValueError(
+                "need 0 < mid_order < large_order, got "
+                f"mid_order={self.mid_order} large_order={self.large_order}"
+            )
+        if self.base_shift <= 0:
+            raise ValueError(f"base_shift must be positive, got {self.base_shift}")
+
+    # -- sizes in bytes -------------------------------------------------
+    @property
+    def base_size(self) -> int:
+        """Base page size in bytes (4KB on x86)."""
+        return 1 << self.base_shift
+
+    @property
+    def mid_size(self) -> int:
+        """Mid page size in bytes (2MB on x86)."""
+        return self.base_size << self.mid_order
+
+    @property
+    def large_size(self) -> int:
+        """Large page size in bytes (1GB on x86)."""
+        return self.base_size << self.large_order
+
+    # -- sizes in base-page frames --------------------------------------
+    @property
+    def frames_per_mid(self) -> int:
+        return 1 << self.mid_order
+
+    @property
+    def frames_per_large(self) -> int:
+        return 1 << self.large_order
+
+    @property
+    def mids_per_large(self) -> int:
+        return 1 << (self.large_order - self.mid_order)
+
+    def frames_for(self, page_size: "PageSize") -> int:
+        """Number of base frames covered by one page of ``page_size``."""
+        return {
+            PageSize.BASE: 1,
+            PageSize.MID: self.frames_per_mid,
+            PageSize.LARGE: self.frames_per_large,
+        }[page_size]
+
+    def bytes_for(self, page_size: "PageSize") -> int:
+        return self.frames_for(page_size) * self.base_size
+
+    def order_for(self, page_size: "PageSize") -> int:
+        """Buddy order of one page of ``page_size`` (base pages = order 0)."""
+        return {
+            PageSize.BASE: 0,
+            PageSize.MID: self.mid_order,
+            PageSize.LARGE: self.large_order,
+        }[page_size]
+
+    def align_down(self, addr: int, page_size: "PageSize") -> int:
+        size = self.bytes_for(page_size)
+        return addr - (addr % size)
+
+    def align_up(self, addr: int, page_size: "PageSize") -> int:
+        size = self.bytes_for(page_size)
+        return (addr + size - 1) // size * size
+
+    def is_aligned(self, addr: int, page_size: "PageSize") -> bool:
+        return addr % self.bytes_for(page_size) == 0
+
+
+class PageSize:
+    """Symbolic page-size names; values order smallest -> largest.
+
+    Implemented as a tiny int-valued enum-alike so it sorts naturally and is
+    cheap in hot loops (the TLB simulator compares millions of these).
+    """
+
+    BASE = 0  # 4KB on x86
+    MID = 1  # 2MB on x86
+    LARGE = 2  # 1GB on x86
+
+    ALL = (BASE, MID, LARGE)
+    NAMES = {BASE: "base", MID: "mid", LARGE: "large"}
+    X86_NAMES = {BASE: "4KB", MID: "2MB", LARGE: "1GB"}
+
+    @classmethod
+    def name_of(cls, size: int) -> str:
+        return cls.NAMES[size]
+
+
+#: Real x86-64 geometry: 4KB / 2MB / 1GB.
+X86_GEOMETRY = PageGeometry(base_shift=12, mid_order=9, large_order=18)
+
+#: Scaled geometry for fast experiments: 4KB base, 64KB "2MB-class" mid,
+#: 4MB "1GB-class" large.  Ratios between levels shrink from 512x to 16/64x,
+#: which keeps buddy/TLB dynamics intact while making a "63.5GB" workload
+#: simulate as ~254MB of address space.
+SCALED_GEOMETRY = PageGeometry(base_shift=12, mid_order=4, large_order=10)
+
+#: Scale factor mapping paper footprints (bytes) onto SCALED_GEOMETRY bytes.
+#: large_size shrinks 1GB -> 4MB, i.e. by 256x; footprints shrink alike so a
+#: workload still spans the same *number* of large pages as on real hardware.
+SCALE_FACTOR = X86_GEOMETRY.large_size // SCALED_GEOMETRY.large_size
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """One TLB structure: ``entries`` total, ``ways``-associative.
+
+    ``ways == entries`` means fully associative (the Skylake 1GB L1 TLB).
+    """
+
+    entries: int
+    ways: int
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.ways <= 0:
+            raise ValueError("TLB entries and ways must be positive")
+        if self.entries % self.ways:
+            raise ValueError(
+                f"entries ({self.entries}) must be a multiple of ways ({self.ways})"
+            )
+
+    @property
+    def sets(self) -> int:
+        return self.entries // self.ways
+
+
+@dataclass(frozen=True)
+class TLBHierarchyConfig:
+    """Per-core TLB shapes.  Defaults follow Table 1 (Skylake, data side).
+
+    * L1 dTLB: 64-entry 4-way for 4KB; 32-entry 4-way for 2MB; 4-entry fully
+      associative for 1GB.
+    * L2 sTLB: 1536-entry 12-way shared by 4KB/2MB; 16-entry 4-way for 1GB.
+
+    ``l2_mid`` optionally splits mid translations out of the shared L2 into
+    their own structure.  Real Skylake shares the array; the *scaled*
+    experiment geometry shrinks mid pages by a different factor than large
+    pages, so preserving the paper's reach-to-footprint ratios requires an
+    independently-sized mid L2 (see SCALED_TLB below).
+    """
+
+    l1_base: TLBConfig = TLBConfig(64, 4)
+    l1_mid: TLBConfig = TLBConfig(32, 4)
+    l1_large: TLBConfig = TLBConfig(4, 4)
+    l2_shared: TLBConfig = TLBConfig(1536, 12)
+    l2_large: TLBConfig = TLBConfig(16, 4)
+    l2_mid: TLBConfig | None = None
+
+
+#: TLB preset for SCALED_GEOMETRY, preserving each page size's
+#: TLB-reach-to-footprint ratio from the Skylake testbed.  Footprints shrink
+#: by 256x (the large-page ratio); base pages do not shrink at all, so base
+#: structures shrink by 8x (a partial compensation: the full 256x would
+#: leave no structure at all, and base-heavy configurations sit far beyond
+#: reach under either choice); mid pages shrink 32x, so mid structures
+#: shrink by the residual 8x; large-page counts are scale-invariant, so the
+#: 1GB structures keep their real sizes.
+SCALED_TLB = TLBHierarchyConfig(
+    l1_base=TLBConfig(16, 4),
+    l1_mid=TLBConfig(4, 4),
+    l1_large=TLBConfig(4, 4),
+    l2_shared=TLBConfig(192, 12),
+    l2_large=TLBConfig(16, 4),
+    l2_mid=TLBConfig(192, 12),
+)
+
+
+@dataclass(frozen=True)
+class WalkConfig:
+    """Page-walk cost parameters.
+
+    A native walk for a base page touches ``levels_base`` page-table levels
+    (4 on x86-64); mid pages skip the last level (3), large pages skip two
+    (2).  Two caching effects shape the cost:
+
+    * ``pwc_hit_rate`` — probability that every level *above* the leaf is in
+      a paging-structure cache (PML4E/PDPTE/PDE caches), leaving only the
+      leaf access.
+    * ``leaf_cached_prob`` — for mid and large pages the *leaf itself* is a
+      PDE/PDPTE, which Intel's paging-structure caches also hold; a hit
+      makes the whole walk (nearly) free.  PTEs (base leaves) are never
+      cached.  This is the micro-architectural reason 1GB walks are much
+      cheaper than 2MB walks on real hardware, and the effect the paper's
+      Section 2 "quickens individual walks" point rests on.
+
+    ``mem_access_cycles`` is the average cost of one walk memory access —
+    page-table entries of big random working sets mostly miss the data
+    caches, so this is DRAM-class latency.
+    """
+
+    levels_base: int = 4
+    mem_access_cycles: int = 160
+    pwc_hit_rate: float = 0.80
+    #: nested (2D) walks hit the paging-structure caches harder: most of the
+    #: up-to-24 accesses are gPA-side upper-level entries with high reuse
+    nested_pwc_hit_rate: float = 0.96
+    leaf_cached_prob_mid: float = 0.60
+    leaf_cached_prob_large: float = 0.85
+    l2_tlb_hit_cycles: int = 7
+
+    def leaf_cached_prob(self, page_size: int) -> float:
+        return {
+            PageSize.BASE: 0.0,
+            PageSize.MID: self.leaf_cached_prob_mid,
+            PageSize.LARGE: self.leaf_cached_prob_large,
+        }[page_size]
+
+    def levels_for(self, page_size: int) -> int:
+        return self.levels_base - page_size  # LARGE=2 skips 2 levels
+
+    def native_walk_accesses(self, page_size: int) -> int:
+        """Memory accesses for one native page walk (4 / 3 / 2 on x86)."""
+        return self.levels_for(page_size)
+
+    def nested_walk_accesses(self, guest_size: int, host_size: int) -> int:
+        """Memory accesses for one nested (2D) walk.
+
+        With nG guest levels and nH host levels the 2D walk costs
+        ``(nG + 1) * (nH + 1) - 1`` accesses: 24 for 4K+4K, 15 for 2M+2M,
+        8 for 1G+1G — the numbers quoted in the paper's Section 2.
+        """
+        n_g = self.levels_for(guest_size)
+        n_h = self.levels_for(host_size)
+        return (n_g + 1) * (n_h + 1) - 1
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency constants for OS work, in nanoseconds / bytes-per-ns.
+
+    Calibrated to the paper's quoted numbers:
+
+    * zero-fill bandwidth ~2.6 GB/s  => zeroing 1GB ~ 400 ms (sync 1GB fault)
+    * mapped-fault fixed cost 2.7 ms for an (already-zeroed) 1GB fault
+    * copy bandwidth ~1.8 GB/s       => copying 1GB ~ 600 ms (promotion)
+    * hypercall 300 ns; per-page mapping exchange ~57 us unbatched
+      (512 exchanges ~ 30 ms), ~0.97 us batched (512 ~ 500 us)
+    """
+
+    zero_bandwidth_bytes_per_ns: float = 2.6
+    copy_bandwidth_bytes_per_ns: float = 1.8
+    fault_fixed_ns: float = 1_000.0
+    large_fault_mapped_ns: float = 2_700_000.0
+    pte_update_ns: float = 150.0
+    hypercall_ns: float = 300.0
+    exchange_unbatched_ns: float = 57_000.0
+    exchange_batched_ns: float = 970.0
+    compaction_scan_per_frame_ns: float = 30.0
+
+    def zero_ns(self, nbytes: int) -> float:
+        """Time to zero ``nbytes`` of memory."""
+        return nbytes / self.zero_bandwidth_bytes_per_ns
+
+    def copy_ns(self, nbytes: int) -> float:
+        """Time to copy ``nbytes`` of memory."""
+        return nbytes / self.copy_bandwidth_bytes_per_ns
+
+    def scaled_for(self, geometry: "PageGeometry") -> "CostModel":
+        """Cost model whose *totals* stay real-time under a scaled geometry.
+
+        One scaled operation aggregates many real operations: a scaled large
+        page is one real 1GB page, but a scaled base page stands for
+        ``byte_factor`` real 4KB pages and a scaled mid page for
+        ``mid_factor`` real 2MB pages.  Dividing the byte-proportional
+        bandwidths by ``byte_factor`` makes the total OS time of any
+        operation mix over a footprint equal to the real total (the mix
+        covers the same real bytes); per-mid-operation constants (hypercall
+        exchanges, PTE updates) scale by ``mid_factor``.  Per-real-operation
+        constants (the pooled 1GB fault latency, the hypercall world switch)
+        are unchanged.  For the real x86 geometry this is the identity.
+        """
+        byte_factor = X86_GEOMETRY.large_size // geometry.large_size
+        if byte_factor == 1:
+            return self
+        mid_factor = X86_GEOMETRY.mids_per_large // geometry.mids_per_large
+        return replace(
+            self,
+            zero_bandwidth_bytes_per_ns=self.zero_bandwidth_bytes_per_ns
+            / byte_factor,
+            copy_bandwidth_bytes_per_ns=self.copy_bandwidth_bytes_per_ns
+            / byte_factor,
+            compaction_scan_per_frame_ns=self.compaction_scan_per_frame_ns
+            * byte_factor,
+            pte_update_ns=self.pte_update_ns * mid_factor,
+            exchange_batched_ns=self.exchange_batched_ns * mid_factor,
+            exchange_unbatched_ns=self.exchange_unbatched_ns * mid_factor,
+        )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A simulated machine: physical memory + TLB + walk + cost parameters."""
+
+    geometry: PageGeometry = SCALED_GEOMETRY
+    total_frames: int = 1 << 16  # 256MB at 4KB frames under SCALED_GEOMETRY
+    tlb: TLBHierarchyConfig = field(default_factory=TLBHierarchyConfig)
+    walk: WalkConfig = field(default_factory=WalkConfig)
+    cost: CostModel = field(default_factory=CostModel)
+    #: Fraction of physical memory reserved for unmovable kernel allocations
+    #: sprinkled across regions at boot (inodes, DMA buffers, ...).
+    kernel_unmovable_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.total_frames <= 0:
+            raise ValueError("total_frames must be positive")
+        if self.total_frames % self.geometry.frames_per_large:
+            raise ValueError(
+                "total_frames must be a whole number of large regions: "
+                f"{self.total_frames} % {self.geometry.frames_per_large} != 0"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_frames * self.geometry.base_size
+
+    @property
+    def n_large_regions(self) -> int:
+        return self.total_frames // self.geometry.frames_per_large
+
+    def scaled(self, total_frames: int) -> "MachineConfig":
+        """A copy of this config with a different memory size."""
+        return replace(self, total_frames=total_frames)
+
+
+def default_machine(
+    total_large_regions: int = 64, geometry: PageGeometry = SCALED_GEOMETRY
+) -> MachineConfig:
+    """A machine with ``total_large_regions`` large-page-sized regions.
+
+    The paper's testbed has 384GB / 1GB = 384 regions per machine and 192 per
+    socket; 64 scaled regions keeps single-figure runs fast while leaving
+    room for the same fragmentation dynamics.  Scaled geometries get the
+    reach-preserving SCALED_TLB; the real x86 geometry keeps Skylake shapes.
+    """
+    tlb = TLBHierarchyConfig() if geometry == X86_GEOMETRY else SCALED_TLB
+    return MachineConfig(
+        geometry=geometry,
+        total_frames=total_large_regions * geometry.frames_per_large,
+        tlb=tlb,
+        cost=CostModel().scaled_for(geometry),
+    )

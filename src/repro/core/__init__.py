@@ -1,0 +1,43 @@
+"""OS memory-management policies: the paper's contribution and its baselines.
+
+* :mod:`repro.core.rmap` — reverse mapping (who owns each physical block),
+  required by compaction to relocate pages.
+* :mod:`repro.core.compaction` — Linux's sequential-scan ("normal")
+  compaction and Trident's counter-guided smart compaction.
+* :mod:`repro.core.policy` — the policy interface shared by all managers.
+* Policies: 4KB-only baseline, THP (2MB), libHugetlbfs-style static
+  reservation, HawkEye, and Trident with its ablations (1G-only, normal
+  compaction).
+"""
+
+from repro.core.rmap import ReverseMap, FrameOwner
+from repro.core.compaction import (
+    CompactionResult,
+    NormalCompactor,
+    SmartCompactor,
+)
+from repro.core.policy import MemoryPolicy, PolicyStats
+from repro.core.baseline4k import Baseline4KPolicy
+from repro.core.thp import THPPolicy
+from repro.core.hugetlbfs import HugetlbfsPolicy
+from repro.core.hawkeye import HawkEyePolicy
+from repro.core.ingens import IngensPolicy
+from repro.core.madvise import MadvisePolicy
+from repro.core.trident import TridentPolicy
+
+__all__ = [
+    "ReverseMap",
+    "FrameOwner",
+    "CompactionResult",
+    "NormalCompactor",
+    "SmartCompactor",
+    "MemoryPolicy",
+    "PolicyStats",
+    "Baseline4KPolicy",
+    "THPPolicy",
+    "HugetlbfsPolicy",
+    "HawkEyePolicy",
+    "IngensPolicy",
+    "MadvisePolicy",
+    "TridentPolicy",
+]

@@ -1,0 +1,144 @@
+"""HawkEye (ASPLOS '19): fine-grained, TLB-miss-aware 2MB page management.
+
+The paper's academic state-of-the-art baseline.  Differences from THP that
+matter to the evaluation:
+
+* **access-coverage-ordered promotion** — a ``kbinmanager`` thread samples
+  page-table access bits to estimate which 2MB-mappable regions actually
+  suffer TLB pressure, and khugepaged promotes the hottest regions first
+  (THP scans sequentially);
+* **bloat recovery** — regions that were promoted but are mostly untouched
+  are demoted back to base pages, with only the touched pages rematerialised
+  (HawkEye's zero-page dedup);
+* **CPU overhead** — kbinmanager's access-bit scans consume daemon budget
+  and contend with promotion; under fragmentation this is why HawkEye can
+  trail plain THP for Redis/Memcached in Figure 10.
+
+HawkEye remains a 2MB-only system: it never allocates 1GB pages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.config import PageSize
+from repro.core.thp import THPPolicy
+from repro.vm.mappability import mappable_ranges
+
+
+class HawkEyePolicy(THPPolicy):
+    """THP with access-bit-guided promotion ordering and bloat recovery."""
+
+    name = "HawkEye"
+    #: ns charged per present mapping whose access bit kbinmanager samples
+    access_sample_ns = 120.0
+    #: mid mappings touched below this fraction get demoted (bloat recovery)
+    bloat_demote_threshold = 0.20
+    #: fraction of each tick reserved for kbinmanager + bloat recovery
+    manager_budget_fraction = 0.35
+
+    def __init__(self, kernel, bloat_recovery: bool = True) -> None:
+        super().__init__(kernel)
+        self.bloat_recovery = bloat_recovery
+        self._heat: dict[tuple[int, int], int] = {}  # (pid, va) -> heat
+        #: slots demoted by bloat recovery; khugepaged skips them until the
+        #: access sampler observes them hot again
+        self._demoted_slots: set[tuple[int, int]] = set()
+
+    # -- daemon: kbinmanager then prioritized khugepaged -----------------------
+    def background_tick(self, budget_ns: float) -> float:
+        manager_budget = budget_ns * self.manager_budget_fraction
+        used = self._kbinmanager_tick(manager_budget)
+        if self.bloat_recovery and used < manager_budget:
+            used += self._bloat_recovery_tick(manager_budget - used)
+        used += super().background_tick(budget_ns - used)
+        return used
+
+    def _kbinmanager_tick(self, budget_ns: float) -> float:
+        """Sample access bits to build per-slot heat bins."""
+        used = 0.0
+        geometry = self.kernel.geometry
+        for process in list(self.kernel.processes):
+            if used >= budget_ns:
+                break
+            accessed = 0
+            for mapping in process.pagetable.iter_mappings():
+                used += self.access_sample_ns
+                if mapping.accessed and mapping.page_size == PageSize.BASE:
+                    slot = geometry.align_down(mapping.va, PageSize.MID)
+                    key = (process.pid, slot)
+                    self._heat[key] = self._heat.get(key, 0) + 1
+                    accessed += 1
+                mapping.accessed = False
+                if used >= budget_ns:
+                    break
+        self.stats.daemon_ns += used
+        return used
+
+    def _candidate_stream(self) -> Iterator[tuple]:
+        """Hottest 2MB slots first, then the sequential remainder."""
+        geometry = self.kernel.geometry
+        by_pid = {p.pid: p for p in self.kernel.processes}
+        ranked = sorted(self._heat.items(), key=lambda kv: -kv[1])
+        seen: set[tuple[int, int]] = set()
+        for (pid, va), _ in ranked:
+            process = by_pid.get(pid)
+            if process is not None:
+                seen.add((pid, va))
+                self._demoted_slots.discard((pid, va))  # hot again: eligible
+                yield process, va, PageSize.MID
+        # Heat decays each pass so stale hot spots fade.
+        self._heat = {k: v // 2 for k, v in self._heat.items() if v > 1}
+        for process in list(self.kernel.processes):
+            for vma in process.aspace.iter_extents():
+                for start, _ in mappable_ranges(vma, PageSize.MID, geometry):
+                    key = (process.pid, start)
+                    if key not in seen and key not in self._demoted_slots:
+                        yield process, start, PageSize.MID
+
+    # -- bloat recovery ----------------------------------------------------------
+    def _bloat_recovery_tick(self, budget_ns: float) -> float:
+        """Demote mostly-untouched mid pages; rematerialise touched 4KB only."""
+        used = 0.0
+        geometry = self.kernel.geometry
+        mid_bytes = geometry.mid_size
+        base_per_mid = geometry.frames_per_mid
+        for process in list(self.kernel.processes):
+            if used >= budget_ns:
+                break
+            victims = []
+            for mapping in list(process.pagetable.iter_mappings(PageSize.MID)):
+                used += self.access_sample_ns
+                touched = process.touched_base_pages_in(mapping.va, mid_bytes)
+                if touched / base_per_mid < self.bloat_demote_threshold:
+                    victims.append((mapping, touched))
+                if used >= budget_ns:
+                    break
+            for mapping, touched in victims:
+                used += self._demote(process, mapping)
+                slot = geometry.align_down(mapping.va, PageSize.MID)
+                self._demoted_slots.add((process.pid, slot))
+        self.stats.daemon_ns += used
+        return used
+
+    def _demote(self, process, mapping) -> float:
+        """Split one mid mapping into base pages for touched addresses only."""
+        geometry = self.kernel.geometry
+        cost = self.kernel.cost
+        va = mapping.va
+        process.pagetable.unmap(va, PageSize.MID)
+        self._teardown(process, mapping)
+        spent = cost.pte_update_ns
+        copied = 0
+        for page_va in process.touched_base_vas_in(va, geometry.mid_size):
+            pfn = self._alloc_frames(0)
+            if pfn is None:
+                break
+            self._install(process, page_va, PageSize.BASE, pfn)
+            copied += geometry.base_size
+            spent += cost.pte_update_ns
+        spent += cost.copy_ns(copied)
+        process.tlb.invalidate_range(va, geometry.mid_size)
+        self.stats.demoted[PageSize.MID] += 1
+        self.stats.bloat_bytes_recovered += geometry.mid_size - copied
+        return spent

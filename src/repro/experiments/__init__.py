@@ -1,0 +1,23 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Every module exposes a ``run(...)`` function returning a table-like dict and
+a ``main()`` that prints the same rows/series the paper reports.  Run them
+as ``python -m repro.experiments.figure9``.  The pytest-benchmark wrappers
+in ``benchmarks/`` call the same ``run`` functions.
+"""
+
+from repro.experiments.configs import POLICY_CONFIGS
+from repro.experiments.runner import (
+    NativeRunner,
+    RunConfig,
+    VirtRunConfig,
+    VirtRunner,
+)
+
+__all__ = [
+    "POLICY_CONFIGS",
+    "NativeRunner",
+    "RunConfig",
+    "VirtRunner",
+    "VirtRunConfig",
+]

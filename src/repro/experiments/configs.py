@@ -1,0 +1,42 @@
+"""Named policy configurations used across the evaluation.
+
+These are the bar labels of the paper's figures.  Each value is a factory
+``kernel -> MemoryPolicy`` suitable for :class:`repro.sim.system.System`.
+"""
+
+from __future__ import annotations
+
+from repro.config import PageSize
+from repro.core.baseline4k import Baseline4KPolicy
+from repro.core.hawkeye import HawkEyePolicy
+from repro.core.hugetlbfs import HugetlbfsPolicy
+from repro.core.ingens import IngensPolicy
+from repro.core.madvise import MadvisePolicy
+from repro.core.thp import THPPolicy
+from repro.core.trident import TridentPolicy
+from repro.core.trident_heat import TridentHeatPolicy
+
+POLICY_CONFIGS = {
+    "4KB": Baseline4KPolicy,
+    "2MB-THP": THPPolicy,
+    "2MB-Hugetlbfs": lambda kernel: HugetlbfsPolicy(kernel, PageSize.MID),
+    "1GB-Hugetlbfs": lambda kernel: HugetlbfsPolicy(kernel, PageSize.LARGE),
+    "HawkEye": HawkEyePolicy,
+    "Ingens": IngensPolicy,
+    "Trident": TridentPolicy,
+    "Trident-heat": TridentHeatPolicy,
+    "Trident-madvise": MadvisePolicy,
+    "Trident-1Gonly": lambda kernel: TridentPolicy(kernel, use_mid=False),
+    "Trident-NC": lambda kernel: TridentPolicy(kernel, smart_compaction=False),
+    # Table 3's "page-fault only" mechanism: no khugepaged promotion at all.
+    "Trident-PFonly": lambda kernel: TridentPolicy(kernel, promote=False),
+}
+
+
+def policy_factory(name: str):
+    try:
+        return POLICY_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy config {name!r}; choose from {sorted(POLICY_CONFIGS)}"
+        ) from None

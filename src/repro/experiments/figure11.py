@@ -1,0 +1,65 @@
+"""Figure 11: teasing apart Trident's design components (ablation).
+
+* **Trident-1Gonly** — no 2MB fallback: 1GB where possible, else 4KB.
+  Loses badly (even to THP for Graph500/SVM) because the hot
+  2MB-mappable-but-not-1GB-mappable regions fall back to 4KB pages.
+* **Trident-NC** — all three sizes but Linux's normal compaction.
+  Identical to Trident without fragmentation (compaction never runs);
+  several percent behind under fragmentation, where smart compaction
+  delivers 1GB chunks sooner and cheaper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import geomean, print_and_save
+from repro.experiments.runner import NativeRunner, RunConfig
+from repro.workloads.registry import SHADED_EIGHT
+
+CONFIGS = ("2MB-THP", "Trident-1Gonly", "Trident-NC", "Trident")
+
+
+def run(
+    workloads: tuple[str, ...] = SHADED_EIGHT,
+    n_accesses: int = 100_000,
+    seed: int = 7,
+) -> list[dict]:
+    rows = []
+    for fragmented in (False, True):
+        state = "frag" if fragmented else "unfrag"
+        for workload in workloads:
+            metrics = {
+                cfg: NativeRunner(
+                    RunConfig(
+                        workload,
+                        cfg,
+                        fragmented=fragmented,
+                        n_accesses=n_accesses,
+                        seed=seed,
+                    )
+                ).run()
+                for cfg in CONFIGS
+            }
+            base = metrics["2MB-THP"]
+            row: dict = {"state": state, "workload": workload}
+            for cfg in CONFIGS:
+                row[f"perf:{cfg}"] = metrics[cfg].speedup_over(base)
+            rows.append(row)
+        summary: dict = {"state": state, "workload": "geomean"}
+        state_rows = [r for r in rows if r["state"] == state and "perf:Trident" in r]
+        for cfg in CONFIGS:
+            summary[f"perf:{cfg}"] = geomean(r[f"perf:{cfg}"] for r in state_rows)
+        rows.append(summary)
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print_and_save(
+        rows,
+        "figure11",
+        "Figure 11: Trident component ablation (normalized to THP)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Table rendering and CSV output for the experiment harness.
+
+Every experiment produces rows as plain dicts; this module prints them as an
+aligned text table (what ``python -m repro.experiments.figureN`` shows) and
+writes them to ``report/<name>.csv`` — the same output structure as the
+paper artifact's ``compile_report.py``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable
+
+#: where CSV files land, relative to the working directory
+REPORT_DIR = "report"
+
+
+def format_table(rows: list[dict], title: str = "") -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    columns = list(rows[0].keys())
+    formatted = [
+        {c: _format_cell(row.get(c, "")) for c in columns} for row in rows
+    ]
+    widths = {
+        c: max(len(c), *(len(r[c]) for r in formatted)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in formatted:
+        lines.append("  ".join(r[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def write_csv(rows: list[dict], name: str, directory: str | None = None) -> str:
+    """Write rows to ``report/<name>.csv``; returns the path."""
+    directory = directory or REPORT_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.csv")
+    if not rows:
+        with open(path, "w", newline="") as f:
+            f.write("")
+        return path
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def print_and_save(rows: list[dict], name: str, title: str) -> None:
+    """The standard experiment epilogue."""
+    print(format_table(rows, title))
+    path = write_csv(rows, name)
+    print(f"[saved {path}]")
+
+
+def bar_chart(
+    rows: list[dict],
+    label_key: str,
+    value_keys: list[str],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render grouped horizontal ASCII bars (one group per row).
+
+    The terminal rendition of the paper's bar figures: each row becomes a
+    cluster with one bar per value column, scaled to the global maximum.
+    """
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    values = [
+        float(row[k]) for row in rows for k in value_keys if k in row
+    ]
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    key_width = max(len(k) for k in value_keys)
+    lines = [title] if title else []
+    for row in rows:
+        lines.append(str(row.get(label_key, "")))
+        for key in value_keys:
+            if key not in row:
+                continue
+            value = float(row[key])
+            filled = int(round(width * value / peak))
+            bar = "#" * max(0, min(width, filled))
+            lines.append(
+                f"  {key.ljust(key_width)} |{bar:<{width}}| {value:.3f}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,74 @@
+"""Regenerate every table and figure: ``python -m repro.experiments.run_all``.
+
+Equivalent of the paper artifact's "run all experiments then
+compile_report.py" flow.  Expect the full sweep to take tens of minutes;
+pass ``--quick`` for a reduced-size pass (fewer accesses, subset checks
+still meaningful).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    bloat,
+    extension_5level,
+    extension_heat,
+    sensitivity,
+    figure1,
+    figure2,
+    figure2_full,
+    figure3,
+    figure4,
+    figure7,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    kernel_directmap,
+    latency_micro,
+    table3,
+    table4,
+    table5,
+)
+
+MODULES = (
+    ("figure1", figure1),
+    ("figure2", figure2),
+    ("figure3", figure3),
+    ("figure4", figure4),
+    ("table3", table3),
+    ("table4", table4),
+    ("figure7", figure7),
+    ("figure9", figure9),
+    ("figure10", figure10),
+    ("figure11", figure11),
+    ("figure12", figure12),
+    ("figure13", figure13),
+    ("table5", table5),
+    ("latency_micro", latency_micro),
+    ("bloat", bloat),
+    ("kernel_directmap", kernel_directmap),
+    ("extension_5level", extension_5level),
+    ("figure2_full", figure2_full),
+    ("sensitivity", sensitivity),
+    ("extension_heat", extension_heat),
+)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    only = [a for a in argv if not a.startswith("-")]
+    for name, module in MODULES:
+        if only and name not in only:
+            continue
+        start = time.time()
+        print(f"=== {name} ===")
+        module.main()
+        print(f"[{name} done in {time.time() - start:.0f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,288 @@
+"""Binary buddy allocator with free lists up to the large-page order.
+
+Linux's buddy allocator keeps per-order free lists only up to order 10 (4MB
+with 4KB pages).  Trident's first kernel change extends the lists to order 18
+(1GB) so the page-fault handler and khugepaged can ask for 1GB-contiguous
+chunks directly.  This module implements the full extended allocator:
+
+* power-of-two blocks, split on demand, eagerly coalesced on free;
+* deterministic lowest-address-first allocation (heap + membership set per
+  order, with lazy deletion);
+* a movability tag per allocation — unmovable blocks model kernel objects
+  (inodes, DMA buffers) that compaction must not relocate;
+* ``alloc_at`` for claiming a specific free range (used by compaction to
+  place copied frames inside a chosen target region, and by hugetlbfs-style
+  static reservation);
+* listener hooks so :class:`repro.mem.regions.RegionTracker` can maintain the
+  per-large-region counters smart compaction selects sources/targets by.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from repro.mem.frames import FrameState, new_frame_array
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation cannot be satisfied at any order."""
+
+
+class AllocationListener(Protocol):
+    """Observer notified of every allocation and free."""
+
+    def on_alloc(self, pfn: int, order: int, movable: bool) -> None: ...
+
+    def on_free(self, pfn: int, order: int, movable: bool) -> None: ...
+
+
+class _OrderFreeList:
+    """Free blocks of one order: min-heap of starts plus a membership set.
+
+    The heap gives lowest-address-first allocation (deterministic and
+    Linux-like); the set gives O(1) membership tests for buddy coalescing.
+    Heap entries whose start is no longer in the set are stale and skipped.
+    """
+
+    __slots__ = ("_heap", "_members")
+
+    def __init__(self) -> None:
+        self._heap: list[int] = []
+        self._members: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, pfn: int) -> bool:
+        return pfn in self._members
+
+    def add(self, pfn: int) -> None:
+        self._members.add(pfn)
+        heapq.heappush(self._heap, pfn)
+
+    def discard(self, pfn: int) -> None:
+        self._members.discard(pfn)
+
+    def pop_lowest(self) -> int:
+        while self._heap:
+            pfn = heapq.heappop(self._heap)
+            if pfn in self._members:
+                self._members.remove(pfn)
+                return pfn
+        raise KeyError("free list is empty")
+
+    def members(self) -> Iterable[int]:
+        return iter(self._members)
+
+
+class BuddyAllocator:
+    """Buddy allocator over ``total_frames`` base frames.
+
+    ``max_order`` is the largest tracked order; Trident configures it to the
+    geometry's large order (1GB), stock Linux to 10 (4MB).
+    """
+
+    def __init__(
+        self,
+        total_frames: int,
+        max_order: int,
+        listeners: tuple[AllocationListener, ...] = (),
+    ) -> None:
+        if max_order < 0:
+            raise ValueError(f"max_order must be >= 0, got {max_order}")
+        if total_frames <= 0 or total_frames % (1 << max_order):
+            raise ValueError(
+                f"total_frames ({total_frames}) must be a positive multiple "
+                f"of the max block size ({1 << max_order})"
+            )
+        self.total_frames = total_frames
+        self.max_order = max_order
+        self.frame_state = new_frame_array(total_frames)
+        self._free_lists = [_OrderFreeList() for _ in range(max_order + 1)]
+        #: start pfn -> (order, movable) for every live allocation
+        self._allocated: dict[int, tuple[int, bool]] = {}
+        self._listeners = list(listeners)
+        self._free_frames = total_frames
+        top = 1 << max_order
+        for start in range(0, total_frames, top):
+            self._free_lists[max_order].add(start)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def free_frames(self) -> int:
+        """Total number of free base frames."""
+        return self._free_frames
+
+    @property
+    def used_frames(self) -> int:
+        return self.total_frames - self._free_frames
+
+    def free_blocks(self, order: int) -> int:
+        """Number of free blocks exactly at ``order``."""
+        return len(self._free_lists[order])
+
+    def free_block_starts(self, order: int) -> list[int]:
+        """Starts of free blocks exactly at ``order`` (unsorted)."""
+        return list(self._free_lists[order].members())
+
+    def has_free_block(self, order: int) -> bool:
+        """True if an allocation of ``order`` would succeed right now."""
+        return any(len(self._free_lists[o]) for o in range(order, self.max_order + 1))
+
+    def free_frames_at_or_above(self, order: int) -> int:
+        """Free frames sitting in blocks of order >= ``order``.
+
+        This is the numerator of "suitable" free memory in the FMFI metric.
+        """
+        return sum(
+            len(self._free_lists[o]) << o for o in range(order, self.max_order + 1)
+        )
+
+    def allocation_at(self, pfn: int) -> tuple[int, bool] | None:
+        """(order, movable) of the allocation starting at ``pfn``, if any."""
+        return self._allocated.get(pfn)
+
+    def iter_allocations(self) -> Iterable[tuple[int, int, bool]]:
+        """Yield (start_pfn, order, movable) for every live allocation."""
+        for pfn, (order, movable) in self._allocated.items():
+            yield pfn, order, movable
+
+    # -- allocation -------------------------------------------------------
+    def alloc(self, order: int, movable: bool = True) -> int:
+        """Allocate a block of 2**order frames; returns its start PFN.
+
+        Raises :class:`OutOfMemoryError` when no block at or above ``order``
+        is free.  Splits a larger block when necessary, always taking the
+        lowest-addressed candidate.
+        """
+        if not 0 <= order <= self.max_order:
+            raise ValueError(f"order {order} out of range [0, {self.max_order}]")
+        source = None
+        for o in range(order, self.max_order + 1):
+            if len(self._free_lists[o]):
+                source = o
+                break
+        if source is None:
+            raise OutOfMemoryError(f"no free block at order >= {order}")
+        pfn = self._free_lists[source].pop_lowest()
+        while source > order:
+            source -= 1
+            self._free_lists[source].add(pfn + (1 << source))
+        self._commit_alloc(pfn, order, movable)
+        return pfn
+
+    def try_alloc(self, order: int, movable: bool = True) -> int | None:
+        """Like :meth:`alloc` but returns None instead of raising on OOM."""
+        try:
+            return self.alloc(order, movable)
+        except OutOfMemoryError:
+            return None
+
+    def alloc_at(self, pfn: int, order: int, movable: bool = True) -> None:
+        """Claim the specific free block [pfn, pfn + 2**order).
+
+        The range must be aligned to ``order`` and currently free.  Splits
+        enclosing free blocks as needed.  Raises ValueError if the range is
+        misaligned or not fully free.
+        """
+        if not 0 <= order <= self.max_order:
+            raise ValueError(f"order {order} out of range [0, {self.max_order}]")
+        if pfn % (1 << order):
+            raise ValueError(f"pfn {pfn} not aligned to order {order}")
+        if pfn + (1 << order) > self.total_frames:
+            raise ValueError(f"block [{pfn}, {pfn + (1 << order)}) out of bounds")
+        enclosing = self._find_enclosing_free_block(pfn)
+        if enclosing is None:
+            raise ValueError(f"frames at pfn {pfn} are not free")
+        encl_pfn, encl_order = enclosing
+        if encl_order < order or pfn + (1 << order) > encl_pfn + (1 << encl_order):
+            raise ValueError(
+                f"free block at {encl_pfn} (order {encl_order}) does not "
+                f"cover requested [{pfn}, {pfn + (1 << order)})"
+            )
+        self._free_lists[encl_order].discard(encl_pfn)
+        # Split the enclosing block down until the target block is isolated.
+        cur_pfn, cur_order = encl_pfn, encl_order
+        while cur_order > order:
+            cur_order -= 1
+            half = 1 << cur_order
+            if pfn < cur_pfn + half:
+                self._free_lists[cur_order].add(cur_pfn + half)
+            else:
+                self._free_lists[cur_order].add(cur_pfn)
+                cur_pfn += half
+        self._commit_alloc(pfn, order, movable)
+
+    def _find_enclosing_free_block(self, pfn: int) -> tuple[int, int] | None:
+        for order in range(self.max_order + 1):
+            candidate = pfn & ~((1 << order) - 1)
+            if candidate in self._free_lists[order]:
+                return candidate, order
+        return None
+
+    def is_free(self, pfn: int) -> bool:
+        """True if the single frame ``pfn`` is free."""
+        return self.frame_state[pfn] == FrameState.FREE
+
+    def _commit_alloc(self, pfn: int, order: int, movable: bool) -> None:
+        n = 1 << order
+        self.frame_state[pfn : pfn + n] = (
+            FrameState.MOVABLE if movable else FrameState.UNMOVABLE
+        )
+        self._allocated[pfn] = (order, movable)
+        self._free_frames -= n
+        for listener in self._listeners:
+            listener.on_alloc(pfn, order, movable)
+
+    # -- free --------------------------------------------------------------
+    def free(self, pfn: int) -> None:
+        """Free the allocation that starts at ``pfn``; coalesces eagerly."""
+        try:
+            order, movable = self._allocated.pop(pfn)
+        except KeyError:
+            raise ValueError(f"no allocation starts at pfn {pfn}") from None
+        n = 1 << order
+        self.frame_state[pfn : pfn + n] = FrameState.FREE
+        self._free_frames += n
+        for listener in self._listeners:
+            listener.on_free(pfn, order, movable)
+        self._insert_and_coalesce(pfn, order)
+
+    def _insert_and_coalesce(self, pfn: int, order: int) -> None:
+        while order < self.max_order:
+            buddy = pfn ^ (1 << order)
+            if buddy not in self._free_lists[order]:
+                break
+            self._free_lists[order].discard(buddy)
+            pfn = min(pfn, buddy)
+            order += 1
+        self._free_lists[order].add(pfn)
+
+    # -- verification (used by tests) ---------------------------------------
+    def check_invariants(self) -> None:
+        """Assert internal consistency; O(total_frames)."""
+        seen = np.zeros(self.total_frames, dtype=bool)
+        free_total = 0
+        for order in range(self.max_order + 1):
+            for start in self._free_lists[order].members():
+                n = 1 << order
+                assert start % n == 0, f"misaligned free block {start} order {order}"
+                assert not seen[start : start + n].any(), "overlapping free blocks"
+                seen[start : start + n] = True
+                assert (
+                    self.frame_state[start : start + n] == FrameState.FREE
+                ).all(), "free-list block has non-free frames"
+                free_total += n
+        for start, (order, movable) in self._allocated.items():
+            n = 1 << order
+            assert not seen[start : start + n].any(), "alloc overlaps free block"
+            seen[start : start + n] = True
+            want = FrameState.MOVABLE if movable else FrameState.UNMOVABLE
+            assert (
+                self.frame_state[start : start + n] == want
+            ).all(), "allocated block has wrong frame states"
+        assert seen.all(), "frames covered by neither free lists nor allocations"
+        assert free_total == self._free_frames, "free frame counter drifted"

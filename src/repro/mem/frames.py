@@ -1,0 +1,28 @@
+"""Per-frame physical memory state.
+
+A frame is one base page of physical memory, identified by its PFN (page
+frame number).  Each frame is in exactly one of three states; the state array
+is shared between the buddy allocator (which owns transitions) and the
+compaction engine (which scans occupied frames of a region).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FrameState:
+    """Symbolic frame states stored in a compact uint8 array."""
+
+    FREE = 0
+    MOVABLE = 1
+    UNMOVABLE = 2
+
+    NAMES = {FREE: "free", MOVABLE: "movable", UNMOVABLE: "unmovable"}
+
+
+def new_frame_array(total_frames: int) -> np.ndarray:
+    """A fresh all-free frame-state array for ``total_frames`` frames."""
+    if total_frames <= 0:
+        raise ValueError(f"total_frames must be positive, got {total_frames}")
+    return np.zeros(total_frames, dtype=np.uint8)

@@ -1,0 +1,124 @@
+"""Per-large-region occupancy counters — the heart of smart compaction.
+
+The paper (Section 5.1.3) adds two counters to every 1GB-aligned physical
+region: the number of *free* base frames and the number of *unmovable* base
+frames.  They are maintained incrementally on every buddy allocation/free, so
+smart compaction can *select* its source region (most free frames, zero
+unmovable frames) and target regions (fewest free frames) without scanning
+physical memory.
+
+A 2MB allocation inside a region is accounted as 512 base frames, exactly as
+the paper describes ("We treat it as 512 base pages for ease of keeping
+statistics").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import PageGeometry
+
+
+class RegionTracker:
+    """Tracks free/unmovable frame counts per large (1GB-class) region.
+
+    Register as a listener on :class:`repro.mem.buddy.BuddyAllocator`.  Block
+    allocations never straddle region boundaries (buddy blocks are aligned to
+    their own size and regions are large-order aligned), so each event
+    touches exactly one region.
+    """
+
+    def __init__(self, total_frames: int, geometry: PageGeometry) -> None:
+        fpl = geometry.frames_per_large
+        if total_frames % fpl:
+            raise ValueError(
+                f"total_frames ({total_frames}) must be a multiple of the "
+                f"large-region size ({fpl})"
+            )
+        self.geometry = geometry
+        self.n_regions = total_frames // fpl
+        self.frames_per_region = fpl
+        self.free_frames = np.full(self.n_regions, fpl, dtype=np.int64)
+        self.unmovable_frames = np.zeros(self.n_regions, dtype=np.int64)
+
+    def region_of(self, pfn: int) -> int:
+        """Index of the large region containing frame ``pfn``."""
+        return pfn // self.frames_per_region
+
+    def region_start(self, region: int) -> int:
+        """First PFN of ``region``."""
+        return region * self.frames_per_region
+
+    # -- buddy listener interface -----------------------------------------
+    def on_alloc(self, pfn: int, order: int, movable: bool) -> None:
+        region = self.region_of(pfn)
+        n = 1 << order
+        self.free_frames[region] -= n
+        if not movable:
+            self.unmovable_frames[region] += n
+
+    def on_free(self, pfn: int, order: int, movable: bool) -> None:
+        region = self.region_of(pfn)
+        n = 1 << order
+        self.free_frames[region] += n
+        if not movable:
+            self.unmovable_frames[region] -= n
+
+    # -- selection queries used by smart compaction ------------------------
+    def occupied_frames(self, region: int) -> int:
+        return self.frames_per_region - int(self.free_frames[region])
+
+    def is_fully_free(self, region: int) -> bool:
+        return int(self.free_frames[region]) == self.frames_per_region
+
+    def best_source_regions(self, exclude: set[int] | None = None) -> list[int]:
+        """Candidate regions to *evacuate*, cheapest first.
+
+        Regions with unmovable contents are excluded outright (evacuating
+        them can never yield a fully-free region); already-free regions are
+        skipped (nothing to gain).  Remaining regions sort by descending free
+        frames, i.e. ascending bytes-to-copy.
+        """
+        exclude = exclude or set()
+        candidates = [
+            r
+            for r in range(self.n_regions)
+            if r not in exclude
+            and self.unmovable_frames[r] == 0
+            and 0 < self.free_frames[r] < self.frames_per_region
+        ]
+        candidates.sort(key=lambda r: (-self.free_frames[r], r))
+        return candidates
+
+    def best_target_regions(self, exclude: set[int]) -> list[int]:
+        """Candidate regions to copy *into*, fullest (fewest free) first.
+
+        Filling the fullest regions first concentrates occupancy, leaving
+        other regions easier to free later — the dual of source selection.
+        """
+        candidates = [
+            r
+            for r in range(self.n_regions)
+            if r not in exclude and self.free_frames[r] > 0
+        ]
+        candidates.sort(key=lambda r: (self.free_frames[r], r))
+        return candidates
+
+    def check_against(self, frame_state: np.ndarray) -> None:
+        """Assert counters match a ground-truth frame-state array (tests)."""
+        from repro.mem.frames import FrameState
+
+        for region in range(self.n_regions):
+            lo = region * self.frames_per_region
+            hi = lo + self.frames_per_region
+            chunk = frame_state[lo:hi]
+            free = int((chunk == FrameState.FREE).sum())
+            unmovable = int((chunk == FrameState.UNMOVABLE).sum())
+            assert free == int(self.free_frames[region]), (
+                f"region {region}: free counter {self.free_frames[region]} "
+                f"!= ground truth {free}"
+            )
+            assert unmovable == int(self.unmovable_frames[region]), (
+                f"region {region}: unmovable counter "
+                f"{self.unmovable_frames[region]} != ground truth {unmovable}"
+            )

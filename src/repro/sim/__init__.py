@@ -1,0 +1,9 @@
+"""Simulation engine: processes, the system (machine + OS policy), and the
+performance model that converts simulator counters into the paper's metrics.
+"""
+
+from repro.sim.process import Process
+from repro.sim.system import System
+from repro.sim.perfmodel import PerfModel, RunMetrics
+
+__all__ = ["Process", "System", "PerfModel", "RunMetrics"]

@@ -1,0 +1,203 @@
+"""From simulator counters to the paper's metrics.
+
+The access stream a workload drives through the simulator is a *sample* of
+the real application's execution: the real benchmarks run for minutes and
+touch each page thousands of times, while the sample touches the same
+footprint with a few hundred thousand accesses.  Per-access quantities
+(translation cycles per access) are therefore measured from the sample,
+while one-time OS work (faults, zeroing, promotion copies, compaction) is
+already simulated at its true absolute scale — the model combines them as::
+
+    runtime_ns = R * (cpi_base + walk_exposure * translation_cpa) / freq_ghz
+                 + fault_ns / fault_parallelism
+                 + daemon_exposure * daemon_ns
+
+where ``R`` is the number of accesses the sample represents (footprint
+pages x touches-per-page), ``walk_exposure`` is the fraction of translation
+latency the out-of-order core cannot hide, ``fault_parallelism`` spreads
+first-touch work over the workload's threads, and ``daemon_exposure`` is
+how much background-daemon CPU the application effectively pays for (low
+natively, high for a VM tenant's capped vCPU).  All four are per-workload
+or per-environment calibration constants documented in
+``docs/calibration.md``.
+
+* normalized performance (Figures 1b, 2b, 9a, 10a, 11, 12, 13) is the
+  inverse runtime ratio against a baseline run;
+* the fraction of cycles spent on page walks (Figures 1a, 2a, 9b, 10b) is
+  walk cycles over total cycles, the quantity the paper reads from the
+  ``DTLB_*_MISSES.WALK_ACTIVE`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PageSize
+
+
+@dataclass
+class RunMetrics:
+    """Everything one (workload, policy) run produces."""
+
+    policy: str
+    workload: str
+    accesses: int
+    translation_cycles: float
+    walk_cycles: float
+    walks: int
+    fault_ns: float
+    daemon_ns: float
+    represented_accesses: int
+    cpi_base: float
+    freq_ghz: float = 2.3
+    #: app threads that serve faults concurrently (Table 2): first-touch
+    #: zeroing parallelizes across them on the 36-thread testbed
+    fault_parallelism: int = 1
+    #: fraction of daemon CPU that steals from the application; natively
+    #: khugepaged runs on one of many otherwise-idle cores, so it is low,
+    #: while a VM tenant pays for every vCPU cycle (the Figure 13 concern)
+    daemon_exposure: float = 0.1
+    #: fraction of translation cycles exposed on the critical path (an
+    #: out-of-order core hides part of the walk latency; paper Section 4.1)
+    walk_exposure: float = 1.0
+    mapped_bytes_by_size: dict[int, int] | None = None
+    fault_mapped: dict[int, int] | None = None
+    promoted: dict[int, int] | None = None
+    bloat_bytes: int = 0
+    compaction_bytes_copied: int = 0
+    fault_large_attempts: int = 0
+    fault_large_failures: int = 0
+    promo_large_attempts: int = 0
+    promo_large_failures: int = 0
+    request_latencies_ns: list[float] | None = None
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def translation_cycles_per_access(self) -> float:
+        return self.translation_cycles / self.accesses if self.accesses else 0.0
+
+    @property
+    def walk_cycles_per_access(self) -> float:
+        return self.walk_cycles / self.accesses if self.accesses else 0.0
+
+    @property
+    def app_cycles_per_access(self) -> float:
+        return self.cpi_base + self.walk_exposure * self.translation_cycles_per_access
+
+    @property
+    def effective_fault_ns(self) -> float:
+        return self.fault_ns / max(1, self.fault_parallelism)
+
+    @property
+    def runtime_ns(self) -> float:
+        compute_ns = (
+            self.represented_accesses * self.app_cycles_per_access / self.freq_ghz
+        )
+        return (
+            compute_ns
+            + self.effective_fault_ns
+            + self.daemon_exposure * self.daemon_ns
+        )
+
+    @property
+    def walk_cycle_fraction(self) -> float:
+        """Fraction of execution cycles spent in page walks.
+
+        The hardware counters (``DTLB_*_MISSES.WALK_ACTIVE``) count cycles a
+        walker is active whether or not the core hides them, so the fraction
+        uses undiscounted translation cycles in the denominator.
+        """
+        total_cycles = (
+            self.represented_accesses
+            * (self.cpi_base + self.translation_cycles_per_access)
+            + (self.effective_fault_ns + self.daemon_exposure * self.daemon_ns)
+            * self.freq_ghz
+        )
+        walk = self.represented_accesses * self.walk_cycles_per_access
+        return walk / total_cycles if total_cycles else 0.0
+
+    def speedup_over(self, baseline: "RunMetrics") -> float:
+        """Normalized performance: baseline runtime / this runtime."""
+        return baseline.runtime_ns / self.runtime_ns
+
+    def walk_fraction_vs(self, baseline: "RunMetrics") -> float:
+        """Walk-cycle fraction normalized to a baseline (the figures' y-axis)."""
+        base = baseline.walk_cycle_fraction
+        return self.walk_cycle_fraction / base if base else 0.0
+
+    def percentile_latency_ns(self, pct: float = 99.0) -> float:
+        """Tail latency over recorded request samples (Table 5)."""
+        if not self.request_latencies_ns:
+            return 0.0
+        data = sorted(self.request_latencies_ns)
+        idx = min(len(data) - 1, int(round(pct / 100.0 * (len(data) - 1))))
+        return data[idx]
+
+
+class PerfModel:
+    """Builds :class:`RunMetrics` from a finished system/process pair."""
+
+    def __init__(
+        self,
+        cpi_base: float,
+        represented_accesses: int,
+        freq_ghz: float = 2.3,
+        daemon_exposure: float = 0.1,
+        walk_exposure: float = 1.0,
+        fault_parallelism: int = 1,
+    ) -> None:
+        if cpi_base <= 0:
+            raise ValueError(f"cpi_base must be positive, got {cpi_base}")
+        if represented_accesses <= 0:
+            raise ValueError("represented_accesses must be positive")
+        self.cpi_base = cpi_base
+        self.represented_accesses = represented_accesses
+        self.freq_ghz = freq_ghz
+        self.daemon_exposure = daemon_exposure
+        self.walk_exposure = walk_exposure
+        self.fault_parallelism = fault_parallelism
+
+    def collect(
+        self,
+        system,
+        process,
+        workload_name: str,
+        request_latencies_ns: list[float] | None = None,
+    ) -> RunMetrics:
+        stats = process.tlb.stats
+        policy = system.policy.stats
+        compaction_bytes = (
+            system.normal_compactor.stats.bytes_copied
+            + system.smart_compactor.stats.bytes_copied
+        )
+        return RunMetrics(
+            policy=system.policy.name,
+            workload=workload_name,
+            accesses=stats.accesses,
+            translation_cycles=stats.translation_cycles,
+            walk_cycles=stats.walk_cycles,
+            walks=stats.walks,
+            fault_ns=policy.fault_ns,
+            daemon_ns=policy.daemon_ns,
+            represented_accesses=self.represented_accesses,
+            cpi_base=self.cpi_base,
+            freq_ghz=self.freq_ghz,
+            daemon_exposure=self.daemon_exposure,
+            walk_exposure=self.walk_exposure,
+            fault_parallelism=self.fault_parallelism,
+            mapped_bytes_by_size=system.mapped_bytes_by_size(process),
+            fault_mapped=dict(policy.fault_mapped),
+            promoted=dict(policy.promoted),
+            bloat_bytes=process.bloat_bytes,
+            compaction_bytes_copied=compaction_bytes,
+            fault_large_attempts=policy.fault_large_attempts,
+            fault_large_failures=policy.fault_large_failures,
+            promo_large_attempts=policy.promo_large_attempts,
+            promo_large_failures=policy.promo_large_failures,
+            request_latencies_ns=request_latencies_ns,
+        )
+
+
+def mapped_gb_equivalent(nbytes: int, scale_factor: int) -> float:
+    """Convert scaled simulator bytes back to paper-scale GB for reporting."""
+    return nbytes * scale_factor / (1 << 30)

@@ -1,0 +1,237 @@
+"""The simulated machine: physical memory + OS policy + processes.
+
+``System`` is the kernel context every policy runs against.  It owns the
+buddy allocator (extended to the large order — Trident's first change), the
+per-region counters, the reverse map, the zero-fill engine, both compactors
+and the fragmentation state, and it drives the background daemons on a
+configurable cadence while workloads touch memory.
+
+The system is also the workload-facing syscall surface: ``sys_mmap`` /
+``sys_munmap`` / ``touch``.  ``touch`` is the hot path: translate, fault on
+demand through the policy, then run the address through the process's TLB
+hierarchy, accumulating the translation-cycle statistics the figures are
+computed from.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import MachineConfig, PageSize
+from repro.core.compaction import NormalCompactor, SmartCompactor
+from repro.core.rmap import ReverseMap
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.fragmentation import FragmentationInjector, fmfi
+from repro.mem.regions import RegionTracker
+from repro.mem.zerofill import ZeroFillEngine
+from repro.sim.process import Process
+from repro.tlb.hierarchy import TLBHierarchy
+
+
+class System:
+    """One simulated machine running one OS memory policy."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        policy_factory,
+        seed: int = 0,
+        daemon_period_accesses: int = 20_000,
+        daemon_budget_ns: float = 2_000_000.0,
+    ) -> None:
+        self.machine = machine
+        self.geometry = machine.geometry
+        self.cost = machine.cost
+        self.rng = random.Random(seed)
+        self.regions = RegionTracker(machine.total_frames, machine.geometry)
+        self.buddy = BuddyAllocator(
+            machine.total_frames,
+            machine.geometry.large_order,
+            listeners=(self.regions,),
+        )
+        self.rmap = ReverseMap()
+        self.zerofill = ZeroFillEngine(self.buddy, self.geometry, self.cost)
+        self.normal_compactor = NormalCompactor(
+            self.buddy, self.regions, self.rmap, self.geometry, self.cost
+        )
+        self.smart_compactor = SmartCompactor(
+            self.buddy, self.regions, self.rmap, self.geometry, self.cost
+        )
+        self.processes: list[Process] = []
+        self.injector: FragmentationInjector | None = None
+        self._next_pid = 1
+        self._accesses_since_daemon = 0
+        self.daemon_period_accesses = daemon_period_accesses
+        self.daemon_budget_ns = daemon_budget_ns
+        self.daemon_ns_total = 0.0
+        self._reserve_kernel_memory()
+        self.policy = policy_factory(self)
+        self.policy.on_boot()
+
+    def _reserve_kernel_memory(self) -> None:
+        """Boot-time unmovable kernel allocations.
+
+        The buddy hands out lowest addresses first, so these concentrate in
+        the low regions — the analogue of Linux grouping unmovable
+        allocations by migratetype.  A sprinkle of them lands mid-memory to
+        give normal compaction something to trip over.
+        """
+        n = int(self.machine.total_frames * self.machine.kernel_unmovable_fraction)
+        for _ in range(max(1, n)):
+            self.buddy.alloc(0, movable=False)
+
+    # -- fragmentation control ----------------------------------------------
+    def fragment(
+        self,
+        fill_fraction: float = 0.95,
+        residual_fraction: float = 0.30,
+        unmovable_prob: float = 0.002,
+    ) -> float:
+        """Fragment physical memory (paper Section 3); returns large-order FMFI.
+
+        The residual page-cache frames are registered in the rmap so
+        compaction can migrate them, exactly like movable page cache.
+        """
+        self.injector = FragmentationInjector(self.buddy, self.rng)
+        index = self.injector.fragment(
+            fill_fraction, residual_fraction, unmovable_prob
+        )
+        for pfn in self.injector.cache_frames():
+            self.rmap.register(pfn, 0, self.injector)
+        return index
+
+    @property
+    def fmfi(self) -> float:
+        """Current fragmentation index at the large order."""
+        return fmfi(self.buddy, self.geometry.large_order)
+
+    def reclaim(self, n_frames: int) -> int:
+        """Memory-pressure hook: drop page cache, then the zero-fill pool."""
+        freed = 0
+        if self.injector is not None:
+            for pfn in self.injector.reclaim(n_frames):
+                self.rmap.unregister(pfn)
+                freed += 1
+        if freed < n_frames:
+            freed += self.zerofill.release_all() * self.geometry.frames_per_large
+        return freed
+
+    # -- processes --------------------------------------------------------------
+    def create_process(self, name: str = "app") -> Process:
+        tlb = TLBHierarchy(self.machine.tlb, self.machine.walk, self.geometry)
+        process = Process(self._next_pid, name, self.geometry, tlb)
+        self._next_pid += 1
+        self.processes.append(process)
+        return process
+
+    def exit_process(self, process: Process) -> None:
+        """Tear a process down: free every mapping and retire it.
+
+        The policy's unmap path handles huge-page splitting and rmap
+        bookkeeping, so the buddy ends up exactly as before the process.
+        """
+        for vma in list(process.aspace.iter_vmas()):
+            process.aspace.munmap(vma.start)
+            self.policy.unmap_range(process, vma.start, vma.length)
+        self.processes.remove(process)
+
+    # -- syscall surface ----------------------------------------------------------
+    def sys_mmap(self, process: Process, nbytes: int, kind: str = "heap") -> int:
+        """Allocate virtual memory; returns the start address.
+
+        The policy may request stronger alignment for heap segments
+        (libhugetlbfs aligns eligible segments to its page size).
+        """
+        align = None
+        if kind in ("heap", "data", "bss"):
+            align = self.policy.heap_alignment_size
+        vma = process.aspace.mmap(nbytes, name=kind, align=align)
+        return vma.start
+
+    def sys_munmap(self, process: Process, addr: int) -> None:
+        """Release the VMA at ``addr`` and free its physical memory."""
+        vma = process.aspace.munmap(addr)
+        self.policy.unmap_range(process, vma.start, vma.length)
+
+    # -- the hot path ------------------------------------------------------------
+    def touch(self, process: Process, va: int) -> float:
+        """One application load/store; returns translation cycles incurred."""
+        mapping = process.pagetable.translate(va)
+        if mapping is None:
+            self.policy.handle_fault(process, va)
+            process.faults += 1
+            mapping = process.pagetable.translate(va)
+            assert mapping is not None, f"fault handler left va {va:#x} unmapped"
+        process.record_touch(va)
+        cycles = process.tlb.access(va, mapping)
+        self._accesses_since_daemon += 1
+        if self._accesses_since_daemon >= self.daemon_period_accesses:
+            self.run_daemons()
+        return cycles
+
+    def touch_batch(self, process: Process, vas) -> None:
+        """Touch a whole address stream (numpy array or iterable of ints)."""
+        for va in vas:
+            self.touch(process, int(va))
+
+    #: kswapd low watermark: background reclaim keeps this fraction of
+    #: memory free so compaction always has slots to move pages into
+    free_watermark = 0.06
+
+    def run_daemons(self, budget_ns: float | None = None) -> float:
+        """Give the background threads one scheduling quantum.
+
+        Runs kswapd-style watermark reclaim first (page cache shrinks when
+        free memory dips below the low watermark — reclaim is not charged
+        to khugepaged's CPU budget, matching Linux's separate kswapd
+        thread), then the policy's own daemons.
+        """
+        self._accesses_since_daemon = 0
+        watermark = int(self.machine.total_frames * self.free_watermark)
+        if self.buddy.free_frames < watermark:
+            self.reclaim(watermark - self.buddy.free_frames)
+        used = self.policy.background_tick(
+            self.daemon_budget_ns if budget_ns is None else budget_ns
+        )
+        self.daemon_ns_total += used
+        return used
+
+    def settle(self, ticks: int = 50, budget_ns: float | None = None) -> None:
+        """Run daemons repeatedly (an idle period: promotions catch up)."""
+        for _ in range(ticks):
+            self.run_daemons(budget_ns)
+
+    def settle_until_quiet(
+        self,
+        max_ticks: int = 400,
+        quiet_ticks: int = 5,
+        budget_ns: float | None = None,
+    ) -> int:
+        """Run daemons until promotion activity stops changing.
+
+        Returns the number of ticks executed.  Used by the runner to reach
+        khugepaged's steady state regardless of footprint size.
+        """
+        quiet = 0
+        stats = self.policy.stats
+        last = (dict(stats.promoted), dict(stats.demoted))
+        for tick in range(max_ticks):
+            self.run_daemons(budget_ns)
+            now = (dict(stats.promoted), dict(stats.demoted))
+            # A tick spent repaying CPU-cap debt is throttling, not
+            # convergence: only debt-free idle ticks count as quiet.
+            throttled = getattr(self.policy, "_debt_ns", 0.0) > 0.0
+            quiet = quiet + 1 if (now == last and not throttled) else 0
+            last = now
+            if quiet >= quiet_ticks:
+                return tick + 1
+        return max_ticks
+
+    # -- metrics helpers ----------------------------------------------------------
+    def mapped_bytes_by_size(self, process: Process) -> dict[int, int]:
+        return {
+            size: process.pagetable.mapped_bytes(size) for size in PageSize.ALL
+        }
+
+    def total_fault_ns(self) -> float:
+        return self.policy.stats.fault_ns

@@ -1,0 +1,154 @@
+"""The per-core TLB hierarchy (Table 1 of the paper, data side).
+
+Structure (Skylake defaults):
+
+* L1 dTLB — three structures, one per page size: 64x4 (4KB), 32x4 (2MB),
+  4-entry fully associative (1GB).  Every load/store probes the structure
+  matching its mapping's page size; an L1 hit costs nothing extra.
+* L2 sTLB — a 1536-entry 12-way array shared by 4KB and 2MB translations
+  plus a separate 16-entry 4-way array for 1GB.  An L2 hit costs a few
+  cycles; an L2 miss triggers a page walk.
+
+The simulator is trace-driven: the caller translates each virtual address
+through the page table first (so the mapping's page size is known — hardware
+discovers it during the walk, but the steady-state cost is identical) and
+feeds the mapping here.  Walk cycles accumulate in :class:`TranslationStats`,
+which is what the paper's ``DTLB_*_MISSES.WALK_ACTIVE`` counters measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import PageGeometry, PageSize, TLBHierarchyConfig, WalkConfig
+from repro.tlb.tlb import SetAssocTLB
+from repro.tlb.walker import PageWalker
+from repro.vm.pagetable import Mapping
+
+
+@dataclass
+class TranslationStats:
+    """Counters matching the paper's measurement methodology."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    walks: int = 0
+    walk_cycles: float = 0.0
+    translation_cycles: float = 0.0
+    walks_by_size: dict[int, int] = field(
+        default_factory=lambda: {s: 0 for s in PageSize.ALL}
+    )
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return 1 - self.l1_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def walks_per_access(self) -> float:
+        return self.walks / self.accesses if self.accesses else 0.0
+
+
+class TLBHierarchy:
+    """L1 (per-size) + L2 (shared and 1GB) TLBs over one page table."""
+
+    def __init__(
+        self,
+        config: TLBHierarchyConfig,
+        walk: WalkConfig,
+        geometry: PageGeometry,
+    ) -> None:
+        self.geometry = geometry
+        self.walk_config = walk
+        self.l1 = {
+            PageSize.BASE: SetAssocTLB(config.l1_base),
+            PageSize.MID: SetAssocTLB(config.l1_mid),
+            PageSize.LARGE: SetAssocTLB(config.l1_large),
+        }
+        self.l2_shared = SetAssocTLB(config.l2_shared)
+        self.l2_large = SetAssocTLB(config.l2_large)
+        self.l2_mid = (
+            SetAssocTLB(config.l2_mid) if config.l2_mid is not None else None
+        )
+        self.walker = PageWalker(walk)
+        self.stats = TranslationStats()
+        self._shifts = {
+            PageSize.BASE: geometry.base_shift,
+            PageSize.MID: geometry.base_shift + geometry.mid_order,
+            PageSize.LARGE: geometry.base_shift + geometry.large_order,
+        }
+
+    def _l2_for(self, page_size: int) -> SetAssocTLB:
+        if page_size == PageSize.LARGE:
+            return self.l2_large
+        if page_size == PageSize.MID and self.l2_mid is not None:
+            return self.l2_mid
+        return self.l2_shared
+
+    def access(self, va: int, mapping: Mapping) -> float:
+        """One load/store to ``va``; returns translation cycles beyond L1 hit.
+
+        Sets the mapping's access bit (as the hardware walker would on fill,
+        and as already-set bits stay set on hits).
+        """
+        size = mapping.page_size
+        vpn = va >> self._shifts[size]
+        stats = self.stats
+        stats.accesses += 1
+        mapping.accessed = True
+        if self.l1[size].lookup(vpn):
+            stats.l1_hits += 1
+            return 0.0
+        l2 = self._l2_for(size)
+        if l2.lookup(vpn):
+            stats.l2_hits += 1
+            self.l1[size].insert(vpn)
+            cycles = float(self.walk_config.l2_tlb_hit_cycles)
+            stats.translation_cycles += cycles
+            return cycles
+        cycles = self.walker.native_walk(size)
+        stats.walks += 1
+        stats.walks_by_size[size] += 1
+        stats.walk_cycles += cycles
+        stats.translation_cycles += cycles + self.walk_config.l2_tlb_hit_cycles
+        l2.insert(vpn)
+        self.l1[size].insert(vpn)
+        return cycles
+
+    def invalidate_range(self, start: int, length: int) -> None:
+        """Shootdown for a remapped range (promotion/compaction).
+
+        Drops every entry whose page lies inside [start, start+length) from
+        all levels.  Ranges are page-size aligned in all call sites.
+        """
+        for size in PageSize.ALL:
+            shift = self._shifts[size]
+            first = start >> shift
+            last = (start + length - 1) >> shift
+            structures = (self.l1[size], self._l2_for(size))
+            # Small ranges: invalidate per page; huge ranges: flush.
+            if last - first + 1 > 4096:
+                for s in structures:
+                    s.flush()
+            else:
+                for vpn in range(first, last + 1):
+                    for s in structures:
+                        s.invalidate(vpn)
+
+    def flush(self) -> None:
+        for tlb in self.l1.values():
+            tlb.flush()
+        self.l2_shared.flush()
+        self.l2_large.flush()
+        if self.l2_mid is not None:
+            self.l2_mid.flush()
+
+    def reset_stats(self) -> None:
+        self.stats = TranslationStats()
+        self.walker.reset_stats()
+        for tlb in self.l1.values():
+            tlb.reset_stats()
+        self.l2_shared.reset_stats()
+        self.l2_large.reset_stats()
+        if self.l2_mid is not None:
+            self.l2_mid.reset_stats()

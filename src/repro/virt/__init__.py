@@ -1,0 +1,16 @@
+"""Virtualization: a KVM-like hypervisor, the guest/host composition, and
+the Trident-pv paravirtual copy-less promotion/compaction path (Section 6).
+"""
+
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.machine import VirtualMachine, GuestSystem
+from repro.virt.hypercall import PVExchangeInterface
+from repro.virt.tridentpv import TridentPVPolicy
+
+__all__ = [
+    "Hypervisor",
+    "VirtualMachine",
+    "GuestSystem",
+    "PVExchangeInterface",
+    "TridentPVPolicy",
+]

@@ -1,0 +1,112 @@
+"""Guest/host composition: a virtual machine running a guest OS policy.
+
+Two complete systems are stacked, as in the paper's virtualized evaluation:
+
+* the **host** runs its own memory policy (THP / HawkEye / Trident) over
+  host physical memory and backs the VM's guest-physical range (EPT page
+  sizes = whatever the host policy maps the VM's allocation with);
+* the **guest** runs its own policy over guest-physical memory (gPA), with
+  its own buddy allocator, compactors and daemons — Trident deployed in the
+  guest manages gVA -> gPA page sizes.
+
+Guest processes translate through a :class:`NestedTranslationUnit`, so each
+access pays for the effective page size min(guest, host) and 2D walk costs.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.sim.process import Process
+from repro.sim.system import System
+from repro.tlb.nested import NestedTranslationUnit
+from repro.virt.hypervisor import Hypervisor
+
+
+class GuestSystem(System):
+    """A System whose physical memory is the VM's guest-physical range."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        policy_factory,
+        hypervisor: Hypervisor,
+        seed: int = 0,
+        host_daemon_share: float = 0.5,
+        **kwargs,
+    ) -> None:
+        self.hypervisor = hypervisor  # needed by create_process during boot
+        self.host_daemon_share = host_daemon_share
+        super().__init__(machine, policy_factory, seed=seed, **kwargs)
+
+    def create_process(self, name: str = "app") -> Process:
+        tlb = NestedTranslationUnit(
+            self.machine.tlb,
+            self.machine.walk,
+            self.geometry,
+            host_table=self.hypervisor.host_table,
+            hva_base=self.hypervisor.hva_base,
+        )
+        process = Process(self._next_pid, name, self.geometry, tlb)
+        self._next_pid += 1
+        self.processes.append(process)
+        return process
+
+    def touch(self, process: Process, va: int) -> float:
+        """Guest load/store: guest fault, then EPT fault, then nested TLB."""
+        mapping = process.pagetable.translate(va)
+        if mapping is None:
+            self.policy.handle_fault(process, va)
+            process.faults += 1
+            mapping = process.pagetable.translate(va)
+            assert mapping is not None, f"fault handler left va {va:#x} unmapped"
+        gpa = process.tlb.gpa_of(mapping, va)
+        self.hypervisor.ensure_backed(gpa)
+        process.record_touch(va)
+        cycles = process.tlb.access(va, mapping)
+        self._accesses_since_daemon += 1
+        if self._accesses_since_daemon >= self.daemon_period_accesses:
+            self.run_daemons()
+            # The host's daemons (khugepaged etc. in the hypervisor) run on
+            # host CPUs; give them a share of the same cadence.
+            self.hypervisor.host.run_daemons(
+                self.daemon_budget_ns * self.host_daemon_share
+            )
+        return cycles
+
+
+class VirtualMachine:
+    """One VM: a host system, a hypervisor view, and a guest system."""
+
+    def __init__(
+        self,
+        guest_machine: MachineConfig,
+        host_machine: MachineConfig,
+        guest_policy_factory,
+        host_policy_factory,
+        seed: int = 0,
+        guest_daemon_budget_ns: float = 2_000_000.0,
+    ) -> None:
+        if host_machine.total_bytes < guest_machine.total_bytes:
+            raise ValueError("host memory must be at least the guest's size")
+        self.host = System(host_machine, host_policy_factory, seed=seed)
+        self.hypervisor = Hypervisor(self.host, guest_machine.total_bytes)
+        self.guest = GuestSystem(
+            guest_machine,
+            guest_policy_factory,
+            self.hypervisor,
+            seed=seed + 1,
+            daemon_budget_ns=guest_daemon_budget_ns,
+        )
+
+    def create_guest_process(self, name: str = "app") -> Process:
+        return self.guest.create_process(name)
+
+    def settle(self, max_ticks: int = 400) -> None:
+        """Let both levels' daemons converge."""
+        self.guest.settle_until_quiet(max_ticks=max_ticks)
+        self.host.settle_until_quiet(max_ticks=max_ticks)
+
+    @property
+    def total_fault_ns(self) -> float:
+        """Guest faults + EPT faults, both on the guest's critical path."""
+        return self.guest.policy.stats.fault_ns + self.host.policy.stats.fault_ns

@@ -1,0 +1,26 @@
+"""Virtual-memory substrate: address spaces, page tables, mappability.
+
+The analogue of Linux's ``mm`` layer.  Mappability — which virtual ranges are
+long enough *and* aligned to take a 2MB/1GB page — is pure address
+arithmetic, so this layer reproduces the paper's Section 4.3 analysis
+exactly rather than approximately.
+"""
+
+from repro.vm.addrspace import VMA, AddressSpace
+from repro.vm.pagetable import Mapping, MappingConflictError, PageTable
+from repro.vm.mappability import classify_regions, mappable_bytes, mappable_ranges
+from repro.vm.fault import candidate_page_sizes
+from repro.vm.sampler import AccessBitSampler
+
+__all__ = [
+    "VMA",
+    "AddressSpace",
+    "Mapping",
+    "PageTable",
+    "MappingConflictError",
+    "mappable_bytes",
+    "mappable_ranges",
+    "classify_regions",
+    "candidate_page_sizes",
+    "AccessBitSampler",
+]

@@ -1,0 +1,53 @@
+"""Page-fault geometry helpers shared by all OS policies.
+
+On a fault at ``va`` the handler must decide which page sizes *could* map the
+faulting address: a size is a candidate iff the size-aligned region around
+``va`` lies entirely inside the faulting VMA (the paper's two mappability
+conditions) and none of that region is already mapped.  The policy layers in
+:mod:`repro.core` then pick among the candidates (THP stops at mid, Trident
+prefers large, 4KB-only ignores both).
+"""
+
+from __future__ import annotations
+
+from repro.config import PageGeometry, PageSize
+from repro.vm.addrspace import VMA
+from repro.vm.pagetable import PageTable
+
+
+def region_fits_vma(va: int, page_size: int, vma: VMA, geometry: PageGeometry) -> bool:
+    """True if the ``page_size``-aligned region around ``va`` fits in ``vma``."""
+    start = geometry.align_down(va, page_size)
+    return start >= vma.start and start + geometry.bytes_for(page_size) <= vma.end
+
+
+def region_is_unmapped(
+    va: int, page_size: int, table: PageTable, geometry: PageGeometry
+) -> bool:
+    """True if no mapping of any size exists inside the aligned region.
+
+    Cheap: the page table's child counters answer "does this slot contain
+    smaller mappings" in O(1); a conflict check covers same/larger sizes.
+    """
+    start = geometry.align_down(va, page_size)
+    if table.translate(start) is not None:
+        return False
+    if page_size == PageSize.BASE:
+        return True
+    if page_size == PageSize.LARGE:
+        return not table._large_children.get(table.vpn(start, PageSize.LARGE), 0)
+    # MID: no base children within the mid slot and not covered from above.
+    return not table._mid_children.get(table.vpn(start, PageSize.MID), 0)
+
+
+def candidate_page_sizes(
+    va: int, vma: VMA, table: PageTable, geometry: PageGeometry
+) -> list[int]:
+    """Page sizes that could legally map a fresh fault at ``va``, largest first."""
+    sizes = []
+    for size in (PageSize.LARGE, PageSize.MID, PageSize.BASE):
+        if region_fits_vma(va, size, vma, geometry) and region_is_unmapped(
+            va, size, table, geometry
+        ):
+            sizes.append(size)
+    return sizes

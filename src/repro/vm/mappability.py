@@ -1,0 +1,116 @@
+"""Mappability analysis: which virtual ranges can take which page size.
+
+Section 4.3 of the paper: a range is mappable by a page size iff it is at
+least that long *and* aligned at that size's boundary — so every
+1GB-mappable range is 2MB-mappable but not vice versa, and the gap between
+the two (often several GB) is exactly the memory Trident must cover with
+2MB pages.  These helpers reproduce the kernel module the authors wrote to
+scan a process's address space periodically (Figure 3) and to classify
+regions for the TLB-miss sampler (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.config import PageGeometry
+from repro.vm.addrspace import VMA, AddressSpace
+
+
+def mappable_ranges(
+    vma: VMA, page_size: int, geometry: PageGeometry
+) -> Iterator[tuple[int, int]]:
+    """Yield (start, end) of each aligned ``page_size`` slot inside ``vma``."""
+    size = geometry.bytes_for(page_size)
+    start = geometry.align_up(vma.start, page_size)
+    while start + size <= vma.end:
+        yield start, start + size
+        start += size
+
+
+def mappable_bytes(aspace: AddressSpace, page_size: int) -> int:
+    """Total allocated virtual memory mappable with ``page_size`` pages.
+
+    This is the quantity plotted in Figure 3 (per page size, over time).
+    """
+    geometry = aspace.geometry
+    size = geometry.bytes_for(page_size)
+    total = 0
+    for vma in aspace.iter_extents():
+        lo = geometry.align_up(vma.start, page_size)
+        hi = geometry.align_down(vma.end, page_size)
+        if hi > lo:
+            total += ((hi - lo) // size) * size
+    return total
+
+
+def classify_regions(
+    aspace: AddressSpace, geometry: PageGeometry
+) -> list[tuple[int, int, str]]:
+    """Split the mapped space into (start, end, class) regions.
+
+    Classes: ``"large"`` (1GB-mappable), ``"mid"`` (2MB- but not
+    1GB-mappable), ``"base"`` (neither).  Figure 4 colours its x-axis with
+    exactly this classification.
+    """
+    from repro.config import PageSize
+
+    regions: list[tuple[int, int, str]] = []
+    for vma in aspace.iter_extents():
+        large_lo = geometry.align_up(vma.start, PageSize.LARGE)
+        large_hi = geometry.align_down(vma.end, PageSize.LARGE)
+        spans: list[tuple[int, int, str]] = []
+        if large_hi > large_lo:
+            spans.append((large_lo, large_hi, "large"))
+        # The rest of the VMA (before/after the large-aligned interior) is at
+        # best mid-mappable; classify its mid-aligned interior.
+        leftovers = []
+        if large_hi > large_lo:
+            if vma.start < large_lo:
+                leftovers.append((vma.start, large_lo))
+            if large_hi < vma.end:
+                leftovers.append((large_hi, vma.end))
+        else:
+            leftovers.append((vma.start, vma.end))
+        for lo, hi in leftovers:
+            mid_lo = geometry.align_up(lo, PageSize.MID)
+            mid_hi = geometry.align_down(hi, PageSize.MID)
+            if mid_hi > mid_lo:
+                if lo < mid_lo:
+                    spans.append((lo, mid_lo, "base"))
+                spans.append((mid_lo, mid_hi, "mid"))
+                if mid_hi < hi:
+                    spans.append((mid_hi, hi, "base"))
+            else:
+                spans.append((lo, hi, "base"))
+        spans.sort()
+        # Merge adjacent same-class spans, but never across VMA boundaries so
+        # callers can attribute each region to exactly one VMA.
+        merged: list[tuple[int, int, str]] = []
+        for span in spans:
+            if merged and merged[-1][1] == span[0] and merged[-1][2] == span[2]:
+                merged[-1] = (merged[-1][0], span[1], span[2])
+            else:
+                merged.append(span)
+        regions.extend(merged)
+    return regions
+
+
+class MappabilityScanner:
+    """Periodic scanner mimicking the paper's kernel module (Figure 3).
+
+    Call :meth:`sample` at workload-phase boundaries; :attr:`samples` holds
+    (label, large_mappable_bytes, mid_mappable_bytes) tuples.
+    """
+
+    def __init__(self, aspace: AddressSpace) -> None:
+        self.aspace = aspace
+        self.samples: list[tuple[str, int, int]] = []
+
+    def sample(self, label: str = "") -> tuple[int, int]:
+        from repro.config import PageSize
+
+        large = mappable_bytes(self.aspace, PageSize.LARGE)
+        mid = mappable_bytes(self.aspace, PageSize.MID)
+        self.samples.append((label, large, mid))
+        return large, mid

@@ -1,0 +1,232 @@
+"""Per-process page table with base / mid / large leaf mappings.
+
+x86-64 page tables are a 4-level radix tree whose leaves can sit at three
+depths: PTE (4KB), PMD (2MB) and PUD (1GB).  For simulation we store each
+leaf level as a dict keyed by the virtual page number at that level's
+granularity, plus child counters that enforce the radix tree's structural
+invariant — a large leaf cannot coexist with any smaller mapping inside its
+range.  Walk *cost* (how many levels a hardware walk touches) is derived
+from the leaf's page size by :class:`repro.config.WalkConfig`, which is all
+the radix shape is needed for.
+
+Each mapping carries an ``accessed`` bit, set by the TLB simulator on every
+touch and cleared/sampled by the access-bit scanner (Figure 4) and by
+HawkEye's miss-frequency estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.config import PageGeometry, PageSize
+
+
+class MappingConflictError(ValueError):
+    """Raised when a new mapping would overlap an existing one."""
+
+
+class Mapping:
+    """One leaf page-table entry."""
+
+    __slots__ = ("va", "page_size", "pfn", "accessed", "dirty")
+
+    def __init__(self, va: int, page_size: int, pfn: int) -> None:
+        self.va = va
+        self.page_size = page_size
+        self.pfn = pfn
+        self.accessed = False
+        self.dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Mapping(va={self.va:#x}, size={PageSize.name_of(self.page_size)}, "
+            f"pfn={self.pfn})"
+        )
+
+
+class PageTable:
+    """All leaf mappings of one address space (guest or native)."""
+
+    def __init__(self, geometry: PageGeometry) -> None:
+        self.geometry = geometry
+        self._shifts = {
+            PageSize.BASE: geometry.base_shift,
+            PageSize.MID: geometry.base_shift + geometry.mid_order,
+            PageSize.LARGE: geometry.base_shift + geometry.large_order,
+        }
+        # vpn (at that size's granularity) -> Mapping
+        self._levels: dict[int, dict[int, Mapping]] = {
+            PageSize.BASE: {},
+            PageSize.MID: {},
+            PageSize.LARGE: {},
+        }
+        # Structural child counters: how many smaller mappings live inside
+        # each large slot / mid slot.  Enforce leaf exclusivity in O(1).
+        self._large_children: dict[int, int] = {}
+        self._mid_children: dict[int, int] = {}
+
+    # -- helpers --------------------------------------------------------------
+    def vpn(self, va: int, page_size: int) -> int:
+        return va >> self._shifts[page_size]
+
+    def page_bytes(self, page_size: int) -> int:
+        return 1 << self._shifts[page_size]
+
+    # -- map/unmap --------------------------------------------------------------
+    def map_page(self, va: int, page_size: int, pfn: int) -> Mapping:
+        """Install a leaf mapping; ``va`` must be size-aligned and unmapped."""
+        if va % self.page_bytes(page_size):
+            raise ValueError(
+                f"va {va:#x} not aligned to {PageSize.name_of(page_size)} page"
+            )
+        self._check_conflicts(va, page_size)
+        mapping = Mapping(va, page_size, pfn)
+        self._levels[page_size][self.vpn(va, page_size)] = mapping
+        if page_size != PageSize.LARGE:
+            lslot = self.vpn(va, PageSize.LARGE)
+            self._large_children[lslot] = self._large_children.get(lslot, 0) + 1
+            if page_size == PageSize.BASE:
+                mslot = self.vpn(va, PageSize.MID)
+                self._mid_children[mslot] = self._mid_children.get(mslot, 0) + 1
+        return mapping
+
+    def _check_conflicts(self, va: int, page_size: int) -> None:
+        lslot = self.vpn(va, PageSize.LARGE)
+        if lslot in self._levels[PageSize.LARGE]:
+            raise MappingConflictError(
+                f"va {va:#x} already covered by a large mapping"
+            )
+        if page_size == PageSize.LARGE:
+            if self._large_children.get(lslot, 0):
+                raise MappingConflictError(
+                    f"large slot {lslot} contains smaller mappings"
+                )
+            return
+        mslot = self.vpn(va, PageSize.MID)
+        if mslot in self._levels[PageSize.MID]:
+            raise MappingConflictError(f"va {va:#x} already covered by a mid mapping")
+        if page_size == PageSize.MID:
+            if self._mid_children.get(mslot, 0):
+                raise MappingConflictError(f"mid slot {mslot} contains base mappings")
+            return
+        if self.vpn(va, PageSize.BASE) in self._levels[PageSize.BASE]:
+            raise MappingConflictError(f"va {va:#x} already mapped at base size")
+
+    def unmap(self, va: int, page_size: int) -> Mapping:
+        """Remove the leaf mapping at ``va``; returns it (caller frees frames)."""
+        mapping = self._levels[page_size].pop(self.vpn(va, page_size), None)
+        if mapping is None or mapping.va != self.geometry.align_down(va, page_size):
+            raise ValueError(
+                f"no {PageSize.name_of(page_size)} mapping at va {va:#x}"
+            )
+        if page_size != PageSize.LARGE:
+            lslot = self.vpn(va, PageSize.LARGE)
+            self._large_children[lslot] -= 1
+            if not self._large_children[lslot]:
+                del self._large_children[lslot]
+            if page_size == PageSize.BASE:
+                mslot = self.vpn(va, PageSize.MID)
+                self._mid_children[mslot] -= 1
+                if not self._mid_children[mslot]:
+                    del self._mid_children[mslot]
+        return mapping
+
+    def unmap_range(
+        self, start: int, length: int, strict: bool = True
+    ) -> list[Mapping]:
+        """Remove every mapping fully inside [start, start+length).
+
+        Used by munmap and by promotion (which unmaps the small pages before
+        installing the large one).  With ``strict`` (default) a mapping
+        straddling either boundary raises; ``strict=False`` leaves
+        straddlers in place — hugetlbfs-backed heaps round up to huge-page
+        boundaries and do not return partial pages on free.
+        """
+        end = start + length
+        removed: list[Mapping] = []
+        front = self.translate(start)
+        if front is not None and front.va < start and strict:
+            raise ValueError(
+                f"mapping at {front.va:#x} straddles unmap range start"
+            )
+        for size in (PageSize.LARGE, PageSize.MID, PageSize.BASE):
+            page_bytes = self.page_bytes(size)
+            level = self._levels[size]
+            if len(level) <= (length // page_bytes):
+                victims = [m for m in level.values() if start <= m.va < end]
+            else:
+                victims = []
+                va = self.geometry.align_up(start, size)
+                while va < end:
+                    m = level.get(self.vpn(va, size))
+                    if m is not None:
+                        victims.append(m)
+                    va += page_bytes
+            for m in victims:
+                if m.va < start or m.va + page_bytes > end:
+                    if strict:
+                        raise ValueError(
+                            f"mapping at {m.va:#x} straddles unmap range boundary"
+                        )
+                    continue
+                self.unmap(m.va, size)
+                removed.append(m)
+        return removed
+
+    # -- translation ---------------------------------------------------------
+    def translate(self, va: int) -> Mapping | None:
+        """The leaf mapping covering ``va``, or None if unmapped."""
+        m = self._levels[PageSize.LARGE].get(va >> self._shifts[PageSize.LARGE])
+        if m is not None:
+            return m
+        m = self._levels[PageSize.MID].get(va >> self._shifts[PageSize.MID])
+        if m is not None:
+            return m
+        return self._levels[PageSize.BASE].get(va >> self._shifts[PageSize.BASE])
+
+    def is_mapped(self, va: int) -> bool:
+        return self.translate(va) is not None
+
+    # -- iteration / accounting -------------------------------------------------
+    def iter_mappings(self, page_size: int | None = None) -> Iterator[Mapping]:
+        sizes: Iterable[int] = (
+            PageSize.ALL if page_size is None else (page_size,)
+        )
+        for size in sizes:
+            yield from self._levels[size].values()
+
+    def count(self, page_size: int) -> int:
+        return len(self._levels[page_size])
+
+    def mapped_bytes(self, page_size: int | None = None) -> int:
+        if page_size is not None:
+            return self.count(page_size) * self.page_bytes(page_size)
+        return sum(self.mapped_bytes(s) for s in PageSize.ALL)
+
+    def mappings_in_range(self, start: int, length: int, page_size: int) -> list[Mapping]:
+        """Mappings of ``page_size`` whose va lies in [start, start+length)."""
+        end = start + length
+        page_bytes = self.page_bytes(page_size)
+        level = self._levels[page_size]
+        if len(level) <= length // page_bytes:
+            return sorted(
+                (m for m in level.values() if start <= m.va < end),
+                key=lambda m: m.va,
+            )
+        result = []
+        va = self.geometry.align_up(start, page_size)
+        while va < end:
+            m = level.get(self.vpn(va, page_size))
+            if m is not None:
+                result.append(m)
+            va += page_bytes
+        return result
+
+    # -- access bits ------------------------------------------------------------
+    def clear_access_bits(self) -> None:
+        for size in PageSize.ALL:
+            for m in self._levels[size].values():
+                m.accessed = False
+
+    def accessed_mappings(self) -> list[Mapping]:
+        return [m for m in self.iter_mappings() if m.accessed]

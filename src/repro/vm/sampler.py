@@ -1,0 +1,71 @@
+"""Access-bit sampling: the paper's second kernel module (Figure 4).
+
+Periodically clear the page-table access bits and count which regions' bits
+the hardware sets again — a sampled estimate of access/TLB-miss frequency
+per virtual region, attributable to mappability classes ("1GB-mappable" vs
+"2MB-but-not-1GB-mappable").  HawkEye's kbinmanager uses the same trick for
+promotion ordering; this standalone sampler is the measurement-side twin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vm.mappability import classify_regions
+
+
+class AccessBitSampler:
+    """Samples access bits over a process's classified regions."""
+
+    def __init__(self, process, geometry) -> None:
+        self.process = process
+        self.geometry = geometry
+        self.regions = sorted(classify_regions(process.aspace, geometry))
+        self._starts = np.array(
+            [start for start, _, _ in self.regions], dtype=np.int64
+        )
+        self.counts: dict[tuple[int, int], int] = {
+            (start, end): 0 for start, end, _ in self.regions
+        }
+        self.samples = 0
+
+    def sample(self) -> None:
+        """One sampling period: attribute set bits, then clear them."""
+        accessed = np.array(
+            [m.va for m in self.process.pagetable.accessed_mappings()],
+            dtype=np.int64,
+        )
+        if len(accessed):
+            idx = np.searchsorted(self._starts, accessed, side="right") - 1
+            for i, va in zip(idx, accessed):
+                if i < 0:
+                    continue
+                start, end, _ = self.regions[i]
+                if va < end:
+                    self.counts[(start, end)] += 1
+        self.process.pagetable.clear_access_bits()
+        self.samples += 1
+
+    def rows(self, scale_factor: int = 1) -> list[dict]:
+        """Per-region frequency rows (Figure 4's series)."""
+        total = sum(self.counts.values()) or 1
+        out = []
+        for (start, end), count in sorted(self.counts.items()):
+            cls = next(c for s, e, c in self.regions if s == start and e == end)
+            size_gb = (end - start) * scale_factor / (1 << 30)
+            share = count / total
+            out.append(
+                {
+                    "region_start": hex(start),
+                    "size_gb": size_gb,
+                    "class": cls,
+                    "miss_share": share,
+                    "miss_per_gb": share / max(size_gb, 1e-9),
+                }
+            )
+        return out
+
+    def hottest_density(self, cls: str) -> float:
+        """Peak misses/GB among regions of mappability class ``cls``."""
+        rows = [r for r in self.rows() if r["class"] == cls]
+        return max((r["miss_per_gb"] for r in rows), default=0.0)

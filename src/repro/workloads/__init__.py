@@ -1,0 +1,30 @@
+"""Workload models for the paper's 12 benchmarks (Table 2).
+
+Each workload model captures the three properties the paper's effects hinge
+on: the *allocation pattern* (pre-allocated vs incremental, which determines
+1GB-mappability at fault vs promotion time — Table 3), the *access pattern*
+(locality vs TLB reach, which determines page-walk pressure), and the
+*calibration constants* (compute intensity and walk exposure, which
+determine how walk-cycle savings translate into speedup).
+"""
+
+from repro.workloads.base import Workload, WorkloadAPI
+from repro.workloads.trace import Trace, TraceWorkload, record_trace
+from repro.workloads.registry import (
+    REGISTRY,
+    SHADED_EIGHT,
+    ALL_WORKLOADS,
+    get_workload,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadAPI",
+    "Trace",
+    "TraceWorkload",
+    "record_trace",
+    "REGISTRY",
+    "SHADED_EIGHT",
+    "ALL_WORKLOADS",
+    "get_workload",
+]

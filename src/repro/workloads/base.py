@@ -1,0 +1,119 @@
+"""Workload abstraction and the API workloads drive the system through.
+
+A workload runs in two phases matching how the paper measures:
+
+1. :meth:`Workload.setup` — allocate (and first-touch) memory following the
+   benchmark's allocation pattern.  This is where pre-allocating and
+   incremental workloads diverge, and where the runner lets promotion
+   daemons catch up before measuring.
+2. :meth:`Workload.access_stream` — generate the steady-state address
+   stream the runner plays through the TLB.
+
+Workloads never import the simulator; they see only :class:`WorkloadAPI`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.config import SCALE_FACTOR
+
+
+class WorkloadAPI(Protocol):
+    """What the experiment runner exposes to a workload."""
+
+    rng: np.random.Generator
+
+    def mmap(self, nbytes: int, kind: str = "heap") -> int:
+        """Allocate virtual memory; returns the start address."""
+        ...
+
+    def munmap(self, addr: int) -> None: ...
+
+    def touch(self, addresses: np.ndarray) -> None:
+        """Issue a batch of loads/stores (faults + TLB simulation)."""
+        ...
+
+    def phase(self, label: str) -> None:
+        """Mark an execution-phase boundary (mappability sampling hook)."""
+        ...
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static facts (Table 2) and calibration constants for one benchmark.
+
+    Calibration constants are documented per workload in ``registry.py``:
+
+    * ``cpi_base`` — cycles per simulated access excluding translation
+      (compute + cache-hierarchy stalls; memory-bound apps are high);
+    * ``walk_exposure`` — the fraction of translation cycles an OoO core
+      cannot hide (Section 4.1: reduction in walk cycles does not translate
+      proportionally into speedup);
+    * ``touches_per_page`` — how many times the real run touches each page,
+      scaling one-time OS costs against steady-state compute.
+    """
+
+    name: str
+    paper_footprint_gb: float
+    threads: int
+    description: str
+    cpi_base: float
+    walk_exposure: float
+    touches_per_page: int
+    shaded: bool  # one of the paper's eight 1GB-sensitive applications
+
+
+class Workload:
+    """Base class; subclasses define allocation and access behaviour."""
+
+    spec: WorkloadSpec
+
+    def __init__(self, scale_factor: int = SCALE_FACTOR) -> None:
+        self.scale_factor = scale_factor
+        self.regions: dict[str, tuple[int, int]] = {}  # label -> (addr, size)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Paper footprint scaled into simulator bytes."""
+        return int(self.spec.paper_footprint_gb * (1 << 30)) // self.scale_factor
+
+    @property
+    def represented_accesses(self) -> int:
+        """Accesses the steady-state sample stands for (perf-model R)."""
+        pages = self.footprint_bytes // 4096
+        return max(1, pages * self.spec.touches_per_page)
+
+    # -- to be implemented -----------------------------------------------
+    def setup(self, api: WorkloadAPI) -> None:
+        """Allocate memory (and perform any construction-phase touches)."""
+        raise NotImplementedError
+
+    def access_stream(self, api: WorkloadAPI, n: int) -> np.ndarray:
+        """The steady-state address stream (n accesses)."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+    def _alloc(self, api: WorkloadAPI, label: str, nbytes: int, kind: str = "heap") -> int:
+        addr = api.mmap(nbytes, kind)
+        self.regions[label] = (addr, nbytes)
+        return addr
+
+    def _region(self, label: str) -> tuple[int, int]:
+        return self.regions[label]
+
+    def first_touch(self, api: WorkloadAPI, label: str, fraction: float = 1.0) -> None:
+        """Touch one address per base page over ``fraction`` of a region.
+
+        Models initialization passes; drives the fault handler over the
+        region so page-size decisions happen exactly as on first use.
+        """
+        addr, size = self.regions[label]
+        limit = int(size * fraction)
+        if limit <= 0:
+            return
+        pages = np.arange(0, limit, 4096, dtype=np.int64)
+        api.touch(addr + pages)

@@ -1,0 +1,67 @@
+"""Btree — random lookups in a B+tree (25GB of nodes).
+
+Nodes are allocated incrementally from pools as the tree grows, so the
+fault handler never sees a 1GB-mappable range (Table 4: "NA" for page-fault
+1GB attempts); only promotion can install 1GB pages.  Lookups are dependent
+pointer chases across the whole tree — very TLB-hostile.
+
+This is also the one workload where static 1GB-Hugetlbfs beats Trident
+(Section 7): hugetlbfs backs the pool with 1GB pages from the first byte at
+the cost of bloat, while Trident must wait for khugepaged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import access
+from repro.workloads.base import Workload, WorkloadAPI, WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="Btree",
+    paper_footprint_gb=25.0,
+    threads=1,
+    description="Random lookups in a B+tree",
+    cpi_base=170.0,
+    walk_exposure=0.42,  # dependent chain: walks sit on the critical path
+    touches_per_page=60_000,
+    shaded=True,
+)
+
+
+class Btree(Workload):
+    spec = SPEC
+
+    #: fraction of node pools that are pre-grown reserve capacity the tree
+    #: never splits into (Table 2 lists Btree's live tree at 10.5GB while
+    #: its allocation reaches 25GB): THP never maps them, Trident's 1GB
+    #: promotions cover them - the +13GB bloat of Section 7.
+    reserve_pool_fraction = 0.45
+
+    def setup(self, api: WorkloadAPI) -> None:
+        total = self.footprint_bytes
+        rng = api.rng
+        # Node pools grow one slab at a time as keys are inserted; slabs are
+        # a fraction of a large page, and only ~75% of a live pool is
+        # touched during the build (interior split slack).
+        slab = max(4096, (1 << 22) // 3)  # ~1/3 of a scaled large page
+        grown = 0
+        i = 0
+        while grown < total:
+            size = min(slab, total - grown)
+            reserve = float(rng.uniform(0, 1)) < self.reserve_pool_fraction
+            label = f"reserve_{i}" if reserve else f"pool_{i}"
+            self._alloc(api, label, max(size, 4096))
+            if not reserve:
+                self.first_touch(api, label, fraction=0.75)
+            grown += size
+            i += 1
+        api.phase("build")
+
+    def access_stream(self, api: WorkloadAPI, n: int) -> np.ndarray:
+        parts = [
+            (size, access.pointer_chase(api.rng, base, size, n // 4 + 1, node=256))
+            for label, (base, size) in self.regions.items()
+            if label.startswith("pool")
+        ]
+        return access.mixture(api.rng, parts, n)

@@ -1,0 +1,48 @@
+"""CG.D — the NAS Parallel Benchmarks conjugate-gradient kernel (50GB).
+
+Sparse matrix-vector products: long sequential row sweeps with strided
+column gathers.  2MB pages remove most walk cycles; 1GB pages add little
+(one of the paper's unshaded applications).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import access
+from repro.workloads.base import Workload, WorkloadAPI, WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="CG",
+    paper_footprint_gb=50.0,
+    threads=36,
+    description="Conjugate Gradient from NAS Parallel Benchmarks (class D)",
+    cpi_base=45.0,
+    walk_exposure=0.5,
+    touches_per_page=60_000,
+    shaded=False,
+)
+
+
+class CG(Workload):
+    spec = SPEC
+
+    def setup(self, api: WorkloadAPI) -> None:
+        total = self.footprint_bytes
+        self._alloc(api, "matrix", int(total * 0.8))
+        self._alloc(api, "vectors", int(total * 0.2))
+        api.phase("alloc")
+        self.first_touch(api, "matrix")
+        self.first_touch(api, "vectors")
+        api.phase("init")
+
+    def access_stream(self, api: WorkloadAPI, n: int) -> np.ndarray:
+        mbase, msize = self._region("matrix")
+        vbase, vsize = self._region("vectors")
+        # Row sweeps stream; column gathers are skewed toward dense rows,
+        # so the hot vector pages fit the 2MB TLB (CG barely gains from 1GB).
+        parts = [
+            (0.65, access.sequential(mbase, msize, n, stride=64)),
+            (0.35, access.zipf(api.rng, vbase, vsize, n // 2 + 1, alpha=1.55)),
+        ]
+        return access.mixture(api.rng, parts, n)

@@ -1,0 +1,153 @@
+"""Graph workloads: Graph500 (BFS/SSSP) and GAPBS CC / BC / PR.
+
+Graph500 (63.5GB) is one of the paper's 1GB-sensitive applications and the
+Figure 3a/4a case study: construction allocates the edge list up front,
+builds the CSR incrementally, then frees the edge list — leaving the address
+space fragmented, with a hot ~800MB region that is 2MB- but not 1GB-mappable
+(the circled spike in Figure 4a).
+
+The GAPBS kernels CC, BC and PR (72GB) pre-allocate and then stream with
+good locality; 2MB pages already remove most walk cycles, so 1GB adds
+little (they are the unshaded applications in Figures 1-2; BC becomes
+slightly 1GB-sensitive only under virtualization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import access
+from repro.workloads.base import Workload, WorkloadAPI, WorkloadSpec
+
+
+class Graph500(Workload):
+    spec = WorkloadSpec(
+        name="Graph500",
+        paper_footprint_gb=63.5,
+        threads=36,
+        description="BFS and SSSP over undirected graphs",
+        cpi_base=120.0,
+        walk_exposure=0.33,
+        touches_per_page=25_000,
+        shaded=True,
+    )
+
+    def setup(self, api: WorkloadAPI) -> None:
+        total = self.footprint_bytes
+        # Phase 1: the edge list is generated into one big allocation.
+        self._alloc(api, "edges", int(total * 0.44))
+        self.first_touch(api, "edges")
+        api.phase("edge-gen")
+        # Phase 2: the CSR arrays are sized after the degree count and
+        # allocated in a few big chunks (Graph500 pre-allocates; Table 3:
+        # the fault handler alone maps 59 of 63.5GB with 1GB pages).  A
+        # couple of small helper arrays land between them, so the CSR
+        # extent boundaries are odd - some of it is only 2MB-mappable.
+        csr_target = int(total * 0.53)
+        self._alloc(api, "csr_index", int(csr_target * 0.3))
+        self._alloc(api, "helper", max(4096, int(total * 0.004)))
+        self._alloc(api, "csr_edges", int(csr_target * 0.7))
+        self.first_touch(api, "csr_index")
+        self.first_touch(api, "helper")
+        self.first_touch(api, "csr_edges")
+        api.phase("csr-build")
+        # Phase 3: BFS state: a hot ~800MB (paper scale) region allocated
+        # late at an unaligned size - the 1GB-unmappable spike of Figure 4a.
+        # A guard mapping (thread stack) separates it from the CSR extent so
+        # it cannot merge into a 1GB-mappable range.
+        self._alloc(api, "guard", 4096, kind="stack")
+        hot_size = max(4096, int(0.8 * (1 << 30)) // self.scale_factor)
+        self._alloc(api, "frontier", hot_size)
+        self.first_touch(api, "frontier")
+        api.phase("bfs-init")
+
+    def access_stream(self, api: WorkloadAPI, n: int) -> np.ndarray:
+        rng = api.rng
+        csr_parts = []
+        for label, (base, size) in self.regions.items():
+            if label.startswith("csr"):
+                csr_parts.append((size, access.uniform(rng, base, size, n // 4 + 1)))
+        fbase, fsize = self._region("frontier")
+        parts = csr_parts + [
+            # The 1GB-unmappable frontier is disproportionately hot
+            # (Figure 4a's circled spike).
+            (sum(w for w, _ in csr_parts) * 0.8, access.uniform(rng, fbase, fsize, n // 2 + 1)),
+        ]
+        return access.mixture(rng, parts, n)
+
+
+class _GAPBSKernel(Workload):
+    """Shared shape for CC / BC / PR: pre-allocated, streaming-friendly."""
+
+    #: weight of the random (irregular) component of the access mix
+    random_weight = 0.25
+
+    def setup(self, api: WorkloadAPI) -> None:
+        total = self.footprint_bytes
+        self._alloc(api, "graph", int(total * 0.75))
+        self._alloc(api, "scores", int(total * 0.25))
+        api.phase("alloc")
+        self.first_touch(api, "graph")
+        self.first_touch(api, "scores")
+        api.phase("init")
+
+    def access_stream(self, api: WorkloadAPI, n: int) -> np.ndarray:
+        gbase, gsize = self._region("graph")
+        sbase, ssize = self._region("scores")
+        # Streaming sweeps dominate; the irregular component is heavily
+        # skewed (frontier vertices are revisited), so a couple hundred 2MB
+        # entries already cover the hot set - 1GB pages add almost nothing.
+        parts = [
+            (1.0 - self.random_weight, access.sequential(gbase, gsize, n, stride=64)),
+            (
+                self.random_weight * 0.7,
+                access.zipf(api.rng, sbase, ssize, n // 2 + 1, alpha=1.6),
+            ),
+            (
+                self.random_weight * 0.3,
+                access.zipf(api.rng, gbase, gsize, n // 2 + 1, alpha=1.5),
+            ),
+        ]
+        return access.mixture(api.rng, parts, n)
+
+
+class CC(_GAPBSKernel):
+    spec = WorkloadSpec(
+        name="CC",
+        paper_footprint_gb=72.0,
+        threads=36,
+        description="GAPBS connected components",
+        cpi_base=55.0,
+        walk_exposure=0.5,
+        touches_per_page=60_000,
+        shaded=False,
+    )
+    random_weight = 0.22
+
+
+class BC(_GAPBSKernel):
+    spec = WorkloadSpec(
+        name="BC",
+        paper_footprint_gb=72.0,
+        threads=36,
+        description="GAPBS betweenness centrality",
+        cpi_base=60.0,
+        walk_exposure=0.5,
+        touches_per_page=60_000,
+        shaded=False,
+    )
+    random_weight = 0.3  # slightly more irregular: 1GB-sensitive under virt
+
+
+class PR(_GAPBSKernel):
+    spec = WorkloadSpec(
+        name="PR",
+        paper_footprint_gb=72.0,
+        threads=36,
+        description="GAPBS PageRank",
+        cpi_base=50.0,
+        walk_exposure=0.5,
+        touches_per_page=60_000,
+        shaded=False,
+    )
+    random_weight = 0.18

@@ -1,0 +1,53 @@
+"""GUPS — the HPCC RandomAccess microbenchmark.
+
+One pre-allocated 32GB table, uniformly random read-modify-write updates.
+The paper's biggest Trident winner (+47% over THP under no fragmentation,
++50% under fragmentation): the working set is the whole table, every update
+misses the caches *and* the 2MB TLB, and the table is fully 1GB-mappable
+from the very first fault.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import access
+from repro.workloads.base import Workload, WorkloadAPI, WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="GUPS",
+    paper_footprint_gb=32.0,
+    threads=1,
+    description="Irregular, memory-intensive microbenchmark (random updates)",
+    cpi_base=135.0,  # every update is a DRAM-latency dependent access
+    walk_exposure=1.0,  # almost nothing else to overlap the walk with
+    touches_per_page=60_000,
+    shaded=True,
+)
+
+
+class GUPS(Workload):
+    spec = SPEC
+
+    #: fraction of accesses to the stack (index arrays, RNG state); the
+    #: paper notes GUPS is sensitive to TLB misses on the stack, which
+    #: libhugetlbfs cannot back (Section 7).
+    stack_weight = 0.06
+
+    def setup(self, api: WorkloadAPI) -> None:
+        stack_size = max(4096, int(self.footprint_bytes * 0.04))
+        self._alloc(api, "stack", stack_size, kind="stack")
+        self.first_touch(api, "stack")
+        self._alloc(api, "table", self.footprint_bytes)
+        api.phase("alloc")
+        self.first_touch(api, "table")
+        api.phase("init")
+
+    def access_stream(self, api: WorkloadAPI, n: int) -> np.ndarray:
+        base, size = self._region("table")
+        sbase, ssize = self._region("stack")
+        parts = [
+            (1.0 - self.stack_weight, access.uniform(api.rng, base, size, n)),
+            (self.stack_weight, access.uniform(api.rng, sbase, ssize, n // 2 + 1)),
+        ]
+        return access.mixture(api.rng, parts, n)

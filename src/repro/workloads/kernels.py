@@ -1,0 +1,199 @@
+"""Structural workload kernels: real data structures over simulated memory.
+
+The registry workloads drive the TLB with *statistical* access models
+(uniform/zipf/chase), which is what the figures are calibrated on.  This
+module provides the structural alternative: actual data structures laid out
+in a simulated address range whose operations emit the exact
+virtual-address sequence the real benchmark's pointer graph would —
+B+tree descents visit root → inner → leaf, BFS walks row pointers and edge
+lists, a hash get walks bucket chains.
+
+They exist for two purposes:
+
+* validation — `examples/realistic_kernels.py` compares the TLB behaviour
+  of the statistical models against these structural streams;
+* building new workloads — a `Workload.access_stream` can return
+  `tree.lookup_stream(keys)` directly.
+
+No actual data is stored: the structures compute *addresses* only, which
+is all the simulator consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BPlusTree:
+    """A B+tree laid out in one address range, emitting lookup paths.
+
+    Nodes are fixed-size and allocated level by level (breadth-first), the
+    layout a bulk-loaded tree has.  A lookup emits one address per visited
+    node, root to leaf — the dependent chain that makes B+trees TLB-hostile.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        node_bytes: int = 256,
+        fanout: int = 16,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        if node_bytes <= 0 or size < node_bytes:
+            raise ValueError("region too small for a single node")
+        self.base = base
+        self.node_bytes = node_bytes
+        self.fanout = fanout
+        total_nodes = size // node_bytes
+        # Build level sizes top-down until we run out of nodes.
+        self.level_offsets: list[int] = []  # node index of each level's start
+        self.level_sizes: list[int] = []
+        level_size = 1
+        used = 0
+        while used + level_size <= total_nodes:
+            self.level_offsets.append(used)
+            self.level_sizes.append(level_size)
+            used += level_size
+            level_size *= fanout
+        if not self.level_sizes:
+            raise ValueError("region too small for a single node")
+        self.n_leaves = self.level_sizes[-1]
+
+    @property
+    def height(self) -> int:
+        return len(self.level_sizes)
+
+    def node_addr(self, level: int, index: int) -> int:
+        return self.base + (self.level_offsets[level] + index) * self.node_bytes
+
+    def lookup_path(self, key: int) -> list[int]:
+        """Addresses visited looking up ``key`` (root -> leaf)."""
+        leaf = key % self.n_leaves
+        path = []
+        for level in range(self.height):
+            # The ancestor of `leaf` at this level.
+            index = leaf // (self.fanout ** (self.height - 1 - level))
+            index %= self.level_sizes[level]
+            path.append(self.node_addr(level, index))
+        return path
+
+    def lookup_stream(self, keys: np.ndarray) -> np.ndarray:
+        """The concatenated address stream of many lookups."""
+        out = np.empty(len(keys) * self.height, dtype=np.int64)
+        pos = 0
+        for key in keys:
+            for addr in self.lookup_path(int(key)):
+                out[pos] = addr
+                pos += 1
+        return out
+
+
+class CSRGraph:
+    """A synthetic CSR graph: row pointers, edge array, visited bitmap.
+
+    Generates the address sequence of a BFS step: read ``row_ptr[v]`` and
+    ``row_ptr[v+1]``, scan that vertex's slice of ``col_idx``, and touch the
+    visited bitmap for each neighbour.  Degrees are synthetic (power-law-ish
+    via the rng) but the *layout* arithmetic is exactly CSR's.
+    """
+
+    ROW_BYTES = 8
+    EDGE_BYTES = 8
+
+    def __init__(
+        self,
+        row_base: int,
+        edge_base: int,
+        visited_base: int,
+        n_vertices: int,
+        avg_degree: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if n_vertices <= 1 or avg_degree < 1:
+            raise ValueError("need at least 2 vertices and degree >= 1")
+        self.row_base = row_base
+        self.edge_base = edge_base
+        self.visited_base = visited_base
+        self.n_vertices = n_vertices
+        degrees = rng.poisson(avg_degree, n_vertices).astype(np.int64) + 1
+        self.row_ptr = np.concatenate(([0], np.cumsum(degrees)))
+        self.n_edges = int(self.row_ptr[-1])
+        self.rng = rng
+
+    def vertex_step(self, v: int) -> np.ndarray:
+        """Addresses touched expanding vertex ``v``."""
+        start, end = int(self.row_ptr[v]), int(self.row_ptr[v + 1])
+        addrs = [
+            self.row_base + v * self.ROW_BYTES,
+            self.row_base + (v + 1) * self.ROW_BYTES,
+        ]
+        for e in range(start, end):
+            addrs.append(self.edge_base + e * self.EDGE_BYTES)
+            neighbour = int(
+                (e * 2654435761) % self.n_vertices
+            )  # deterministic pseudo-neighbour
+            addrs.append(self.visited_base + neighbour // 8)
+        return np.array(addrs, dtype=np.int64)
+
+    def bfs_stream(self, n_accesses: int, seed_vertex: int = 0) -> np.ndarray:
+        """A BFS-shaped stream of approximately ``n_accesses`` addresses."""
+        chunks = []
+        total = 0
+        v = seed_vertex % self.n_vertices
+        while total < n_accesses:
+            step = self.vertex_step(v)
+            chunks.append(step)
+            total += len(step)
+            # Next frontier vertex: pseudo-random neighbour.
+            v = int((v * 2654435761 + 1) % self.n_vertices)
+        return np.concatenate(chunks)[:n_accesses]
+
+
+class HashIndex:
+    """A chained hash index: bucket heads + entry chains + values.
+
+    A ``get`` reads the bucket head, walks a short chain of entries
+    (geometric chain lengths), then reads the value — a Redis/Memcached
+    lookup's address shape.
+    """
+
+    BUCKET_BYTES = 8
+    ENTRY_BYTES = 64
+
+    def __init__(
+        self,
+        bucket_base: int,
+        entry_base: int,
+        value_base: int,
+        n_buckets: int,
+        n_entries: int,
+        value_bytes: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if n_buckets < 1 or n_entries < 1:
+            raise ValueError("need at least one bucket and one entry")
+        self.bucket_base = bucket_base
+        self.entry_base = entry_base
+        self.value_base = value_base
+        self.n_buckets = n_buckets
+        self.n_entries = n_entries
+        self.value_bytes = value_bytes
+        self.rng = rng
+
+    def get_path(self, key: int) -> list[int]:
+        bucket = key % self.n_buckets
+        addrs = [self.bucket_base + bucket * self.BUCKET_BYTES]
+        # Chain walk: 1 + geometric(0.6) entries, scattered by hashing.
+        chain = 1 + min(3, int(self.rng.geometric(0.6)) - 1)
+        for i in range(chain):
+            entry = (key * 40503 + i * 2654435761) % self.n_entries
+            addrs.append(self.entry_base + entry * self.ENTRY_BYTES)
+        value = key % self.n_entries
+        addrs.append(self.value_base + value * self.value_bytes)
+        return addrs
+
+    def get_stream(self, keys: np.ndarray) -> np.ndarray:
+        chunks = [self.get_path(int(k)) for k in keys]
+        return np.array([a for chunk in chunks for a in chunk], dtype=np.int64)

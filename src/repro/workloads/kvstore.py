@@ -1,0 +1,118 @@
+"""Redis and Memcached — in-memory key-value stores.
+
+Both grow their heaps *incrementally* while inserting key-value pairs, so
+the page-fault handler can map almost nothing with 1GB pages (Table 3:
+Redis 0GB fault-only); khugepaged promotion over the merged heap extent is
+what eventually installs them (39GB for Redis).
+
+Redis additionally has a TLB-sensitive stack/metadata segment that
+libhugetlbfs cannot back (only heap/data segments are eligible), which is
+why THP and Trident beat 2MB-Hugetlbfs on Redis in Figure 1.  At simulation
+scale the real stack would be TLB-invisible, so the ``stack`` region here
+aggregates all non-hugetlbfs-backable hot segments (documented substitution,
+see DESIGN.md).
+
+Both serve *requests*; the experiment runner samples per-request latencies
+from these workloads for Table 5's p99.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import access
+from repro.workloads.base import Workload, WorkloadAPI, WorkloadSpec
+
+
+class _KVStore(Workload):
+    """Shared shape: incremental heap growth + request-driven access."""
+
+    #: zipf skew of the key popularity distribution
+    key_alpha = 1.2
+    #: fraction of accesses hitting the stack/metadata segment
+    stack_weight = 0.12
+    #: fraction of each live heap slab actually filled with live values
+    fill_fraction = 1.0
+    #: fraction of slabs that are pure arena slack: allocated by the slab
+    #: allocator but never holding a live item.  THP never maps them (no
+    #: faults land there); Trident's 1GB promotions cover them - the
+    #: granularity mismatch behind the paper's Section 7 bloat numbers.
+    arena_slack_fraction = 0.0
+    #: accesses per request (descriptor lookup + value read)
+    accesses_per_request = 4
+
+    def setup(self, api: WorkloadAPI) -> None:
+        total = self.footprint_bytes
+        stack_size = max(4096, int(total * 0.06))
+        self._alloc(api, "stack", stack_size, kind="stack")
+        self.first_touch(api, "stack")
+        rng = api.rng
+        # Insert phase: the heap grows one smallish slab at a time; slabs
+        # merge into one extent but individual faults only ever see a small
+        # mapped range, so large pages never apply at fault time.
+        heap_target = total - stack_size
+        slab = max(4096, (1 << 22) // 4)  # quarter of a scaled large page
+        grown = 0
+        i = 0
+        while grown < heap_target:
+            size = min(int(slab * float(rng.uniform(0.8, 1.2))), heap_target - grown)
+            size = max(size, 4096)
+            label = f"heap_{i}"
+            dead = float(rng.uniform(0, 1)) < self.arena_slack_fraction
+            if dead:
+                label = f"slack_{i}"
+            self._alloc(api, label, size)
+            if not dead:
+                self.first_touch(api, label, fraction=self.fill_fraction)
+            grown += size
+            i += 1
+        api.phase("insert")
+
+    def access_stream(self, api: WorkloadAPI, n: int) -> np.ndarray:
+        rng = api.rng
+        heap_parts = []
+        for label, (base, size) in self.regions.items():
+            if label.startswith("heap"):
+                heap_parts.append(
+                    (size, access.zipf(rng, base, size, n // 8 + 1, alpha=self.key_alpha))
+                )
+        sbase, ssize = self._region("stack")
+        total_heap_weight = sum(w for w, _ in heap_parts)
+        stack_w = total_heap_weight * self.stack_weight / (1 - self.stack_weight)
+        parts = heap_parts + [(stack_w, access.zipf(rng, sbase, ssize, n // 4 + 1, alpha=1.4))]
+        return access.mixture(rng, parts, n)
+
+
+class Redis(_KVStore):
+    spec = WorkloadSpec(
+        name="Redis",
+        paper_footprint_gb=43.6,
+        threads=1,
+        description="In-memory key-value store",
+        cpi_base=210.0,  # per-access cost including request processing
+        walk_exposure=0.38,
+        touches_per_page=30_000,
+        shaded=True,
+    )
+    key_alpha = 1.25
+    stack_weight = 0.15
+
+
+class Memcached(_KVStore):
+    spec = WorkloadSpec(
+        name="Memcached",
+        paper_footprint_gb=137.0,  # Table 3 footprint (79GB dataset + slabs)
+        threads=36,
+        description="In-memory key-value caching store",
+        cpi_base=190.0,
+        walk_exposure=0.40,
+        touches_per_page=15_000,
+        shaded=True,
+    )
+    key_alpha = 1.08  # caching tier: much flatter popularity
+    stack_weight = 0.05
+    #: slab allocator rounds up aggressively: ~70% of live-slab bytes hold
+    #: items, and ~28% of slabs are pure arena slack - together the origin
+    #: of Trident's 38GB Memcached bloat (Section 7).
+    fill_fraction = 0.70
+    arena_slack_fraction = 0.28

@@ -1,0 +1,71 @@
+"""Catalog of the 12 benchmarks (Table 2) with calibration notes.
+
+Calibration constants (``cpi_base``, ``walk_exposure``, ``touches_per_page``
+on each spec) were tuned once against the paper's Figure 1 shape and then
+frozen; they are *not* fitted per-experiment.  The guiding facts:
+
+==========  =====================================================================
+Workload    Why its constants look the way they do
+==========  =====================================================================
+XSBench     compute-heavy lookups: huge cpi, low exposure -> big walk-cycle
+            reduction, small (+4%) speedup
+SVM         moderately compute-bound; mixed pre-alloc/incremental VA layout
+Graph500    irregular BFS; hot 1GB-unmappable frontier (Figure 4a spike)
+CC/BC/PR    streaming GAPBS kernels: low cpi, low randomness -> 2MB suffices
+CG          strided sparse matvec: same class as GAPBS
+Btree       dependent descents: high exposure, incremental allocation only
+GUPS        pure dependent random updates: cpi ~ DRAM latency, exposure ~1
+Redis       request processing dominates cpi; stack segment hot; incremental
+Memcached   flatter key popularity; slab fill ~55% (bloat source)
+Canneal     dependent hops over whole netlist: biggest 1GB win
+==========  =====================================================================
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.btree import Btree
+from repro.workloads.canneal import Canneal
+from repro.workloads.cg import CG
+from repro.workloads.graph import BC, CC, PR, Graph500
+from repro.workloads.gups import GUPS
+from repro.workloads.kvstore import Memcached, Redis
+from repro.workloads.svm import SVM
+from repro.workloads.xsbench import XSBench
+
+#: name -> workload class, Table 2 order
+REGISTRY: dict[str, type[Workload]] = {
+    cls.spec.name: cls
+    for cls in (
+        XSBench,
+        SVM,
+        Graph500,
+        CC,
+        BC,
+        PR,
+        CG,
+        Btree,
+        GUPS,
+        Redis,
+        Memcached,
+        Canneal,
+    )
+}
+
+#: the paper's eight 1GB-sensitive ("shaded") applications
+SHADED_EIGHT: tuple[str, ...] = tuple(
+    name for name, cls in REGISTRY.items() if cls.spec.shaded
+)
+
+ALL_WORKLOADS: tuple[str, ...] = tuple(REGISTRY)
+
+
+def get_workload(name: str, scale_factor: int | None = None) -> Workload:
+    """Instantiate a workload by its Table 2 name."""
+    try:
+        cls = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(REGISTRY)}"
+        ) from None
+    return cls() if scale_factor is None else cls(scale_factor)

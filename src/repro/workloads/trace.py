@@ -1,0 +1,172 @@
+"""Trace export/replay: capture a workload's behaviour for reuse.
+
+A recorded trace freezes both sides of a workload — its allocation script
+(the mmap/munmap sequence with sizes and kinds) and an access stream — so a
+run can be replayed exactly on any policy without re-generating randomness,
+shared with others as an ``.npz`` file, or hand-edited to build targeted
+microbenchmarks.
+
+    from repro.workloads.trace import record_trace, TraceWorkload
+
+    trace = record_trace("GUPS", n_accesses=100_000)
+    trace.save("gups.npz")
+    ...
+    workload = TraceWorkload(Trace.load("gups.npz"))
+    metrics = NativeRunner(RunConfig(...)).run()  # via a registry hook
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.vm.addrspace import AddressSpace
+from repro.workloads.base import Workload, WorkloadAPI
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class Trace:
+    """One frozen workload run: allocation ops + access stream."""
+
+    workload: str
+    #: (op, arg1, arg2): ("mmap", size, kind_index) / ("munmap", addr_index, 0)
+    #: / ("phase", label_index, 0).  Addresses are referenced by the index of
+    #: the mmap that created them, so replay is layout-independent.
+    ops: list[tuple[str, int, int]]
+    kinds: list[str]
+    labels: list[str]
+    accesses: np.ndarray  # offsets are absolute VAs from the recording run
+    #: base address of the recording's first mmap, to rebase accesses
+    base_va: int
+
+    def save(self, path: str) -> None:
+        np.savez_compressed(
+            path,
+            workload=np.array([self.workload]),
+            op_names=np.array([op for op, _, _ in self.ops]),
+            op_a=np.array([a for _, a, _ in self.ops], dtype=np.int64),
+            op_b=np.array([b for _, _, b in self.ops], dtype=np.int64),
+            kinds=np.array(self.kinds),
+            labels=np.array(self.labels if self.labels else [""]),
+            accesses=self.accesses,
+            base_va=np.array([self.base_va], dtype=np.int64),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        data = np.load(path, allow_pickle=False)
+        ops = [
+            (str(op), int(a), int(b))
+            for op, a, b in zip(data["op_names"], data["op_a"], data["op_b"])
+        ]
+        labels = [str(x) for x in data["labels"]]
+        if labels == [""]:
+            labels = []
+        return cls(
+            workload=str(data["workload"][0]),
+            ops=ops,
+            kinds=[str(k) for k in data["kinds"]],
+            labels=labels,
+            accesses=data["accesses"],
+            base_va=int(data["base_va"][0]),
+        )
+
+
+class _RecordingAPI:
+    """WorkloadAPI that records every operation without simulating."""
+
+    def __init__(self, seed: int, geometry) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.aspace = AddressSpace(geometry)
+        self.ops: list[tuple[str, int, int]] = []
+        self.kinds: list[str] = []
+        self.labels: list[str] = []
+        self._mmap_index_of_addr: dict[int, int] = {}
+        self._mmap_count = 0
+        self.touched: list[np.ndarray] = []
+
+    def _kind_index(self, kind: str) -> int:
+        if kind not in self.kinds:
+            self.kinds.append(kind)
+        return self.kinds.index(kind)
+
+    def mmap(self, nbytes: int, kind: str = "heap") -> int:
+        addr = self.aspace.mmap(nbytes, name=kind).start
+        self.ops.append(("mmap", nbytes, self._kind_index(kind)))
+        self._mmap_index_of_addr[addr] = self._mmap_count
+        self._mmap_count += 1
+        return addr
+
+    def munmap(self, addr: int) -> None:
+        index = self._mmap_index_of_addr[addr]
+        self.ops.append(("munmap", index, 0))
+        self.aspace.munmap(addr)
+
+    def touch(self, addresses: np.ndarray) -> None:
+        self.touched.append(np.asarray(addresses, dtype=np.int64))
+
+    def phase(self, label: str) -> None:
+        self.labels.append(label)
+        self.ops.append(("phase", len(self.labels) - 1, 0))
+
+
+def record_trace(
+    workload_name: str, n_accesses: int = 50_000, seed: int = 7
+) -> Trace:
+    """Run a workload's setup + stream against a recorder; return the trace."""
+    from repro.config import SCALED_GEOMETRY
+
+    workload = get_workload(workload_name)
+    api = _RecordingAPI(seed, SCALED_GEOMETRY)
+    workload.setup(api)
+    stream = workload.access_stream(api, n_accesses)
+    setup_touches = (
+        np.concatenate(api.touched) if api.touched else np.empty(0, np.int64)
+    )
+    accesses = np.concatenate([setup_touches, np.asarray(stream, np.int64)])
+    base_va = AddressSpace.MMAP_BASE
+    return Trace(
+        workload=workload_name,
+        ops=api.ops,
+        kinds=api.kinds,
+        labels=api.labels,
+        accesses=accesses,
+        base_va=base_va,
+    )
+
+
+class TraceWorkload(Workload):
+    """A Workload that replays a recorded trace deterministically.
+
+    Replay re-issues the recorded mmap/munmap sequence; because the
+    first-fit allocator is deterministic, addresses land where they did at
+    record time and the absolute access stream stays valid.
+    """
+
+    def __init__(self, trace: Trace, scale_factor: int = 1) -> None:
+        source = get_workload(trace.workload)
+        self.spec = source.spec
+        super().__init__(source.scale_factor)
+        self.trace = trace
+        self._addrs: list[int] = []
+
+    @property
+    def footprint_bytes(self) -> int:
+        return sum(size for op, size, _ in self.trace.ops if op == "mmap")
+
+    def setup(self, api: WorkloadAPI) -> None:
+        for op, a, b in self.trace.ops:
+            if op == "mmap":
+                self._addrs.append(api.mmap(a, self.trace.kinds[b]))
+            elif op == "munmap":
+                api.munmap(self._addrs[a])
+            elif op == "phase":
+                api.phase(self.trace.labels[a])
+
+    def access_stream(self, api: WorkloadAPI, n: int) -> np.ndarray:
+        stream = self.trace.accesses
+        if n >= len(stream):
+            return stream
+        return stream[-n:]  # the steady-state tail

@@ -1,0 +1,49 @@
+"""XSBench — Monte Carlo neutron-transport cross-section lookups.
+
+Pre-allocates three big arrays (unionized energy grid, nuclide grids,
+concentration data) totalling 117GB and performs random lookups into them.
+Highly TLB-sensitive but also compute/cache-heavy per lookup, so walk-cycle
+reductions translate into modest speedups (the paper: +4.1% over THP).
+Pre-allocation in huge chunks means the fault handler alone maps nearly
+everything with 1GB pages (Table 3: 114 of 117GB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import access
+from repro.workloads.base import Workload, WorkloadAPI, WorkloadSpec
+
+SPEC = WorkloadSpec(
+    name="XSBench",
+    paper_footprint_gb=117.0,
+    threads=36,
+    description="Monte Carlo particle transport for nuclear reactors",
+    cpi_base=420.0,  # each lookup does real FLOP work + cache misses
+    walk_exposure=0.30,  # lookups are independent; OoO overlaps walks well
+    touches_per_page=12_000,
+    shaded=True,
+)
+
+
+class XSBench(Workload):
+    spec = SPEC
+
+    # Array split mirrors XSBench's main allocations.
+    _FRACTIONS = (("unionized_grid", 0.58), ("nuclide_grids", 0.36), ("index", 0.06))
+
+    def setup(self, api: WorkloadAPI) -> None:
+        for label, fraction in self._FRACTIONS:
+            self._alloc(api, label, max(4096, int(self.footprint_bytes * fraction)))
+        api.phase("alloc")
+        for label, _ in self._FRACTIONS:
+            self.first_touch(api, label)
+        api.phase("init")
+
+    def access_stream(self, api: WorkloadAPI, n: int) -> np.ndarray:
+        parts = []
+        for (label, fraction), weight in zip(self._FRACTIONS, (0.55, 0.4, 0.05)):
+            base, size = self._region(label)
+            parts.append((weight, access.uniform(api.rng, base, size, n)))
+        return access.mixture(api.rng, parts, n)

@@ -1,0 +1,83 @@
+"""Tests for the Ingens utilization-threshold baseline."""
+
+from repro.config import PageSize, default_machine
+from repro.core.ingens import IngensPolicy
+from repro.core.thp import THPPolicy
+from repro.sim.system import System
+
+G = default_machine(16).geometry
+BASE, MID = G.base_size, G.mid_size
+
+
+def make(policy):
+    system = System(default_machine(16), policy, seed=3)
+    return system, system.create_process("t")
+
+
+def grow_base_pages(system, p, n_pages, touch_fraction=1.0):
+    """Grow a heap one base page at a time; touch a fraction repeatedly."""
+    addrs = []
+    for _ in range(n_pages):
+        a = system.sys_mmap(p, BASE)
+        addrs.append(a)
+    hot = addrs[: int(len(addrs) * touch_fraction)]
+    for _ in range(3):
+        for a in hot:
+            system.touch(p, a)
+    return addrs
+
+
+class TestIngens:
+    def test_full_hot_region_promotes(self):
+        system, p = make(IngensPolicy)
+        grow_base_pages(system, p, 2 * G.frames_per_mid, touch_fraction=1.0)
+        system.settle_until_quiet(budget_ns=1e9)
+        assert p.pagetable.count(PageSize.MID) >= 1
+
+    def test_sparse_region_not_promoted(self):
+        system, p = make(IngensPolicy)
+        # Map only 30% of each mid slot's pages: below the 90% threshold.
+        for slot in range(4):
+            base_va = None
+            for i in range(G.frames_per_mid):
+                a = system.sys_mmap(p, BASE)
+                if i < G.frames_per_mid * 3 // 10:
+                    system.touch(p, a)
+        system.settle(20, budget_ns=1e9)
+        assert p.pagetable.count(PageSize.MID) == 0
+
+    def test_thp_promotes_where_ingens_declines(self):
+        """The bloat trade: one present page is enough for THP, not Ingens."""
+        results = {}
+        for name, policy in (("thp", THPPolicy), ("ingens", IngensPolicy)):
+            system, p = make(policy)
+            # One page present per mid slot.
+            for _ in range(4):
+                a = system.sys_mmap(p, MID)  # VMA big enough for a mid slot
+                # fault once at one base page via a tiny adjacent vma trick:
+            # Simpler: allocate base pages sparsely across a merged extent.
+            system2, p2 = make(policy)
+            addrs = []
+            for i in range(2 * G.frames_per_mid):
+                a = system2.sys_mmap(p2, BASE)
+                addrs.append(a)
+            for a in addrs[:: G.frames_per_mid]:  # one page per slot
+                system2.touch(p2, a)
+            system2.settle(30, budget_ns=1e9)
+            results[name] = p2.pagetable.count(PageSize.MID)
+        assert results["thp"] >= 1
+        assert results["ingens"] == 0
+
+    def test_ingens_bloat_lower_than_thp(self):
+        bloat = {}
+        for name, policy in (("thp", THPPolicy), ("ingens", IngensPolicy)):
+            system, p = make(policy)
+            addrs = []
+            for i in range(2 * G.frames_per_mid):
+                a = system.sys_mmap(p, BASE)
+                addrs.append(a)
+            for a in addrs[::4]:  # 25% populated
+                system.touch(p, a)
+            system.settle(30, budget_ns=1e9)
+            bloat[name] = p.bloat_bytes
+        assert bloat["ingens"] <= bloat["thp"]

@@ -1,0 +1,98 @@
+"""Tests for the madvise(MADV_HUGEPAGE) explicit mechanism."""
+
+import pytest
+
+from repro.config import PageSize, default_machine
+from repro.core.madvise import MADV_HUGEPAGE, MADV_NOHUGEPAGE, MadvisePolicy
+from repro.sim.system import System
+
+G = default_machine(16).geometry
+BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+
+
+def make():
+    system = System(default_machine(16), MadvisePolicy, seed=3)
+    return system, system.create_process("t")
+
+
+class TestMadvise:
+    def test_unadvised_range_gets_base_pages(self):
+        system, p = make()
+        addr = system.sys_mmap(p, 2 * LARGE)
+        system.touch(p, addr)
+        assert p.pagetable.translate(addr).page_size == PageSize.BASE
+
+    def test_advised_range_gets_large_pages(self):
+        system, p = make()
+        addr = system.sys_mmap(p, 2 * LARGE)
+        system.policy.sys_madvise(p, addr, 2 * LARGE, MADV_HUGEPAGE)
+        system.touch(p, addr)
+        assert p.pagetable.translate(addr).page_size == PageSize.LARGE
+
+    def test_nohugepage_unmarks(self):
+        system, p = make()
+        addr = system.sys_mmap(p, 2 * LARGE)
+        system.policy.sys_madvise(p, addr, 2 * LARGE, MADV_HUGEPAGE)
+        system.policy.sys_madvise(p, addr, 2 * LARGE, MADV_NOHUGEPAGE)
+        system.touch(p, addr)
+        assert p.pagetable.translate(addr).page_size == PageSize.BASE
+
+    def test_advice_is_range_scoped(self):
+        system, p = make()
+        addr = system.sys_mmap(p, 2 * LARGE)
+        system.policy.sys_madvise(p, addr, LARGE, MADV_HUGEPAGE)
+        system.touch(p, addr)  # inside the advice
+        system.touch(p, addr + LARGE)  # outside
+        assert p.pagetable.translate(addr).page_size == PageSize.LARGE
+        assert p.pagetable.translate(addr + LARGE).page_size == PageSize.BASE
+
+    def test_promotion_respects_advice(self):
+        system, p = make()
+        # Build a base-mapped advised range by touching before advising.
+        addr = system.sys_mmap(p, LARGE)
+        for off in range(0, LARGE, BASE):
+            system.touch(p, addr + off)
+        assert p.pagetable.count(PageSize.LARGE) == 0
+        system.settle(20, budget_ns=1e9)
+        assert p.pagetable.count(PageSize.LARGE) == 0  # unadvised: never
+        system.policy.sys_madvise(p, addr, LARGE, MADV_HUGEPAGE)
+        system.settle_until_quiet(budget_ns=1e9)
+        assert p.pagetable.count(PageSize.LARGE) == 1
+
+    def test_adjacent_advice_coalesces(self):
+        system, p = make()
+        addr = system.sys_mmap(p, 2 * LARGE)
+        system.policy.sys_madvise(p, addr, LARGE, MADV_HUGEPAGE)
+        system.policy.sys_madvise(p, addr + LARGE, LARGE, MADV_HUGEPAGE)
+        assert system.policy.is_advised(p, addr, 2 * LARGE)
+
+    def test_bad_advice_rejected(self):
+        system, p = make()
+        addr = system.sys_mmap(p, LARGE)
+        with pytest.raises(ValueError):
+            system.policy.sys_madvise(p, addr, LARGE, 99)
+
+    def test_madvise_oracle_between_4k_and_trident(self):
+        """Advising only half the footprint lands between 4KB and Trident."""
+        from repro.core.baseline4k import Baseline4KPolicy
+        from repro.core.trident import TridentPolicy
+
+        def walks(policy_factory, advise_fraction=None):
+            system = System(default_machine(24), policy_factory, seed=6)
+            p = system.create_process("t")
+            addr = system.sys_mmap(p, 4 * LARGE)
+            if advise_fraction is not None:
+                system.policy.sys_madvise(
+                    p, addr, int(4 * LARGE * advise_fraction), MADV_HUGEPAGE
+                )
+            import numpy as np
+
+            rng = np.random.default_rng(0)
+            vas = addr + rng.integers(0, 4 * LARGE, 20_000)
+            system.touch_batch(p, vas)
+            return p.tlb.stats.walk_cycles
+
+        w4k = walks(Baseline4KPolicy)
+        whalf = walks(MadvisePolicy, advise_fraction=0.5)
+        wtri = walks(TridentPolicy)
+        assert wtri < whalf < w4k

@@ -1,0 +1,82 @@
+"""Memory-pressure demotion: huge pages never cause avoidable OOMs."""
+
+import pytest
+
+from repro.config import PageSize, default_machine
+from repro.core.baseline4k import Baseline4KPolicy
+from repro.core.trident import TridentPolicy
+from repro.sim.system import System
+
+G = default_machine(8).geometry
+BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+
+
+def make(regions=8):
+    system = System(default_machine(regions), TridentPolicy, seed=2)
+    return system, system.create_process("t")
+
+
+class TestPressureDemotion:
+    def test_bloated_large_pages_shed_under_pressure(self):
+        system, p = make(regions=8)
+        # Fill most memory with large pages, each touched on one page only.
+        addr = system.sys_mmap(p, 7 * LARGE)
+        for off in range(0, 7 * LARGE, LARGE):
+            system.touch(p, addr + off)
+        assert p.pagetable.count(PageSize.LARGE) >= 6
+        # Another process needs lots of base pages: without demotion this
+        # would OOM; with it, dead frames inside the bloat get freed.
+        q = system.create_process("q")
+        # Page-at-a-time mmaps with interleaved touches: only base pages
+        # ever apply, so every fault needs an order-0 frame.
+        for _ in range(G.frames_per_large):
+            qaddr = system.sys_mmap(q, BASE, kind="stack")
+            system.touch(q, qaddr)
+        assert q.pagetable.count(PageSize.BASE) == G.frames_per_large
+        assert system.policy.stats.demoted[PageSize.LARGE] >= 1
+        system.buddy.check_invariants()
+
+    def test_touched_pages_survive_demotion(self):
+        system, p = make(regions=8)
+        addr = system.sys_mmap(p, 7 * LARGE)
+        for off in range(0, 7 * LARGE, LARGE):
+            system.touch(p, addr + off)  # one touched page per large page
+            system.touch(p, addr + off + 5 * BASE)  # and another
+        pfn_before = p.pagetable.translate(addr).pfn
+        q = system.create_process("q")
+        for _ in range(G.frames_per_large):
+            qaddr = system.sys_mmap(q, BASE, kind="stack")
+            system.touch(q, qaddr)
+        # The demoted process's touched addresses are still mapped, in
+        # place, on their original frames.
+        m = p.pagetable.translate(addr)
+        assert m is not None
+        if m.page_size == PageSize.BASE:
+            assert m.pfn == pfn_before
+        m2 = p.pagetable.translate(addr + 5 * BASE)
+        assert m2 is not None
+
+    def test_live_huge_pages_not_demoted(self):
+        system, p = make(regions=8)
+        addr = system.sys_mmap(p, 2 * LARGE)
+        # Touch every page: fully live, must never be split for pressure.
+        for off in range(0, 2 * LARGE, BASE):
+            system.touch(p, addr + off)
+        q = system.create_process("q")
+        qaddr = system.sys_mmap(q, 4 * LARGE, kind="stack")
+        filled = 0
+        try:
+            for off in range(0, 4 * LARGE, BASE):
+                system.touch(q, qaddr + off)
+                filled += 1
+        except Exception:
+            pass  # genuine OOM is acceptable here; splitting live pages is not
+        assert p.pagetable.count(PageSize.LARGE) == 2
+        assert system.policy.stats.demoted[PageSize.LARGE] == 0
+
+    def test_baseline_unaffected(self):
+        system = System(default_machine(8), Baseline4KPolicy, seed=1)
+        p = system.create_process("t")
+        addr = system.sys_mmap(p, MID)
+        system.touch(p, addr)
+        assert system.policy.stats.demoted[PageSize.LARGE] == 0

@@ -1,0 +1,53 @@
+"""Unit tests for the reverse map."""
+
+import pytest
+
+from repro.core.rmap import ReverseMap
+
+
+class SpyOwner:
+    def __init__(self):
+        self.calls = []
+
+    def relocate(self, old, new, order):
+        self.calls.append((old, new, order))
+
+
+class TestReverseMap:
+    def test_register_lookup_unregister(self):
+        rmap = ReverseMap()
+        owner = SpyOwner()
+        rmap.register(10, 2, owner)
+        assert rmap.lookup(10) == (2, owner)
+        assert len(rmap) == 1
+        rmap.unregister(10)
+        assert rmap.lookup(10) is None
+        assert len(rmap) == 0
+
+    def test_double_register_rejected(self):
+        rmap = ReverseMap()
+        rmap.register(5, 0, SpyOwner())
+        with pytest.raises(ValueError):
+            rmap.register(5, 0, SpyOwner())
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            ReverseMap().unregister(1)
+
+    def test_moved_repoints_and_notifies(self):
+        rmap = ReverseMap()
+        owner = SpyOwner()
+        rmap.register(10, 3, owner)
+        rmap.moved(10, 42)
+        assert rmap.lookup(10) is None
+        assert rmap.lookup(42) == (3, owner)
+        assert owner.calls == [(10, 42, 3)]
+
+    def test_distinct_pfns_independent(self):
+        rmap = ReverseMap()
+        a, b = SpyOwner(), SpyOwner()
+        rmap.register(1, 0, a)
+        rmap.register(2, 0, b)
+        rmap.moved(1, 9)
+        assert rmap.lookup(2) == (0, b)
+        assert not b.calls

@@ -1,0 +1,198 @@
+"""Smoke and shape tests for the experiment harness (reduced sizes)."""
+
+import os
+
+import pytest
+
+from repro.experiments.configs import POLICY_CONFIGS, policy_factory
+from repro.experiments.report import format_table, geomean, write_csv
+from repro.experiments.runner import (
+    NativeRunner,
+    RunConfig,
+    VirtRunConfig,
+    VirtRunner,
+)
+
+
+class TestConfigs:
+    def test_all_paper_configs_present(self):
+        for name in (
+            "4KB",
+            "2MB-THP",
+            "2MB-Hugetlbfs",
+            "1GB-Hugetlbfs",
+            "HawkEye",
+            "Trident",
+            "Trident-1Gonly",
+            "Trident-NC",
+            "Trident-PFonly",
+        ):
+            assert name in POLICY_CONFIGS
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            policy_factory("nope")
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        rows = [{"a": 1, "bb": 2.5}, {"a": 10, "bb": 0.125}]
+        text = format_table(rows, "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([], "T")
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv([{"x": 1, "y": 2}], "t", directory=str(tmp_path))
+        assert os.path.exists(path)
+        content = open(path).read()
+        assert "x,y" in content and "1,2" in content
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+
+class TestNativeRunner:
+    def test_small_run_produces_metrics(self):
+        m = NativeRunner(
+            RunConfig("GUPS", "Trident", n_accesses=3000, machine_regions=48)
+        ).run()
+        assert m.accesses == 3000
+        assert m.walk_cycles >= 0
+        assert m.policy == "Trident"
+        assert m.mapped_bytes_by_size is not None
+
+    def test_machine_defaults_to_testbed_size(self):
+        runner = NativeRunner(RunConfig("GUPS", "4KB", n_accesses=10))
+        assert runner.machine.n_large_regions == NativeRunner.TESTBED_REGIONS
+
+    def test_fragmented_run(self):
+        m = NativeRunner(
+            RunConfig(
+                "GUPS",
+                "Trident",
+                fragmented=True,
+                n_accesses=3000,
+                machine_regions=64,
+            )
+        ).run()
+        assert m.fault_large_attempts >= 1
+
+    def test_request_recording(self):
+        m = NativeRunner(
+            RunConfig(
+                "Redis",
+                "2MB-THP",
+                n_accesses=2000,
+                machine_regions=96,
+                record_requests=True,
+            )
+        ).run()
+        assert m.request_latencies_ns
+        assert m.percentile_latency_ns(99) >= m.percentile_latency_ns(50)
+
+    def test_scanner_samples_phases(self):
+        runner = NativeRunner(
+            RunConfig("GUPS", "Trident", n_accesses=1000, machine_regions=48)
+        )
+        runner.run()
+        labels = [s[0] for s in runner.scanner.samples]
+        assert "alloc" in labels and "init" in labels
+
+
+class TestVirtRunner:
+    def test_small_virt_run(self):
+        m = VirtRunner(
+            VirtRunConfig(
+                "GUPS", "Trident", "Trident", n_accesses=3000, guest_regions=48
+            )
+        ).run()
+        assert m.accesses == 3000
+        assert m.policy == "Trident+Trident"
+
+    def test_pv_label(self):
+        runner = VirtRunner(
+            VirtRunConfig(
+                "GUPS",
+                "Trident",
+                "Trident",
+                pv=True,
+                n_accesses=100,
+                guest_regions=48,
+            )
+        )
+        assert runner._label() == "Trident-pv+Trident"
+
+    def test_guest_smaller_than_host(self):
+        runner = VirtRunner(
+            VirtRunConfig("GUPS", "4KB", "4KB", n_accesses=10, guest_regions=48)
+        )
+        assert (
+            runner.vm.host.machine.total_bytes
+            > runner.vm.guest.machine.total_bytes
+        )
+
+
+class TestCrossPolicyShapes:
+    """The paper's core orderings at smoke-test scale."""
+
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        out = {}
+        for policy in ("4KB", "2MB-THP", "Trident"):
+            out[policy] = NativeRunner(
+                RunConfig("GUPS", policy, n_accesses=25_000, machine_regions=64)
+            ).run()
+        return out
+
+    def test_walk_cycles_strictly_improve(self, metrics):
+        assert (
+            metrics["Trident"].walk_cycles_per_access
+            < metrics["2MB-THP"].walk_cycles_per_access
+            < metrics["4KB"].walk_cycles_per_access
+        )
+
+    def test_performance_ordering(self, metrics):
+        base = metrics["4KB"]
+        assert metrics["Trident"].speedup_over(base) > metrics[
+            "2MB-THP"
+        ].speedup_over(base) > 1.0
+
+    def test_trident_maps_large(self, metrics):
+        from repro.config import PageSize
+
+        assert metrics["Trident"].mapped_bytes_by_size[PageSize.LARGE] > 0
+        assert metrics["2MB-THP"].mapped_bytes_by_size[PageSize.LARGE] == 0
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        from repro.experiments.report import bar_chart
+
+        rows = [
+            {"workload": "A", "perf:x": 1.0, "perf:y": 2.0},
+            {"workload": "B", "perf:x": 0.5, "perf:y": 1.5},
+        ]
+        chart = bar_chart(rows, "workload", ["perf:x", "perf:y"], "T", width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        # The peak (2.0) fills the full width.
+        assert "#" * 10 in chart
+        assert "2.000" in chart and "0.500" in chart
+
+    def test_empty_rows(self):
+        from repro.experiments.report import bar_chart
+
+        assert "(no rows)" in bar_chart([], "x", ["y"], "T")
+
+    def test_missing_keys_skipped(self):
+        from repro.experiments.report import bar_chart
+
+        rows = [{"workload": "A", "perf:x": 1.0}]
+        chart = bar_chart(rows, "workload", ["perf:x", "perf:missing"])
+        assert "perf:missing" not in chart

@@ -1,0 +1,14 @@
+"""Heat-ordered Trident extension: reduced-size shape check."""
+
+from repro.experiments.extension_heat import run
+
+
+class TestHeatExtension:
+    def test_heat_helps_when_daemon_cpu_scarce(self):
+        rows = run(workloads=("Canneal",), n_accesses=20_000)
+        row = rows[0]
+        # Scarce regime: heat ordering never hurts and usually helps.
+        assert row["scarce:heat_vs_trident"] > 0.97
+        assert row["scarce:walk_cpa_heat"] <= row["scarce:walk_cpa_trident"] * 1.05
+        # Ample regime: both converge; no meaningful difference.
+        assert abs(row["ample:heat_vs_trident"] - 1.0) < 0.03

@@ -1,0 +1,40 @@
+"""run_all registry and selection."""
+
+from repro.experiments.run_all import MODULES, main
+
+
+class TestRunAll:
+    def test_every_figure_and_table_registered(self):
+        names = {name for name, _ in MODULES}
+        for required in (
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "table3",
+            "table4",
+            "figure7",
+            "figure9",
+            "figure10",
+            "figure11",
+            "figure12",
+            "figure13",
+            "table5",
+            "latency_micro",
+            "bloat",
+            "kernel_directmap",
+            "extension_5level",
+            "figure2_full",
+            "sensitivity",
+        ):
+            assert required in names, required
+
+    def test_modules_expose_main(self):
+        for name, module in MODULES:
+            assert callable(getattr(module, "main")), name
+
+    def test_selection_runs_only_named(self, capsys):
+        main(["latency_micro"])
+        out = capsys.readouterr().out
+        assert "latency_micro" in out
+        assert "=== figure1 ===" not in out

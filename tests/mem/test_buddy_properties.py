@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the buddy allocator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.mem.buddy import BuddyAllocator, OutOfMemoryError
+
+TOTAL = 256
+MAX_ORDER = 6
+
+
+class BuddyMachine(RuleBasedStateMachine):
+    """Random alloc/free/alloc_at sequences preserve all invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.buddy = BuddyAllocator(TOTAL, MAX_ORDER)
+        self.live: list[int] = []
+
+    @rule(order=st.integers(0, MAX_ORDER), movable=st.booleans())
+    def alloc(self, order, movable):
+        pfn = self.buddy.try_alloc(order, movable)
+        if pfn is not None:
+            assert pfn % (1 << order) == 0
+            self.live.append(pfn)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        idx = data.draw(st.integers(0, len(self.live) - 1))
+        self.buddy.free(self.live.pop(idx))
+
+    @rule(pfn=st.integers(0, TOTAL - 1), order=st.integers(0, 3))
+    def alloc_at(self, pfn, order):
+        pfn &= ~((1 << order) - 1)
+        try:
+            self.buddy.alloc_at(pfn, order)
+            self.live.append(pfn)
+        except ValueError:
+            pass  # occupied or misaligned: rejection is the contract
+
+    @invariant()
+    def counters_consistent(self):
+        live_frames = sum(1 << self.buddy.allocation_at(p)[0] for p in self.live)
+        assert self.buddy.used_frames == live_frames
+        assert self.buddy.free_frames == TOTAL - live_frames
+
+    @invariant()
+    def full_check(self):
+        self.buddy.check_invariants()
+
+
+TestBuddyMachine = BuddyMachine.TestCase
+TestBuddyMachine.settings = settings(max_examples=30, stateful_step_count=40)
+
+
+@given(
+    orders=st.lists(st.integers(0, MAX_ORDER), min_size=1, max_size=60),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=50)
+def test_alloc_all_then_free_all_restores_pristine_state(orders, seed):
+    import random
+
+    rng = random.Random(seed)
+    buddy = BuddyAllocator(TOTAL, MAX_ORDER)
+    live = []
+    for order in orders:
+        pfn = buddy.try_alloc(order)
+        if pfn is not None:
+            live.append(pfn)
+    rng.shuffle(live)
+    for pfn in live:
+        buddy.free(pfn)
+    assert buddy.free_frames == TOTAL
+    assert buddy.free_blocks(MAX_ORDER) == TOTAL >> MAX_ORDER
+    buddy.check_invariants()
+
+
+@given(orders=st.lists(st.integers(0, MAX_ORDER), min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_allocations_never_overlap(orders):
+    buddy = BuddyAllocator(TOTAL, MAX_ORDER)
+    taken = set()
+    for order in orders:
+        pfn = buddy.try_alloc(order)
+        if pfn is None:
+            continue
+        frames = set(range(pfn, pfn + (1 << order)))
+        assert not frames & taken
+        taken |= frames
+
+
+@given(st.integers(0, MAX_ORDER))
+def test_oom_raises_only_when_truly_full(order):
+    buddy = BuddyAllocator(TOTAL, MAX_ORDER)
+    count = 0
+    try:
+        while True:
+            buddy.alloc(order)
+            count += 1
+    except OutOfMemoryError:
+        pass
+    assert count == TOTAL >> order
+    assert not buddy.has_free_block(order)

@@ -1,0 +1,96 @@
+"""End-to-end integration tests: full pipelines at small scale.
+
+These exercise the exact paths the figure regenerators use, asserting the
+paper's key orderings on tiny inputs so they run in CI time.
+"""
+
+import pytest
+
+from repro.config import PageSize
+from repro.experiments.runner import NativeRunner, RunConfig, VirtRunConfig, VirtRunner
+
+
+def native(workload, policy, **kw):
+    kw.setdefault("n_accesses", 12_000)
+    kw.setdefault("machine_regions", 96)
+    return NativeRunner(RunConfig(workload, policy, **kw)).run()
+
+
+class TestNativePipeline:
+    def test_figure1_ordering_for_gups(self):
+        m4 = native("GUPS", "4KB")
+        mthp = native("GUPS", "2MB-THP")
+        mtri = native("GUPS", "Trident")
+        assert mthp.speedup_over(m4) > 1.2
+        assert mtri.speedup_over(m4) > mthp.speedup_over(m4)
+        assert (
+            mtri.walk_cycle_fraction
+            < mthp.walk_cycle_fraction
+            < m4.walk_cycle_fraction
+        )
+
+    def test_thp_within_noise_of_static_2mb(self):
+        mthp = native("Canneal", "2MB-THP")
+        mhug = native("Canneal", "2MB-Hugetlbfs")
+        assert abs(mthp.speedup_over(mhug) - 1.0) < 0.1
+
+    def test_unshaded_workload_insensitive_to_1gb(self):
+        mthp = native("PR", "2MB-THP", n_accesses=15_000)
+        mtri = native("PR", "Trident", n_accesses=15_000)
+        assert abs(mtri.speedup_over(mthp) - 1.0) < 0.05
+
+    def test_fragmentation_reduces_but_does_not_kill_trident(self):
+        clean = native("Canneal", "Trident")
+        frag = native("Canneal", "Trident", fragmented=True)
+        clean_large = clean.mapped_bytes_by_size[PageSize.LARGE]
+        frag_large = frag.mapped_bytes_by_size[PageSize.LARGE]
+        assert frag_large <= clean_large
+        assert frag_large > 0  # smart compaction recovered chunks
+
+    def test_ablation_ordering_for_graph500(self):
+        mthp = native("Graph500", "2MB-THP")
+        m1g = native("Graph500", "Trident-1Gonly")
+        mtri = native("Graph500", "Trident")
+        # All sizes beat 1G-only (Figure 11's headline).
+        assert mtri.speedup_over(mthp) > m1g.speedup_over(mthp)
+
+
+class TestVirtPipeline:
+    def test_virt_amplifies_large_page_value(self):
+        kw = dict(n_accesses=10_000, guest_regions=96)
+        thp = VirtRunner(
+            VirtRunConfig("Canneal", "2MB-THP", "2MB-THP", **kw)
+        ).run()
+        tri = VirtRunner(
+            VirtRunConfig("Canneal", "Trident", "Trident", **kw)
+        ).run()
+        native_gain = native("Canneal", "Trident").speedup_over(
+            native("Canneal", "2MB-THP")
+        )
+        virt_gain = tri.speedup_over(thp)
+        assert virt_gain > 1.0
+        # Nested walks make 1GB at least comparably valuable under virt.
+        assert virt_gain > native_gain * 0.8
+
+    def test_host_policy_caps_effective_size(self):
+        kw = dict(n_accesses=8_000, guest_regions=96)
+        both = VirtRunner(
+            VirtRunConfig("GUPS", "Trident", "Trident", **kw)
+        ).run()
+        host4k = VirtRunner(VirtRunConfig("GUPS", "Trident", "4KB", **kw)).run()
+        # A 4KB host forces 4KB effective entries: far more walk cycles.
+        assert (
+            host4k.walk_cycles_per_access > 3 * both.walk_cycles_per_access
+        )
+
+
+class TestTailLatencyPipeline:
+    def test_trident_does_not_blow_up_p99(self):
+        kw = dict(
+            n_accesses=8_000,
+            machine_regions=128,
+            record_requests=True,
+        )
+        thp = native("Redis", "2MB-THP", **kw)
+        tri = native("Redis", "Trident", **kw)
+        assert tri.percentile_latency_ns(99) <= thp.percentile_latency_ns(99) * 1.3

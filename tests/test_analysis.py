@@ -1,0 +1,77 @@
+"""Tests for the paper-claims analysis layer."""
+
+import os
+
+import pytest
+
+from repro.analysis.compare import CheckResult, check_all, load_report, render_markdown
+from repro.analysis.paper_expectations import PAPER_CLAIMS, Claim
+
+
+class TestClaims:
+    def test_claims_have_unique_ids(self):
+        ids = [c.id for c in PAPER_CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_claims_cover_every_major_experiment(self):
+        sources = {c.source for c in PAPER_CLAIMS}
+        for required in (
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure7",
+            "figure9",
+            "figure10",
+            "figure11",
+            "figure12",
+            "figure13",
+            "table3",
+            "table4",
+            "table5",
+            "latency_micro",
+            "bloat",
+        ):
+            assert required in sources, required
+
+    def test_bands_are_sane(self):
+        for c in PAPER_CLAIMS:
+            assert c.lo <= c.hi, c.id
+
+
+class TestCompare:
+    def _write_csv(self, tmp_path, name, rows):
+        import csv
+
+        path = tmp_path / f"{name}.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.DictWriter(f, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+
+    def test_missing_reports_flagged(self, tmp_path):
+        results = check_all(directory=str(tmp_path))
+        assert all(r.status == "MISSING" for r in results)
+
+    def test_in_band_and_out_of_band(self, tmp_path):
+        self._write_csv(
+            tmp_path,
+            "latency_micro",
+            [
+                {"metric": "1GB fault, sync zero (ms)", "measured": 410.0},
+                {"metric": "1GB fault, async pool (ms)", "measured": 99.0},
+                {"metric": "1GB promotion, pv batched (us)", "measured": 497.0},
+            ],
+        )
+        results = {r.claim.id: r for r in check_all(directory=str(tmp_path))}
+        assert results["lat-1gb-fault-sync"].status == "OK"
+        assert results["lat-1gb-fault-async"].status == "OUT-OF-BAND"
+        assert results["lat-pv-batched"].status == "OK"
+
+    def test_render_markdown(self, tmp_path):
+        results = check_all(directory=str(tmp_path))
+        text = render_markdown(results)
+        assert "| # | Experiment / claim |" in text
+        assert "claims in band" in text
+
+    def test_load_report_missing(self, tmp_path):
+        assert load_report("nope", str(tmp_path)) is None

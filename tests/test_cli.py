@@ -1,0 +1,43 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "GUPS" in out and "Trident" in out and "figure9" in out
+
+    def test_run_native(self, capsys):
+        code = main(["run", "GUPS", "Trident", "--accesses", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "walk fraction" in out
+        assert "1GB  mapped" in out
+
+    def test_run_with_baseline(self, capsys):
+        code = main(
+            ["run", "GUPS", "Trident", "--accesses", "2000", "--baseline", "4KB"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_experiment_latency_micro(self, capsys):
+        assert main(["experiment", "latency_micro"]) == 0
+        out = capsys.readouterr().out
+        assert "1GB promotion, pv batched" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "nope", "Trident"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,31 @@
+"""Tests for seed replication."""
+
+import pytest
+
+from repro.analysis.replication import Replication, replicate
+
+
+class TestReplicationStats:
+    def test_mean_std_ci(self):
+        r = Replication("w", "a", "b", [1.0, 1.2, 1.1, 1.3, 0.9])
+        assert r.mean == pytest.approx(1.1)
+        assert r.std > 0
+        assert r.ci95_halfwidth > 0
+        assert "1.100" in r.summary()
+
+    def test_single_sample_degenerate(self):
+        r = Replication("w", "a", "b", [1.5])
+        assert r.std == 0.0
+        assert r.ci95_halfwidth == 0.0
+
+
+class TestReplicate:
+    def test_replicate_small(self):
+        r = replicate(
+            "GUPS", "Trident", "2MB-THP", seeds=(1, 2), n_accesses=6_000
+        )
+        assert len(r.speedups) == 2
+        # Trident beats THP on GUPS at every seed.
+        assert all(s > 1.1 for s in r.speedups)
+        # And the seeds agree within a reasonable spread.
+        assert r.std < 0.2

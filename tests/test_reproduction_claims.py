@@ -1,0 +1,38 @@
+"""The capstone check: regenerated results satisfy the paper's claims.
+
+Runs only when a full ``python -m repro.experiments.run_all`` sweep has
+populated ``report/`` (skipped otherwise, so plain test runs stay fast).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.compare import check_all
+
+REPORT_DIR = "report"
+REQUIRED = ("figure1.csv", "figure9.csv", "table3.csv", "latency_micro.csv")
+
+have_reports = all(
+    os.path.exists(os.path.join(REPORT_DIR, f)) for f in REQUIRED
+)
+
+
+@pytest.mark.skipif(
+    not have_reports, reason="run `python -m repro.experiments.run_all` first"
+)
+class TestReproductionClaims:
+    def test_no_claim_out_of_band(self):
+        results = check_all(REPORT_DIR)
+        bad = [
+            f"{r.claim.id}: measured {r.measured_str}, "
+            f"band [{r.claim.lo:g}, {r.claim.hi:g}]"
+            for r in results
+            if r.status == "OUT-OF-BAND"
+        ]
+        assert not bad, "\n".join(bad)
+
+    def test_most_claims_evaluable(self):
+        results = check_all(REPORT_DIR)
+        missing = [r.claim.id for r in results if r.status == "MISSING"]
+        assert len(missing) <= 3, missing

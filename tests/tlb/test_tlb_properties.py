@@ -1,0 +1,100 @@
+"""Property-based tests: the TLB against a reference LRU model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import TLBConfig
+from repro.tlb.tlb import SetAssocTLB
+
+
+class ReferenceLRU:
+    """Oracle: per-set LRU lists implemented naively."""
+
+    def __init__(self, sets: int, ways: int):
+        self.sets = [[] for _ in range(sets)]
+        self.ways = ways
+
+    def lookup(self, vpn: int) -> bool:
+        s = self.sets[vpn % len(self.sets)]
+        if vpn in s:
+            s.remove(vpn)
+            s.append(vpn)
+            return True
+        return False
+
+    def insert(self, vpn: int) -> None:
+        s = self.sets[vpn % len(self.sets)]
+        if vpn in s:
+            s.remove(vpn)
+        elif len(s) >= self.ways:
+            s.pop(0)
+        s.append(vpn)
+
+    def invalidate(self, vpn: int) -> bool:
+        s = self.sets[vpn % len(self.sets)]
+        if vpn in s:
+            s.remove(vpn)
+            return True
+        return False
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["lookup", "insert", "invalidate", "access"]),
+        st.integers(0, 63),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(ops, st.sampled_from([(8, 2), (16, 4), (4, 4), (8, 1)]))
+@settings(max_examples=80)
+def test_tlb_matches_reference_lru(operations, shape):
+    entries, ways = shape
+    tlb = SetAssocTLB(TLBConfig(entries, ways))
+    ref = ReferenceLRU(entries // ways, ways)
+    for op, vpn in operations:
+        if op == "lookup":
+            assert tlb.lookup(vpn) == ref.lookup(vpn)
+        elif op == "insert":
+            tlb.insert(vpn)
+            ref.insert(vpn)
+        elif op == "invalidate":
+            assert tlb.invalidate(vpn) == ref.invalidate(vpn)
+        else:  # access = lookup-then-fill, the hierarchy's pattern
+            hit_t = tlb.lookup(vpn)
+            hit_r = ref.lookup(vpn)
+            assert hit_t == hit_r
+            if not hit_t:
+                tlb.insert(vpn)
+                ref.insert(vpn)
+    assert tlb.occupancy == sum(len(s) for s in ref.sets)
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+@settings(max_examples=50)
+def test_occupancy_never_exceeds_capacity(vpns):
+    tlb = SetAssocTLB(TLBConfig(16, 4))
+    for vpn in vpns:
+        tlb.insert(vpn)
+        assert tlb.occupancy <= 16
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_hit_rate_monotone_with_capacity(vpns):
+    """A strictly larger fully-associative TLB never hits less often."""
+    small = SetAssocTLB(TLBConfig(4, 4))
+    big = SetAssocTLB(TLBConfig(16, 16))
+    hits_small = hits_big = 0
+    for vpn in vpns:
+        if small.lookup(vpn):
+            hits_small += 1
+        else:
+            small.insert(vpn)
+        if big.lookup(vpn):
+            hits_big += 1
+        else:
+            big.insert(vpn)
+    assert hits_big >= hits_small

@@ -1,0 +1,63 @@
+"""Section 6 latency arithmetic at real x86 scale (pure cost model)."""
+
+import pytest
+
+from repro.config import X86_GEOMETRY, CostModel
+
+
+class TestSection6Latencies:
+    """The paper's quoted promotion latencies emerge from the cost model."""
+
+    cost = CostModel()
+    exchanges = X86_GEOMETRY.mids_per_large  # 512
+
+    def test_copy_based_promotion_near_600ms(self):
+        ns = self.cost.copy_ns(X86_GEOMETRY.large_size)
+        assert 550e6 < ns < 650e6
+
+    def test_unbatched_pv_near_30ms(self):
+        ns = self.exchanges * (
+            self.cost.hypercall_ns + self.cost.exchange_unbatched_ns
+        )
+        assert 25e6 < ns < 35e6
+
+    def test_batched_pv_near_500us(self):
+        ns = self.cost.hypercall_ns + self.exchanges * self.cost.exchange_batched_ns
+        assert 450e3 < ns < 550e3
+
+    def test_512_exchanges_fit_one_hypercall(self):
+        """Two shared 4KB pages hold 512 8-byte gPAs each (the paper's ABI)."""
+        from repro.virt.hypercall import PVExchangeInterface
+
+        assert PVExchangeInterface.BATCH_CAPACITY == 512
+        assert 512 * 8 <= 4096
+
+    def test_scaled_cost_model_preserves_promotion_totals(self):
+        """A scaled 1GB-class promotion costs the same wall time as real."""
+        from repro.config import SCALED_GEOMETRY
+
+        scaled = self.cost.scaled_for(SCALED_GEOMETRY)
+        real_copy = self.cost.copy_ns(X86_GEOMETRY.large_size)
+        scaled_copy = scaled.copy_ns(SCALED_GEOMETRY.large_size)
+        assert scaled_copy == pytest.approx(real_copy)
+        # Batched exchange of a full scaled region matches the real ~500us.
+        scaled_exchanges = SCALED_GEOMETRY.mids_per_large
+        scaled_ns = (
+            scaled.hypercall_ns + scaled_exchanges * scaled.exchange_batched_ns
+        )
+        real_ns = (
+            self.cost.hypercall_ns + self.exchanges * self.cost.exchange_batched_ns
+        )
+        assert scaled_ns == pytest.approx(real_ns, rel=0.01)
+
+    def test_scaled_zeroing_totals_match(self):
+        from repro.config import SCALED_GEOMETRY
+
+        scaled = self.cost.scaled_for(SCALED_GEOMETRY)
+        # Zeroing one scaled large page == zeroing one real 1GB page.
+        assert scaled.zero_ns(SCALED_GEOMETRY.large_size) == pytest.approx(
+            self.cost.zero_ns(X86_GEOMETRY.large_size)
+        )
+
+    def test_identity_for_real_geometry(self):
+        assert self.cost.scaled_for(X86_GEOMETRY) is self.cost

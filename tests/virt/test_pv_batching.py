@@ -1,0 +1,88 @@
+"""Trident-pv batching behaviour and dual-level fragmentation combos."""
+
+import pytest
+
+from repro.config import PageSize, default_machine
+from repro.core.trident import TridentPolicy
+from repro.virt.hypercall import PVExchangeInterface
+from repro.virt.machine import VirtualMachine
+from repro.virt.tridentpv import TridentPVPolicy
+
+GUEST = default_machine(16)
+HOST = default_machine(24)
+G = GUEST.geometry
+BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+
+
+def make_vm(batched=True):
+    def guest_factory(kernel):
+        iface = PVExchangeInterface(kernel.hypervisor, kernel.cost)
+        return TridentPVPolicy(kernel, iface, batched=batched)
+
+    vm = VirtualMachine(GUEST, HOST, guest_factory, TridentPolicy, seed=9)
+    return vm, vm.create_guest_process("g")
+
+
+def grow_mids(vm, p, n):
+    for _ in range(n):
+        a = vm.guest.sys_mmap(p, MID)
+        vm.guest.touch(p, a)
+
+
+class TestBatching:
+    def test_batched_promotion_cheaper_than_unbatched(self):
+        costs = {}
+        for batched in (True, False):
+            vm, p = make_vm(batched)
+            grow_mids(vm, p, G.mids_per_large)
+            vm.guest.settle_until_quiet(budget_ns=1e9)
+            policy = vm.guest.policy
+            assert policy.stats.promoted[PageSize.LARGE] >= 1
+            costs[batched] = policy.pv.time_ns
+        assert costs[True] < costs[False]
+
+    def test_batched_uses_fewer_hypercalls(self):
+        calls = {}
+        for batched in (True, False):
+            vm, p = make_vm(batched)
+            grow_mids(vm, p, G.mids_per_large)
+            vm.guest.settle_until_quiet(budget_ns=1e9)
+            pv = vm.guest.policy.pv
+            calls[batched] = (pv.hypercalls, pv.exchanges)
+        # Same exchanges either way, far fewer world switches batched.
+        assert calls[True][1] == calls[False][1]
+        assert calls[True][0] < calls[False][0]
+
+    def test_empty_exchange_is_free(self):
+        vm, _ = make_vm()
+        assert vm.guest.policy.pv.exchange([]) == 0.0
+
+
+class TestDualLevelFragmentation:
+    def test_host_fragmentation_degrades_ept_sizes(self):
+        # Fragment the HOST before the VM's memory is backed: EPT entries
+        # come out small, capping the effective page size.
+        def build(fragment_host):
+            host_sys_machine = default_machine(48)
+            guest_machine = default_machine(16)
+            vm = VirtualMachine.__new__(VirtualMachine)
+            from repro.sim.system import System
+            from repro.virt.hypervisor import Hypervisor
+            from repro.virt.machine import GuestSystem
+
+            vm.host = System(host_sys_machine, TridentPolicy, seed=3)
+            if fragment_host:
+                vm.host.fragment()
+            vm.hypervisor = Hypervisor(vm.host, guest_machine.total_bytes)
+            vm.guest = GuestSystem(
+                guest_machine, TridentPolicy, vm.hypervisor, seed=4
+            )
+            p = vm.guest.create_process("g")
+            addr = vm.guest.sys_mmap(p, 2 * LARGE)
+            for off in range(0, 2 * LARGE, MID):
+                vm.guest.touch(p, addr + off)
+            return p.tlb.stats
+
+        clean = build(False)
+        fragged = build(True)
+        assert fragged.walk_cycles >= clean.walk_cycles

@@ -1,0 +1,176 @@
+"""Tests for the hypervisor, guest/host composition, and Trident-pv."""
+
+import pytest
+
+from repro.config import PageSize, default_machine
+from repro.core.thp import THPPolicy
+from repro.core.trident import TridentPolicy
+from repro.virt.hypercall import PVExchangeInterface
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.machine import VirtualMachine
+from repro.virt.tridentpv import TridentPVPolicy
+
+GUEST = default_machine(12)
+HOST = default_machine(18)
+G = GUEST.geometry
+BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+
+
+def make_vm(guest_policy=TridentPolicy, host_policy=TridentPolicy, pv=False):
+    if pv:
+        def guest_factory(kernel):
+            iface = PVExchangeInterface(kernel.hypervisor, kernel.cost)
+            return TridentPVPolicy(kernel, iface)
+    else:
+        guest_factory = guest_policy
+    vm = VirtualMachine(GUEST, HOST, guest_factory, host_policy, seed=2)
+    return vm, vm.create_guest_process("g")
+
+
+class TestHypervisor:
+    def test_guest_ram_is_one_host_allocation(self):
+        vm, _ = make_vm()
+        hv = vm.hypervisor
+        extents = hv.vm_process.aspace.iter_extents()
+        assert len(extents) == 1
+        assert extents[0].length == GUEST.total_bytes
+
+    def test_ept_fault_backs_gpa_once(self):
+        vm, _ = make_vm()
+        hv = vm.hypervisor
+        latency = hv.ensure_backed(0)
+        assert latency > 0
+        assert hv.ensure_backed(0) == 0.0
+        assert hv.ept_faults == 1
+
+    def test_gpa_bounds_checked(self):
+        vm, _ = make_vm()
+        with pytest.raises(ValueError):
+            vm.hypervisor.hva(GUEST.total_bytes)
+
+    def test_host_rejects_undersized_memory(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(HOST, GUEST, TridentPolicy, TridentPolicy)
+
+
+class TestGuestExecution:
+    def test_touch_translates_through_both_levels(self):
+        vm, p = make_vm()
+        addr = vm.guest.sys_mmap(p, 2 * MID)
+        vm.guest.touch(p, addr)
+        guest_mapping = p.pagetable.translate(addr)
+        assert guest_mapping is not None
+        gpa = p.tlb.gpa_of(guest_mapping, addr)
+        assert vm.hypervisor.host_table.translate(vm.hypervisor.hva(gpa)) is not None
+
+    def test_trident_both_levels_gives_large_effective(self):
+        vm, p = make_vm()
+        addr = vm.guest.sys_mmap(p, 2 * LARGE)
+        vm.guest.touch(p, addr)
+        assert p.pagetable.translate(addr).page_size == PageSize.LARGE
+        # Second access inside the same large page should hit (effective
+        # page size LARGE at both levels).
+        vm.guest.touch(p, addr + MID)
+        assert p.tlb.stats.walks == 1
+
+    def test_thp_host_caps_effective_size(self):
+        vm, p = make_vm(guest_policy=TridentPolicy, host_policy=THPPolicy)
+        addr = vm.guest.sys_mmap(p, LARGE)
+        vm.guest.touch(p, addr)
+        gm = p.pagetable.translate(addr)
+        hm = p.tlb.host_mapping_for(gm, addr)
+        assert gm.page_size == PageSize.LARGE
+        assert hm.page_size == PageSize.MID  # host THP never maps 1GB
+
+
+class TestExchangeHypercall:
+    def test_exchange_swaps_backing(self):
+        # THP host: each mid-sized gPA range gets its own mid host page, so
+        # the two sides have distinct backing to swap.
+        vm, p = make_vm(host_policy=THPPolicy)
+        hv = vm.hypervisor
+        gpa_a, gpa_b = 0, MID
+        for off in range(0, MID, BASE):
+            hv.ensure_backed(gpa_a + off)
+            hv.ensure_backed(gpa_b + off)
+        before_a = hv.host_table.translate(hv.hva(gpa_a)).pfn
+        before_b = hv.host_table.translate(hv.hva(gpa_b)).pfn
+        hv.exchange_ranges([(gpa_a, gpa_b, MID)])
+        after_a = hv.host_table.translate(hv.hva(gpa_a)).pfn
+        after_b = hv.host_table.translate(hv.hva(gpa_b)).pfn
+        assert after_a == before_b
+        assert after_b == before_a
+
+    def test_exchange_splits_covering_large_page(self):
+        vm, p = make_vm()
+        hv = vm.hypervisor
+        hv.ensure_backed(0)  # host Trident maps a whole large page
+        assert hv.host_table.translate(hv.hva(0)).page_size == PageSize.LARGE
+        hv.exchange_ranges([(0, MID, MID)])
+        # After the exchange the covering page was split to mid granularity.
+        assert hv.host_table.translate(hv.hva(0)).page_size == PageSize.MID
+        vm.host.buddy.check_invariants()
+
+    def test_misaligned_exchange_rejected(self):
+        vm, _ = make_vm()
+        with pytest.raises(ValueError):
+            vm.hypervisor.exchange_ranges([(1, MID, MID)])
+
+    def test_batched_cheaper_than_unbatched(self):
+        vm, _ = make_vm()
+        iface = PVExchangeInterface(vm.hypervisor, vm.host.cost)
+        pairs = [(i * MID, (i + 8) * MID, MID) for i in range(4)]
+        batched = iface.pv_promotion_ns(512, batched=True)
+        unbatched = iface.pv_promotion_ns(512, batched=False)
+        copy = iface.copy_promotion_ns((1 << 30))
+        assert batched < unbatched < copy
+
+    def test_interface_counts_hypercalls(self):
+        vm, _ = make_vm()
+        iface = PVExchangeInterface(vm.hypervisor, vm.host.cost)
+        spent = iface.exchange([(0, MID, MID)], batched=True)
+        assert spent > 0
+        assert iface.hypercalls == 1
+        assert iface.exchanges >= 1
+
+
+class TestTridentPV:
+    def _grow_mid_heap(self, vm, p, n_mids):
+        for _ in range(n_mids):
+            a = vm.guest.sys_mmap(p, MID)
+            vm.guest.touch(p, a)
+
+    def test_pv_promotion_exchanges_instead_of_copying(self):
+        vm, p = make_vm(pv=True)
+        self._grow_mid_heap(vm, p, 2 * G.mids_per_large)
+        vm.guest.settle_until_quiet()
+        policy = vm.guest.policy
+        assert policy.stats.promoted[PageSize.LARGE] >= 1
+        assert policy.pv_promotions >= 1
+        assert policy.pv.exchanges > 0
+        # Mid chunks were exchanged, not copied.
+        assert policy.stats.promo_copy_bytes < MID * G.mids_per_large
+
+    def test_pv_faster_than_copy_for_mid_promotions(self):
+        def run(pv):
+            vm, p = make_vm(pv=pv)
+            self._grow_mid_heap(vm, p, G.mids_per_large)
+            vm.guest.settle_until_quiet()
+            return vm.guest.policy.stats.daemon_ns, vm.guest.policy
+
+        pv_ns, pv_policy = run(True)
+        copy_ns, copy_policy = run(False)
+        assert pv_policy.stats.promoted[PageSize.LARGE] >= 1
+        assert copy_policy.stats.promoted[PageSize.LARGE] >= 1
+        assert pv_ns < copy_ns
+
+    def test_base_pages_still_copy(self):
+        vm, p = make_vm(pv=True)
+        # Base-page-only heap: grow one base page at a time.
+        for _ in range(G.frames_per_large):
+            a = vm.guest.sys_mmap(p, BASE)
+            vm.guest.touch(p, a)
+        vm.guest.settle_until_quiet()
+        policy = vm.guest.policy
+        if policy.stats.promoted[PageSize.LARGE]:
+            assert policy.stats.promo_copy_bytes > 0

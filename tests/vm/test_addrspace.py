@@ -1,0 +1,143 @@
+"""Tests for the VMA / mmap allocator."""
+
+import pytest
+
+from repro.config import SCALED_GEOMETRY
+from repro.vm.addrspace import VMA, AddressSpace
+
+G = SCALED_GEOMETRY
+PAGE = G.base_size
+
+
+def make():
+    return AddressSpace(G)
+
+
+class TestVMA:
+    def test_length_and_contains(self):
+        v = VMA(0x1000, 0x3000)
+        assert v.length == 0x2000
+        assert v.contains(0x1000)
+        assert v.contains(0x2FFF)
+        assert not v.contains(0x3000)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            VMA(0x2000, 0x2000)
+        with pytest.raises(ValueError):
+            VMA(-1, 0x1000)
+
+
+class TestMmap:
+    def test_mmap_is_page_aligned(self):
+        a = make()
+        v = a.mmap(5 * PAGE)
+        assert v.start % PAGE == 0
+        assert v.length == 5 * PAGE
+
+    def test_mmap_rounds_length_up(self):
+        a = make()
+        v = a.mmap(PAGE + 1)
+        assert v.length == 2 * PAGE
+
+    def test_sequential_mmaps_are_disjoint(self):
+        a = make()
+        v1 = a.mmap(4 * PAGE)
+        v2 = a.mmap(4 * PAGE)
+        assert v1.end <= v2.start or v2.end <= v1.start
+
+    def test_mmap_respects_alignment(self):
+        a = make()
+        a.mmap(3 * PAGE)  # misalign the top pointer
+        v = a.mmap(G.large_size, align=G.large_size)
+        assert v.start % G.large_size == 0
+
+    def test_mmap_zero_length_rejected(self):
+        a = make()
+        with pytest.raises(ValueError):
+            a.mmap(0)
+
+    def test_mmap_bad_align_rejected(self):
+        a = make()
+        with pytest.raises(ValueError):
+            a.mmap(PAGE, align=100)
+
+    def test_fixed_mapping(self):
+        a = make()
+        base = AddressSpace.MMAP_BASE + 10 * G.large_size
+        v = a.mmap(2 * PAGE, fixed_at=base)
+        assert v.start == base
+
+    def test_fixed_overlap_rejected(self):
+        a = make()
+        v = a.mmap(4 * PAGE)
+        with pytest.raises(ValueError):
+            a.mmap(PAGE, fixed_at=v.start)
+
+    def test_mapped_bytes_accumulates(self):
+        a = make()
+        a.mmap(4 * PAGE)
+        a.mmap(8 * PAGE)
+        assert a.mapped_bytes == 12 * PAGE
+
+
+class TestMunmapAndReuse:
+    def test_munmap_removes_vma(self):
+        a = make()
+        v = a.mmap(4 * PAGE)
+        a.munmap(v.start)
+        assert a.find_vma(v.start) is None
+        assert a.mapped_bytes == 0
+
+    def test_munmap_unknown_rejected(self):
+        a = make()
+        with pytest.raises(ValueError):
+            a.munmap(0xDEAD000)
+
+    def test_partial_munmap_rejected(self):
+        a = make()
+        v = a.mmap(4 * PAGE)
+        with pytest.raises(ValueError):
+            a.munmap(v.start, 2 * PAGE)
+
+    def test_hole_is_reused_first_fit(self):
+        a = make()
+        v1 = a.mmap(4 * PAGE)
+        a.mmap(4 * PAGE)  # keeps the hole from merging with the top
+        a.munmap(v1.start)
+        v3 = a.mmap(2 * PAGE)
+        assert v3.start == v1.start
+
+    def test_too_big_for_hole_goes_to_top(self):
+        a = make()
+        v1 = a.mmap(2 * PAGE)
+        v2 = a.mmap(2 * PAGE)
+        a.munmap(v1.start)
+        v3 = a.mmap(4 * PAGE)
+        assert v3.start >= v2.end
+
+    def test_adjacent_holes_merge(self):
+        a = make()
+        v1 = a.mmap(2 * PAGE)
+        v2 = a.mmap(2 * PAGE)
+        a.mmap(PAGE)
+        a.munmap(v1.start)
+        a.munmap(v2.start)
+        v4 = a.mmap(4 * PAGE)
+        assert v4.start == v1.start
+
+
+class TestFindVMA:
+    def test_find_hits_and_misses(self):
+        a = make()
+        v = a.mmap(4 * PAGE)
+        assert a.find_vma(v.start) is v
+        assert a.find_vma(v.end - 1) is v
+        assert a.find_vma(v.end) is None
+        assert a.find_vma(v.start - 1) is None
+
+    def test_iter_vmas_in_address_order(self):
+        a = make()
+        vs = [a.mmap(PAGE) for _ in range(5)]
+        order = a.iter_vmas()
+        assert [v.start for v in order] == sorted(v.start for v in vs)

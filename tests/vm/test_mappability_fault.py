@@ -1,0 +1,139 @@
+"""Tests for mappability analysis and fault-candidate selection."""
+
+from repro.config import SCALED_GEOMETRY, PageSize
+from repro.vm.addrspace import VMA, AddressSpace
+from repro.vm.fault import candidate_page_sizes, region_fits_vma
+from repro.vm.mappability import (
+    MappabilityScanner,
+    classify_regions,
+    mappable_bytes,
+    mappable_ranges,
+)
+from repro.vm.pagetable import PageTable
+
+G = SCALED_GEOMETRY
+BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+
+
+class TestMappableRanges:
+    def test_aligned_vma_fully_large_mappable(self):
+        vma = VMA(LARGE, 3 * LARGE)
+        ranges = list(mappable_ranges(vma, PageSize.LARGE, G))
+        assert ranges == [(LARGE, 2 * LARGE), (2 * LARGE, 3 * LARGE)]
+
+    def test_misaligned_vma_loses_edges(self):
+        vma = VMA(LARGE + MID, 3 * LARGE + MID)
+        ranges = list(mappable_ranges(vma, PageSize.LARGE, G))
+        assert ranges == [(2 * LARGE, 3 * LARGE)]
+
+    def test_short_vma_not_large_mappable_but_mid(self):
+        vma = VMA(LARGE, LARGE + 4 * MID)
+        assert list(mappable_ranges(vma, PageSize.LARGE, G)) == []
+        assert len(list(mappable_ranges(vma, PageSize.MID, G))) == 4
+
+
+class TestMappableBytes:
+    def test_every_large_range_is_mid_mappable(self):
+        a = AddressSpace(G)
+        a.mmap(3 * LARGE + 5 * MID + 3 * BASE)
+        a.mmap(7 * MID)
+        large = mappable_bytes(a, PageSize.LARGE)
+        mid = mappable_bytes(a, PageSize.MID)
+        assert mid >= large
+        assert large % LARGE == 0
+        assert mid % MID == 0
+
+    def test_incremental_allocation_shrinks_large_mappability(self):
+        # One big mmap vs the same memory in small non-aligned pieces.
+        pre = AddressSpace(G)
+        pre.mmap(4 * LARGE, align=LARGE)
+        inc = AddressSpace(G)
+        for _ in range(4 * LARGE // (3 * BASE)):
+            inc.mmap(3 * BASE)
+        assert mappable_bytes(pre, PageSize.LARGE) == 4 * LARGE
+        # Contiguous small mmaps may merge into mappable spans, but first-fit
+        # with odd sizes keeps alignment poor; mid mappability survives.
+        assert mappable_bytes(inc, PageSize.LARGE) <= mappable_bytes(
+            inc, PageSize.MID
+        )
+
+    def test_empty_space_is_zero(self):
+        a = AddressSpace(G)
+        assert mappable_bytes(a, PageSize.LARGE) == 0
+        assert mappable_bytes(a, PageSize.MID) == 0
+
+
+class TestClassifyRegions:
+    def test_classes_partition_each_extent(self):
+        a = AddressSpace(G)
+        a.mmap(2 * LARGE + 3 * MID + BASE)
+        a.mmap(5 * BASE, name="stack")
+        regions = classify_regions(a, G)
+        by_extent = {}
+        for start, end, cls in regions:
+            assert end > start
+            extent = a.extent_of(start)
+            assert extent is not None
+            by_extent.setdefault(extent.start, 0)
+            by_extent[extent.start] += end - start
+        for extent in a.iter_extents():
+            assert by_extent[extent.start] == extent.length
+
+    def test_class_labels(self):
+        a = AddressSpace(G)
+        a.mmap(LARGE + MID + BASE, align=LARGE)
+        classes = {cls for _, _, cls in classify_regions(a, G)}
+        assert classes == {"large", "mid", "base"}
+
+    def test_scanner_collects_samples(self):
+        a = AddressSpace(G)
+        scanner = MappabilityScanner(a)
+        a.mmap(2 * LARGE, align=LARGE)
+        scanner.sample("t0")
+        a.mmap(3 * MID)
+        scanner.sample("t1")
+        assert len(scanner.samples) == 2
+        label, large, mid = scanner.samples[1]
+        assert label == "t1"
+        assert mid >= large
+
+
+class TestFaultCandidates:
+    def test_aligned_interior_offers_all_sizes(self):
+        a = AddressSpace(G)
+        vma = a.mmap(2 * LARGE, align=LARGE)
+        t = PageTable(G)
+        sizes = candidate_page_sizes(vma.start, vma, t, G)
+        assert sizes == [PageSize.LARGE, PageSize.MID, PageSize.BASE]
+
+    def test_small_vma_offers_only_smaller_sizes(self):
+        a = AddressSpace(G)
+        vma = a.mmap(2 * MID, align=MID)
+        t = PageTable(G)
+        sizes = candidate_page_sizes(vma.start, vma, t, G)
+        assert sizes == [PageSize.MID, PageSize.BASE]
+
+    def test_existing_mapping_blocks_larger_size(self):
+        a = AddressSpace(G)
+        vma = a.mmap(2 * LARGE, align=LARGE)
+        t = PageTable(G)
+        t.map_page(vma.start, PageSize.BASE, 0)
+        sizes = candidate_page_sizes(vma.start + BASE, vma, t, G)
+        assert PageSize.LARGE not in sizes
+        assert PageSize.MID not in sizes  # same mid slot as the base page
+        assert sizes == [PageSize.BASE]
+
+    def test_mapping_in_other_mid_slot_blocks_only_large(self):
+        a = AddressSpace(G)
+        vma = a.mmap(2 * LARGE, align=LARGE)
+        t = PageTable(G)
+        t.map_page(vma.start, PageSize.BASE, 0)
+        sizes = candidate_page_sizes(vma.start + MID, vma, t, G)
+        assert sizes == [PageSize.MID, PageSize.BASE]
+
+    def test_region_fits_vma_edges(self):
+        vma = VMA(LARGE, 2 * LARGE)
+        assert region_fits_vma(LARGE, PageSize.LARGE, vma, G)
+        assert region_fits_vma(2 * LARGE - 1, PageSize.LARGE, vma, G)
+        off_vma = VMA(LARGE + BASE, 2 * LARGE)
+        assert not region_fits_vma(LARGE + BASE, PageSize.LARGE, off_vma, G)

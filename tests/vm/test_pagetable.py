@@ -1,0 +1,154 @@
+"""Tests for the three-leaf-size page table."""
+
+import pytest
+
+from repro.config import SCALED_GEOMETRY, PageSize
+from repro.vm.pagetable import MappingConflictError, PageTable
+
+G = SCALED_GEOMETRY
+BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+VA0 = 0x7000_0000_0000
+
+
+def make():
+    return PageTable(G)
+
+
+class TestMapTranslate:
+    @pytest.mark.parametrize("size", PageSize.ALL)
+    def test_map_and_translate_each_size(self, size):
+        t = make()
+        m = t.map_page(VA0, size, pfn=42)
+        hit = t.translate(VA0)
+        assert hit is m
+        assert hit.pfn == 42
+        assert hit.page_size == size
+        # Last byte of the page still translates; next byte does not.
+        assert t.translate(VA0 + G.bytes_for(size) - 1) is m
+        assert t.translate(VA0 + G.bytes_for(size)) is None
+
+    def test_misaligned_map_rejected(self):
+        t = make()
+        with pytest.raises(ValueError):
+            t.map_page(VA0 + BASE, PageSize.MID, pfn=0)
+
+    def test_translate_unmapped_is_none(self):
+        assert make().translate(VA0) is None
+
+    def test_is_mapped(self):
+        t = make()
+        t.map_page(VA0, PageSize.BASE, 1)
+        assert t.is_mapped(VA0)
+        assert not t.is_mapped(VA0 + BASE)
+
+
+class TestConflicts:
+    def test_double_map_same_size_rejected(self):
+        t = make()
+        t.map_page(VA0, PageSize.BASE, 1)
+        with pytest.raises(MappingConflictError):
+            t.map_page(VA0, PageSize.BASE, 2)
+
+    def test_large_over_base_rejected(self):
+        t = make()
+        t.map_page(VA0 + 3 * BASE, PageSize.BASE, 1)
+        with pytest.raises(MappingConflictError):
+            t.map_page(VA0, PageSize.LARGE, 2)
+
+    def test_base_under_large_rejected(self):
+        t = make()
+        t.map_page(VA0, PageSize.LARGE, 1)
+        with pytest.raises(MappingConflictError):
+            t.map_page(VA0 + 5 * BASE, PageSize.BASE, 2)
+
+    def test_mid_under_large_rejected(self):
+        t = make()
+        t.map_page(VA0, PageSize.LARGE, 1)
+        with pytest.raises(MappingConflictError):
+            t.map_page(VA0 + MID, PageSize.MID, 2)
+
+    def test_mid_over_base_rejected(self):
+        t = make()
+        t.map_page(VA0 + BASE, PageSize.BASE, 1)
+        with pytest.raises(MappingConflictError):
+            t.map_page(VA0, PageSize.MID, 2)
+
+    def test_disjoint_sizes_coexist(self):
+        t = make()
+        t.map_page(VA0, PageSize.LARGE, 1)
+        t.map_page(VA0 + LARGE, PageSize.MID, 2)
+        t.map_page(VA0 + LARGE + MID, PageSize.BASE, 3)
+        assert t.count(PageSize.LARGE) == 1
+        assert t.count(PageSize.MID) == 1
+        assert t.count(PageSize.BASE) == 1
+
+    def test_conflict_cleared_after_unmap(self):
+        t = make()
+        t.map_page(VA0 + MID, PageSize.BASE, 1)
+        t.unmap(VA0 + MID, PageSize.BASE)
+        t.map_page(VA0, PageSize.LARGE, 2)  # now legal
+        assert t.translate(VA0).page_size == PageSize.LARGE
+
+
+class TestUnmap:
+    def test_unmap_returns_mapping(self):
+        t = make()
+        t.map_page(VA0, PageSize.MID, 7)
+        m = t.unmap(VA0, PageSize.MID)
+        assert m.pfn == 7
+        assert t.translate(VA0) is None
+
+    def test_unmap_missing_rejected(self):
+        t = make()
+        with pytest.raises(ValueError):
+            t.unmap(VA0, PageSize.BASE)
+
+    def test_unmap_range_removes_all_sizes(self):
+        t = make()
+        t.map_page(VA0, PageSize.LARGE, 1)
+        t.map_page(VA0 + LARGE, PageSize.MID, 2)
+        t.map_page(VA0 + LARGE + MID, PageSize.BASE, 3)
+        removed = t.unmap_range(VA0, 2 * LARGE)
+        assert len(removed) == 3
+        assert t.mapped_bytes() == 0
+
+    def test_unmap_range_straddle_rejected(self):
+        t = make()
+        t.map_page(VA0, PageSize.MID, 1)
+        with pytest.raises(ValueError):
+            t.unmap_range(VA0 + BASE, MID)
+
+    def test_unmap_range_only_within(self):
+        t = make()
+        t.map_page(VA0, PageSize.BASE, 1)
+        t.map_page(VA0 + BASE, PageSize.BASE, 2)
+        removed = t.unmap_range(VA0, BASE)
+        assert [m.pfn for m in removed] == [1]
+        assert t.is_mapped(VA0 + BASE)
+
+
+class TestAccounting:
+    def test_mapped_bytes_by_size(self):
+        t = make()
+        t.map_page(VA0, PageSize.LARGE, 1)
+        t.map_page(VA0 + LARGE, PageSize.MID, 2)
+        assert t.mapped_bytes(PageSize.LARGE) == LARGE
+        assert t.mapped_bytes(PageSize.MID) == MID
+        assert t.mapped_bytes() == LARGE + MID
+
+    def test_mappings_in_range(self):
+        t = make()
+        for i in range(4):
+            t.map_page(VA0 + i * MID, PageSize.MID, i)
+        found = t.mappings_in_range(VA0 + MID, 2 * MID, PageSize.MID)
+        assert [m.pfn for m in found] == [1, 2]
+
+    def test_access_bits_clear_and_collect(self):
+        t = make()
+        m1 = t.map_page(VA0, PageSize.BASE, 1)
+        m2 = t.map_page(VA0 + BASE, PageSize.BASE, 2)
+        m1.accessed = True
+        assert t.accessed_mappings() == [m1]
+        t.clear_access_bits()
+        assert t.accessed_mappings() == []
+        assert not m2.accessed

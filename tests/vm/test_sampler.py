@@ -1,0 +1,65 @@
+"""Tests for the access-bit sampler."""
+
+import numpy as np
+
+from repro.config import PageSize, default_machine
+from repro.core.baseline4k import Baseline4KPolicy
+from repro.sim.system import System
+from repro.vm.sampler import AccessBitSampler
+
+G = default_machine(16).geometry
+BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+
+
+def make():
+    system = System(default_machine(16), Baseline4KPolicy, seed=2)
+    p = system.create_process("t")
+    return system, p
+
+
+class TestAccessBitSampler:
+    def test_counts_attribute_to_regions(self):
+        system, p = make()
+        addr = system.sys_mmap(p, 2 * LARGE, kind="heap")
+        sampler = AccessBitSampler(p, G)
+        system.touch(p, addr)
+        system.touch(p, addr + LARGE)
+        sampler.sample()
+        assert sum(sampler.counts.values()) == 2
+        assert sampler.samples == 1
+
+    def test_sample_clears_bits(self):
+        system, p = make()
+        addr = system.sys_mmap(p, LARGE)
+        system.touch(p, addr)
+        sampler = AccessBitSampler(p, G)
+        sampler.sample()
+        assert not p.pagetable.accessed_mappings()
+        sampler.sample()  # nothing new set
+        assert sum(sampler.counts.values()) == 1
+
+    def test_hot_region_dominates_density(self):
+        system, p = make()
+        cold = system.sys_mmap(p, 2 * LARGE)
+        system.sys_mmap(p, BASE, kind="stack")  # split extents
+        hot = system.sys_mmap(p, 2 * MID)  # small, only mid-mappable
+        sampler = AccessBitSampler(p, G)
+        rng = np.random.default_rng(0)
+        system.touch_batch(p, cold + rng.integers(0, 2 * LARGE, 50))
+        for _ in range(3):
+            system.touch_batch(p, hot + rng.integers(0, 2 * MID, 100))
+            sampler.sample()
+        assert sampler.hottest_density("mid") > sampler.hottest_density("large")
+
+    def test_rows_shape(self):
+        system, p = make()
+        addr = system.sys_mmap(p, LARGE + MID)
+        system.touch(p, addr)
+        sampler = AccessBitSampler(p, G)
+        sampler.sample()
+        rows = sampler.rows(scale_factor=256)
+        assert rows
+        assert {"region_start", "size_gb", "class", "miss_share", "miss_per_gb"} <= set(
+            rows[0]
+        )
+        assert abs(sum(r["miss_share"] for r in rows) - 1.0) < 1e-9
