@@ -6,13 +6,15 @@ Commands
 ``run``        one (workload, policy) measurement, native or virtualized
 ``experiment`` regenerate a figure/table by name (or ``all``)
 ``list``       show available workloads, policies and experiments
+``metrics``    list every metric the observability registry can export
 
 Examples::
 
     python -m repro list
     python -m repro run GUPS Trident --fragmented
+    python -m repro run GUPS --policy trident --trace --metrics-out m.json
     python -m repro run Canneal Trident --virt --host-policy Trident
-    python -m repro experiment figure9
+    python -m repro experiment figure9 --metrics-out report/metrics
 """
 
 from __future__ import annotations
@@ -31,7 +33,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="measure one workload under one policy")
     run.add_argument("workload", help="Table 2 name, e.g. GUPS")
-    run.add_argument("policy", help="policy config, e.g. Trident or 2MB-THP")
+    run.add_argument(
+        "policy",
+        nargs="?",
+        default=None,
+        help="policy config, e.g. Trident or 2MB-THP",
+    )
+    run.add_argument(
+        "--policy",
+        dest="policy_opt",
+        default=None,
+        help="alternative to the positional policy argument",
+    )
     run.add_argument("--fragmented", action="store_true")
     run.add_argument("--virt", action="store_true", help="run inside a VM")
     run.add_argument("--host-policy", default="Trident")
@@ -42,12 +55,64 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also run this policy and report relative numbers",
     )
+    _add_obs_arguments(run)
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write traced events as JSON lines to PATH (implies --trace)",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a figure/table")
     exp.add_argument("name", help="e.g. figure9, table3, latency_micro, all")
+    exp.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="write per-run metrics_<workload>_<policy>.json files into DIR",
+    )
 
     sub.add_parser("list", help="list workloads, policies, experiments")
+
+    met = sub.add_parser(
+        "metrics", help="list every metric the registry can export"
+    )
+    met.add_argument(
+        "--kind",
+        choices=("counter", "gauge", "histogram"),
+        default=None,
+        help="only show metrics of this kind",
+    )
     return parser
+
+
+def _add_obs_arguments(run: argparse.ArgumentParser) -> None:
+    from repro.obs.trace import SUBSYSTEMS
+
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="record structured events in a bounded ring buffer",
+    )
+    run.add_argument(
+        "--trace-subsystems",
+        default=None,
+        metavar="NAMES",
+        help=f"comma-separated subset of {','.join(SUBSYSTEMS)} (default: all)",
+    )
+    run.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=65536,
+        metavar="N",
+        help="ring-buffer size in events (oldest dropped first)",
+    )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry snapshot to PATH as JSON",
+    )
 
 
 def _cmd_list() -> int:
@@ -73,6 +138,16 @@ def _cmd_list() -> int:
     return 0
 
 
+def _resolve_policy(name: str) -> str:
+    """Map a possibly lower-cased policy name to its canonical spelling."""
+    from repro.experiments.configs import POLICY_CONFIGS
+
+    if name in POLICY_CONFIGS:
+        return name
+    folded = {key.lower(): key for key in POLICY_CONFIGS}
+    return folded.get(name.lower(), name)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.runner import (
         NativeRunner,
@@ -81,37 +156,80 @@ def _cmd_run(args: argparse.Namespace) -> int:
         VirtRunner,
     )
 
-    def one(policy: str):
+    policy_name = args.policy or args.policy_opt
+    if policy_name is None:
+        print("error: no policy given (positional or --policy)")
+        return 2
+    trace = args.trace or args.trace_out is not None
+    subsystems = (
+        tuple(s for s in args.trace_subsystems.split(",") if s)
+        if args.trace_subsystems
+        else None
+    )
+
+    def one(policy: str, first: bool):
+        obs_kwargs = dict(
+            trace=trace and first,
+            trace_subsystems=subsystems,
+            trace_capacity=args.trace_capacity,
+            metrics_out=args.metrics_out if first else None,
+        )
         if args.virt:
-            return VirtRunner(
+            runner = VirtRunner(
                 VirtRunConfig(
                     args.workload,
                     policy,
-                    args.host_policy,
+                    _resolve_policy(args.host_policy),
                     n_accesses=args.accesses,
                     seed=args.seed,
                     guest_fragmented=args.fragmented,
+                    **obs_kwargs,
                 )
-            ).run()
-        return NativeRunner(
-            RunConfig(
-                args.workload,
-                policy,
-                fragmented=args.fragmented,
-                n_accesses=args.accesses,
-                seed=args.seed,
             )
-        ).run()
+        else:
+            runner = NativeRunner(
+                RunConfig(
+                    args.workload,
+                    policy,
+                    fragmented=args.fragmented,
+                    n_accesses=args.accesses,
+                    seed=args.seed,
+                    **obs_kwargs,
+                )
+            )
+        return runner.run(), runner.obs
 
-    metrics = one(args.policy)
+    metrics, obs = one(_resolve_policy(policy_name), first=True)
     _print_metrics(metrics)
+    if trace:
+        _print_trace_summary(obs, args.trace_out)
+    if args.metrics_out:
+        print(f"metrics written:   {args.metrics_out}")
     if args.baseline:
-        base = one(args.baseline)
+        base, _ = one(_resolve_policy(args.baseline), first=False)
         print(
             f"\nvs {base.policy}: speedup {metrics.speedup_over(base):.3f}x, "
             f"walk-cycle fraction {metrics.walk_fraction_vs(base):.3f}x"
         )
     return 0
+
+
+def _print_trace_summary(obs, trace_out: str | None) -> None:
+    summary = obs.tracer.summary()
+    print(
+        f"trace:             {summary['emitted']} events emitted, "
+        f"{summary['buffered']} buffered, {summary['dropped']} dropped"
+    )
+    tallies = sorted(
+        summary["events"].items(), key=lambda kv: kv[1], reverse=True
+    )
+    for key, count in tallies[:10]:
+        print(f"  {key:40s} {count}")
+    if len(tallies) > 10:
+        print(f"  ... and {len(tallies) - 10} more event types")
+    if trace_out:
+        written = obs.tracer.export_jsonl(trace_out)
+        print(f"trace written:     {trace_out} ({written} events)")
 
 
 def _print_metrics(m) -> None:
@@ -134,17 +252,39 @@ def _print_metrics(m) -> None:
         )
 
 
-def _cmd_experiment(name: str) -> int:
+def _cmd_experiment(name: str, metrics_out: str | None = None) -> int:
+    import repro.experiments.runner as runner_mod
     from repro.experiments.run_all import MODULES, main as run_all_main
 
-    if name == "all":
-        run_all_main([])
+    if metrics_out:
+        import os
+
+        os.makedirs(metrics_out, exist_ok=True)
+        runner_mod.METRICS_DIR = metrics_out
+    try:
+        if name == "all":
+            run_all_main([])
+            return 0
+        table = dict(MODULES)
+        if name not in table:
+            print(
+                f"unknown experiment {name!r}; try one of: {', '.join(table)}"
+            )
+            return 2
+        table[name].main()
         return 0
-    table = dict(MODULES)
-    if name not in table:
-        print(f"unknown experiment {name!r}; try one of: {', '.join(table)}")
-        return 2
-    table[name].main()
+    finally:
+        runner_mod.METRICS_DIR = None
+
+
+def _cmd_metrics(kind: str | None) -> int:
+    from repro.obs import METRIC_CATALOG
+
+    print(f"{'NAME':38s} {'KIND':10s} {'LABELS':12s} DESCRIPTION")
+    for name, metric_kind, labels, description in METRIC_CATALOG:
+        if kind is not None and metric_kind != kind:
+            continue
+        print(f"{name:38s} {metric_kind:10s} {labels or '-':12s} {description}")
     return 0
 
 
@@ -155,7 +295,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "experiment":
-        return _cmd_experiment(args.name)
+        return _cmd_experiment(args.name, args.metrics_out)
+    if args.command == "metrics":
+        return _cmd_metrics(args.kind)
     return 2
 
 

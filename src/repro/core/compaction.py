@@ -21,7 +21,7 @@ copying for smart compaction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -83,6 +83,9 @@ class CompactionStats:
 class _CompactorBase:
     """Shared mechanics: find a destination slot and migrate a block."""
 
+    #: metrics label distinguishing the two engines ("normal" / "smart")
+    kind = "abstract"
+
     def __init__(
         self,
         buddy: BuddyAllocator,
@@ -90,6 +93,7 @@ class _CompactorBase:
         rmap: ReverseMap,
         geometry: PageGeometry,
         cost: CostModel,
+        obs=None,
     ) -> None:
         self.buddy = buddy
         self.regions = regions
@@ -102,6 +106,60 @@ class _CompactorBase:
         #: Only mid-or-larger blocks use it (exchanging 4KB pages costs more
         #: than copying them - the paper's Section 6 scope note).
         self.pv_exchanger = None
+        self._metrics = None
+        self._tracer = None
+        self._c_attempt = None
+        if obs is not None:
+            m = obs.metrics
+            self._metrics = m
+            self._tracer = obs.tracer
+            kind = self.kind
+            self._c_attempt = m.counter("compaction_attempt_total", kind=kind)
+            self._c_success = m.counter("compaction_success_total", kind=kind)
+            self._c_copied = m.counter("compaction_bytes_copied_total", kind=kind)
+            self._c_exchanged = m.counter(
+                "compaction_bytes_exchanged_total", kind=kind
+            )
+            self._c_wasted = m.counter("compaction_wasted_bytes_total", kind=kind)
+            self._c_moved = m.counter("compaction_blocks_moved_total", kind=kind)
+            self._c_freed = m.counter("compaction_regions_freed_total", kind=kind)
+
+    def _record(self, result: CompactionResult) -> None:
+        """Fold one attempt into lifetime stats and the metrics registry."""
+        self.stats.record(result)
+        if self._c_attempt is not None:
+            self._c_attempt.inc()
+            self._c_success.inc(int(result.success))
+            self._c_copied.inc(result.bytes_copied)
+            self._c_exchanged.inc(result.bytes_exchanged)
+            self._c_wasted.inc(result.wasted_bytes)
+            self._c_moved.inc(result.blocks_moved)
+            self._c_freed.inc(result.regions_freed)
+            tr = self._tracer
+            if tr.active:
+                tr.emit(
+                    "compaction",
+                    "attempt",
+                    kind=self.kind,
+                    success=result.success,
+                    bytes_copied=result.bytes_copied,
+                    blocks_moved=result.blocks_moved,
+                    regions_freed=result.regions_freed,
+                    time_ns=result.time_ns,
+                )
+
+    def _abort(self, region: int, reason: str) -> None:
+        """Account one abandoned evacuation (Figure 6's wasted-work cases)."""
+        if self._metrics is not None:
+            self._metrics.counter(
+                "compaction_abort_total", kind=self.kind, reason=reason
+            ).inc()
+            tr = self._tracer
+            if tr.active:
+                tr.emit(
+                    "compaction", "abort", kind=self.kind, region=region,
+                    reason=reason,
+                )
 
     # -- destination search ------------------------------------------------
     def _find_free_slot(self, region: int, order: int) -> int | None:
@@ -151,6 +209,12 @@ class _CompactorBase:
         self.buddy.alloc_at(dest, order, movable=movable)
         self.rmap.moved(pfn, dest)
         self.buddy.free(pfn)
+        tr = self._tracer
+        if tr is not None and tr.active:
+            tr.emit(
+                "compaction", "migrate", kind=self.kind, src=pfn, dst=dest,
+                order=order, exchanged=bool(exchanged),
+            )
         return copied, exchanged, ns
 
     def _blocks_in_region(self, region: int) -> list[tuple[int, int, bool]]:
@@ -174,6 +238,8 @@ class _CompactorBase:
 
 class NormalCompactor(_CompactorBase):
     """Linux-style sequential compaction (Figure 6a)."""
+
+    kind = "normal"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -201,7 +267,7 @@ class NormalCompactor(_CompactorBase):
                 # attempt resumes this region's evacuation (Linux's migrate
                 # scanner position persists across runs the same way).
                 self._cursor = region
-                self.stats.record(result)
+                self._record(result)
                 return result
             region = (self._cursor + step) % n
             if self.regions.is_fully_free(region):
@@ -214,7 +280,7 @@ class NormalCompactor(_CompactorBase):
         else:
             result.success = self.buddy.has_free_block(order)
         self._cursor = (region + 1) % n
-        self.stats.record(result)
+        self._record(result)
         return result
 
     def _evacuate_sequential(
@@ -235,10 +301,12 @@ class NormalCompactor(_CompactorBase):
             if not migratable:
                 # Paper: copying done so far for this region is wasted.
                 result.wasted_bytes += copied_here
+                self._abort(region, "unmovable")
                 return None
             dest = self._place_in_targets(order, targets)
             if dest is None:
                 result.wasted_bytes += copied_here
+                self._abort(region, "no_slot")
                 return None
             copied, exchanged, ns = self._migrate(pfn, order, dest, movable)
             copied_here += copied
@@ -252,6 +320,8 @@ class NormalCompactor(_CompactorBase):
 
 class SmartCompactor(_CompactorBase):
     """Trident's counter-guided compaction (Figure 6b)."""
+
+    kind = "smart"
 
     def compact(
         self,
@@ -270,7 +340,7 @@ class SmartCompactor(_CompactorBase):
         result = CompactionResult(success=False)
         if self.buddy.has_free_block(order):
             result.success = True
-            self.stats.record(result)
+            self._record(result)
             return result
         tried = 0
         for source in self.regions.best_source_regions():
@@ -281,7 +351,7 @@ class SmartCompactor(_CompactorBase):
                 if self.buddy.has_free_block(order):
                     result.success = True
                     break
-        self.stats.record(result)
+        self._record(result)
         return result
 
     def _evacuate_selected(
@@ -292,18 +362,22 @@ class SmartCompactor(_CompactorBase):
         # copying a single byte — the counters already exclude unmovable
         # pages; this catches rmap-less allocations (e.g. zero-fill pool).
         if any(self.rmap.lookup(pfn) is None for pfn, _, _ in blocks):
+            self._abort(source, "unmigratable")
             return False
         occupied = self.regions.occupied_frames(source)
         targets = self.regions.best_target_regions(exclude={source})
         capacity = sum(int(self.regions.free_frames[r]) for r in targets)
         if capacity < occupied:
+            self._abort(source, "no_capacity")
             return False
         for pfn, order, movable in blocks:
             if result.time_ns >= budget_ns:
+                self._abort(source, "budget")
                 return False  # out of budget: resume next attempt
             dest = self._place_in_targets(order, targets)
             if dest is None:
                 # Capacity existed but not in aligned slots of this order.
+                self._abort(source, "no_slot")
                 return False
             copied, exchanged, ns = self._migrate(pfn, order, dest, movable)
             result.bytes_copied += copied

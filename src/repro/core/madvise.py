@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import bisect
 
-from repro.config import PageSize
 from repro.core.trident import TridentPolicy
 
 #: madvise advice values (mirroring Linux's)

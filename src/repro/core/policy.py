@@ -95,6 +95,48 @@ class MemoryPolicy:
     def __init__(self, kernel) -> None:
         self.kernel = kernel
         self.stats = PolicyStats()
+        obs = getattr(kernel, "obs", None)
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None:
+            obs.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, metrics) -> None:
+        """Snapshot-time mirror of :class:`PolicyStats` into the registry.
+
+        Mirroring (instead of double-counting on the hot path) guarantees
+        the registry and the figures built from ``RunMetrics`` agree.
+        """
+        s = self.stats
+        metrics.counter("policy_faults_total").set(s.faults)
+        metrics.counter("policy_fault_ns_total").set(s.fault_ns)
+        metrics.counter("policy_daemon_ns_total").set(s.daemon_ns)
+        for size in PageSize.ALL:
+            name = PageSize.X86_NAMES[size]
+            metrics.counter("policy_fault_mapped_total", size=name).set(
+                s.fault_mapped[size]
+            )
+            metrics.counter("policy_promoted_total", size=name).set(
+                s.promoted[size]
+            )
+            metrics.counter("policy_demoted_total", size=name).set(
+                s.demoted[size]
+            )
+        metrics.counter("policy_fault_large_attempts_total").set(
+            s.fault_large_attempts
+        )
+        metrics.counter("policy_fault_large_failures_total").set(
+            s.fault_large_failures
+        )
+        metrics.counter("policy_promo_large_attempts_total").set(
+            s.promo_large_attempts
+        )
+        metrics.counter("policy_promo_large_failures_total").set(
+            s.promo_large_failures
+        )
+        metrics.counter("policy_promo_copy_bytes_total").set(s.promo_copy_bytes)
+        metrics.counter("policy_bloat_recovered_bytes_total").set(
+            s.bloat_bytes_recovered
+        )
 
     # -- interface ----------------------------------------------------------
     def handle_fault(self, process, va: int) -> float:
@@ -166,6 +208,13 @@ class MemoryPolicy:
         self.stats.demoted[mapping.page_size] += 1
         freed = nbytes // base - len(keep)
         self.stats.bloat_bytes_recovered += freed * base
+        tr = self._tracer
+        if tr is not None and tr.active:
+            tr.emit(
+                "policy", "demote_in_place",
+                va=mapping.va, size=PageSize.X86_NAMES[mapping.page_size],
+                frames_freed=freed,
+            )
         return freed
 
     def _install(self, process, va: int, page_size: int, pfn: int) -> Mapping:
@@ -232,6 +281,12 @@ class MemoryPolicy:
         self.stats.fault_ns += latency_ns
         self.stats.fault_latencies.append(latency_ns)
         self.stats.fault_mapped[page_size] += 1
+        tr = self._tracer
+        if tr is not None and tr.active:
+            tr.emit(
+                "policy", "fault_mapped", size=PageSize.X86_NAMES[page_size],
+                latency_ns=latency_ns,
+            )
         return latency_ns
 
     def _map_base_fault(self, process, va: int) -> float:

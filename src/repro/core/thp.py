@@ -221,6 +221,13 @@ class THPPolicy(MemoryPolicy):
         process.tlb.invalidate_range(va, nbytes)
         self.stats.promoted[page_size] += 1
         self.stats.promo_copy_bytes += present_bytes
+        tr = self._tracer
+        if tr is not None and tr.active:
+            tr.emit(
+                "policy", "promote", va=va,
+                size=PageSize.X86_NAMES[page_size],
+                copied_bytes=present_bytes, small_mappings=len(present),
+            )
         return (
             cost.copy_ns(present_bytes)
             + cost.zero_ns(nbytes - present_bytes)

@@ -21,6 +21,7 @@ Trident-1Gonly, ``smart_compaction=False`` gives Trident-NC.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterator
 
 from repro.config import PageSize
@@ -84,6 +85,12 @@ class TridentPolicy(THPPolicy):
             # Page faults never compact (that would stall the application);
             # khugepaged will promote this range later if memory allows.
             self.stats.fault_large_failures += 1
+            tr = self._tracer
+            if tr is not None and tr.active:
+                tr.emit(
+                    "policy", "large_fault_fallback", va=va,
+                    reason="no_contiguous_block",
+                )
             return None
         start = geometry.align_down(va, PageSize.LARGE)
         self._install(process, start, PageSize.LARGE, pfn)
@@ -92,7 +99,6 @@ class TridentPolicy(THPPolicy):
         # plus the time the application spends initializing the region
         # before touching the next one (~ writing one large page), is time
         # it spends pre-zeroing the next block for the pool.
-        geometry = self.kernel.geometry
         self.kernel.zerofill.background_fill(
             latency + 0.5 * self.kernel.cost.zero_ns(geometry.large_size)
         )
@@ -119,9 +125,14 @@ class TridentPolicy(THPPolicy):
                     yield process, start, PageSize.LARGE
                 if not self.use_mid:
                     continue
-                # Mid slots outside the large-mappable interior.
+                # Mid slots outside the large-mappable interior.  The large
+                # slots are sorted and disjoint, so one bisect per mid slot
+                # replaces the O(large x mid) linear overlap scan — many-VMA
+                # address spaces keep khugepaged's pass linear overall.
+                starts = [s for s, _ in covered]
                 for start, _ in mappable_ranges(vma, PageSize.MID, geometry):
-                    inside_large = any(s <= start < e for s, e in covered)
+                    i = bisect_right(starts, start) - 1
+                    inside_large = i >= 0 and start < covered[i][1]
                     if not inside_large:
                         yield process, start, PageSize.MID
 
@@ -138,6 +149,14 @@ class TridentPolicy(THPPolicy):
         if pfn is not None:
             return spent + self._promote(process, va, PageSize.LARGE, pfn, present)
         self.stats.promo_large_failures += 1
+        tr = self._tracer
+        if tr is not None and tr.active:
+            # The Figure 5 decision point: no 1GB chunk could be produced,
+            # fall back to the slot's 2MB sub-ranges (or give up).
+            tr.emit(
+                "policy", "promo_large_fallback", va=va,
+                to_mid=self.use_mid, spent_ns=spent,
+            )
         if not self.use_mid:
             return spent
         # Figure 5 fallback: promote the slot's mid sub-ranges instead.

@@ -17,7 +17,6 @@ from typing import Iterator
 
 from repro.config import PageSize
 from repro.core.trident import TridentPolicy
-from repro.vm.mappability import mappable_ranges
 
 
 class TridentHeatPolicy(TridentPolicy):

@@ -14,7 +14,7 @@ Reproduces the paper's quoted wall-clock numbers at real x86 scale
 
 from __future__ import annotations
 
-from repro.config import X86_GEOMETRY, CostModel, PageSize
+from repro.config import X86_GEOMETRY, CostModel
 from repro.experiments.report import print_and_save
 
 #: boot-time work (decompress, init, device setup) that zeroing overlaps with

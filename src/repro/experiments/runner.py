@@ -17,6 +17,7 @@ top of the steady-state compute term.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,10 +29,67 @@ from repro.config import (
     default_machine,
 )
 from repro.experiments.configs import policy_factory
+from repro.obs import Observability
 from repro.sim.perfmodel import PerfModel, RunMetrics
 from repro.sim.system import System
 from repro.vm.mappability import MappabilityScanner
 from repro.workloads.registry import get_workload
+
+#: when set (``repro experiment --metrics-out DIR``), every runner writes a
+#: per-run ``metrics_<workload>_<policy>.json`` into this directory, next to
+#: the report CSVs
+METRICS_DIR: str | None = None
+
+
+def _metrics_run_section(metrics: RunMetrics) -> dict:
+    """The RunMetrics-derived summary embedded in each metrics.json."""
+    return {
+        "policy": metrics.policy,
+        "workload": metrics.workload,
+        "accesses": metrics.accesses,
+        "walks": metrics.walks,
+        "walk_cycle_fraction": metrics.walk_cycle_fraction,
+        "runtime_ns": metrics.runtime_ns,
+        "fault_ns": metrics.fault_ns,
+        "daemon_ns": metrics.daemon_ns,
+        "bloat_bytes": metrics.bloat_bytes,
+        "compaction_bytes_copied": metrics.compaction_bytes_copied,
+        "fault_large_attempts": metrics.fault_large_attempts,
+        "fault_large_failures": metrics.fault_large_failures,
+        "promo_large_attempts": metrics.promo_large_attempts,
+        "promo_large_failures": metrics.promo_large_failures,
+        "zerofill_pool_hits": metrics.zerofill_pool_hits,
+        "zerofill_pool_misses": metrics.zerofill_pool_misses,
+        "zerofill_blocks_zeroed": metrics.zerofill_blocks_zeroed,
+    }
+
+
+def emit_metrics_json(
+    obs: Observability, metrics: RunMetrics, explicit_path: str | None
+) -> str | None:
+    """Write one run's metrics.json (explicit path or the METRICS_DIR drop).
+
+    Returns the path written, or None when neither destination is set.
+    """
+    path = explicit_path
+    if path is None and METRICS_DIR:
+        safe = f"metrics_{metrics.workload}_{metrics.policy}".replace("/", "_")
+        path = os.path.join(METRICS_DIR, f"{safe}.json")
+    if path is None:
+        return None
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return obs.write_metrics_json(path, extra={"run": _metrics_run_section(metrics)})
+
+
+def _build_obs(config) -> Observability:
+    subsystems: tuple[str, ...] | str = ()
+    if config.trace:
+        subsystems = config.trace_subsystems or "all"
+    return Observability(
+        trace_subsystems=subsystems, trace_capacity=config.trace_capacity
+    )
 
 
 @dataclass
@@ -62,6 +120,13 @@ class RunConfig:
     #: even with compaction.  None = run daemons to convergence.
     daemon_total_fraction: float | None = 0.25
     fragment_kwargs: dict = field(default_factory=dict)
+    #: observability: enable the structured-event tracer for this run
+    trace: bool = False
+    #: subsystems to trace; None/empty = all of repro.obs.trace.SUBSYSTEMS
+    trace_subsystems: tuple[str, ...] | None = None
+    trace_capacity: int = 65536
+    #: write the metrics registry snapshot (plus a RunMetrics summary) here
+    metrics_out: str | None = None
 
 
 class _WorkloadAPI:
@@ -96,11 +161,13 @@ class NativeRunner:
         self.config = config
         self.workload = get_workload(config.workload)
         self.machine = self._size_machine()
+        self.obs = _build_obs(config)
         self.system = System(
             self.machine,
             policy_factory(config.policy),
             seed=config.seed,
             daemon_budget_ns=config.daemon_budget_ns,
+            obs=self.obs,
         )
         self.scanner: MappabilityScanner | None = None
 
@@ -150,7 +217,9 @@ class NativeRunner:
             walk_exposure=self.workload.spec.walk_exposure,
             fault_parallelism=self.workload.spec.threads,
         )
-        return model.collect(self.system, process, cfg.workload, latencies)
+        metrics = model.collect(self.system, process, cfg.workload, latencies)
+        emit_metrics_json(self.obs, metrics, cfg.metrics_out)
+        return metrics
 
     def _settle(self) -> None:
         """Run daemons until convergence or the run's total CPU allowance."""
@@ -241,6 +310,11 @@ class VirtRunConfig:
     #: opening Trident-pv exploits.
     guest_daemon_total_s: float | None = None
     fragment_kwargs: dict = field(default_factory=dict)
+    #: observability (instruments the *guest* system; the host runs bare)
+    trace: bool = False
+    trace_subsystems: tuple[str, ...] | None = None
+    trace_capacity: int = 65536
+    metrics_out: str | None = None
 
 
 class VirtRunner:
@@ -280,6 +354,7 @@ class VirtRunner:
         else:
             guest_factory = policy_factory(config.guest_policy)
 
+        self.obs = _build_obs(config)
         self.vm = VirtualMachine(
             guest_machine,
             host_machine,
@@ -287,6 +362,7 @@ class VirtRunner:
             policy_factory(config.host_policy),
             seed=config.seed,
             guest_daemon_budget_ns=config.guest_daemon_budget_ns,
+            guest_obs=self.obs,
         )
 
     def run(self) -> RunMetrics:
@@ -339,6 +415,7 @@ class VirtRunner:
             host_exposure / metrics.daemon_exposure
         )
         metrics.policy = self._label()
+        emit_metrics_json(self.obs, metrics, cfg.metrics_out)
         return metrics
 
     def _settle_uncapped(self, total_ns: float) -> None:

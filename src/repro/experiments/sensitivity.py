@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.config import TLBConfig, default_machine
+from repro.config import TLBConfig
 from repro.experiments.report import print_and_save
 from repro.experiments.runner import NativeRunner, RunConfig
 

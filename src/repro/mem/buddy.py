@@ -90,6 +90,7 @@ class BuddyAllocator:
         total_frames: int,
         max_order: int,
         listeners: tuple[AllocationListener, ...] = (),
+        obs=None,
     ) -> None:
         if max_order < 0:
             raise ValueError(f"max_order must be >= 0, got {max_order}")
@@ -106,9 +107,38 @@ class BuddyAllocator:
         self._allocated: dict[int, tuple[int, bool]] = {}
         self._listeners = list(listeners)
         self._free_frames = total_frames
+        self._tracer = None
+        self._c_alloc = self._c_free = None
+        self._c_split = self._c_coalesce = None
+        if obs is not None:
+            self._attach_obs(obs)
         top = 1 << max_order
         for start in range(0, total_frames, top):
             self._free_lists[max_order].add(start)
+
+    def _attach_obs(self, obs) -> None:
+        """Wire counters (hot paths hold direct references) and gauges.
+
+        The free-list-depth and free-frame gauges are *collector-mirrored*:
+        the allocator already maintains the authoritative values, so they
+        are copied into the registry at snapshot time instead of on every
+        alloc/free — the buddy hot paths carry no gauge writes at all.
+        """
+        m = obs.metrics
+        self._tracer = obs.tracer
+        orders = range(self.max_order + 1)
+        self._c_alloc = [m.counter("buddy_alloc_total", order=o) for o in orders]
+        self._c_free = [m.counter("buddy_free_total", order=o) for o in orders]
+        self._c_split = m.counter("buddy_split_total")
+        self._c_coalesce = m.counter("buddy_coalesce_total")
+        m.add_collector(self._collect)
+
+    def _collect(self, metrics) -> None:
+        metrics.gauge("buddy_free_frames").value = self._free_frames
+        for order in range(self.max_order + 1):
+            metrics.gauge("buddy_free_blocks", order=order).value = len(
+                self._free_lists[order]
+            )
 
     # -- introspection ---------------------------------------------------
     @property
@@ -168,6 +198,8 @@ class BuddyAllocator:
         if source is None:
             raise OutOfMemoryError(f"no free block at order >= {order}")
         pfn = self._free_lists[source].pop_lowest()
+        if self._c_split is not None and source > order:
+            self._c_split.inc(source - order)
         while source > order:
             source -= 1
             self._free_lists[source].add(pfn + (1 << source))
@@ -204,6 +236,8 @@ class BuddyAllocator:
                 f"cover requested [{pfn}, {pfn + (1 << order)})"
             )
         self._free_lists[encl_order].discard(encl_pfn)
+        if self._c_split is not None and encl_order > order:
+            self._c_split.inc(encl_order - order)
         # Split the enclosing block down until the target block is isolated.
         cur_pfn, cur_order = encl_pfn, encl_order
         while cur_order > order:
@@ -234,6 +268,11 @@ class BuddyAllocator:
         )
         self._allocated[pfn] = (order, movable)
         self._free_frames -= n
+        if self._c_alloc is not None:
+            self._c_alloc[order].inc()
+            tr = self._tracer
+            if tr.active:
+                tr.emit("buddy", "alloc", pfn=pfn, order=order, movable=movable)
         for listener in self._listeners:
             listener.on_alloc(pfn, order, movable)
 
@@ -247,11 +286,17 @@ class BuddyAllocator:
         n = 1 << order
         self.frame_state[pfn : pfn + n] = FrameState.FREE
         self._free_frames += n
+        if self._c_free is not None:
+            self._c_free[order].inc()
+            tr = self._tracer
+            if tr.active:
+                tr.emit("buddy", "free", pfn=pfn, order=order, movable=movable)
         for listener in self._listeners:
             listener.on_free(pfn, order, movable)
         self._insert_and_coalesce(pfn, order)
 
     def _insert_and_coalesce(self, pfn: int, order: int) -> None:
+        merges = 0
         while order < self.max_order:
             buddy = pfn ^ (1 << order)
             if buddy not in self._free_lists[order]:
@@ -259,6 +304,9 @@ class BuddyAllocator:
             self._free_lists[order].discard(buddy)
             pfn = min(pfn, buddy)
             order += 1
+            merges += 1
+        if merges and self._c_coalesce is not None:
+            self._c_coalesce.inc(merges)
         self._free_lists[order].add(pfn)
 
     # -- verification (used by tests) ---------------------------------------

@@ -28,7 +28,9 @@ class RegionTracker:
     touches exactly one region.
     """
 
-    def __init__(self, total_frames: int, geometry: PageGeometry) -> None:
+    def __init__(
+        self, total_frames: int, geometry: PageGeometry, obs=None
+    ) -> None:
         fpl = geometry.frames_per_large
         if total_frames % fpl:
             raise ValueError(
@@ -40,6 +42,19 @@ class RegionTracker:
         self.frames_per_region = fpl
         self.free_frames = np.full(self.n_regions, fpl, dtype=np.int64)
         self.unmovable_frames = np.zeros(self.n_regions, dtype=np.int64)
+        self._tracer = None
+        if obs is not None:
+            self._tracer = obs.tracer
+            obs.metrics.add_collector(self._collect)
+
+    def _collect(self, metrics) -> None:
+        """Snapshot-time mirror of the O(1) per-region counters."""
+        metrics.gauge("regions_fully_free").value = int(
+            (self.free_frames == self.frames_per_region).sum()
+        )
+        metrics.gauge("regions_with_unmovable").value = int(
+            (self.unmovable_frames > 0).sum()
+        )
 
     def region_of(self, pfn: int) -> int:
         """Index of the large region containing frame ``pfn``."""
@@ -88,6 +103,14 @@ class RegionTracker:
             and 0 < self.free_frames[r] < self.frames_per_region
         ]
         candidates.sort(key=lambda r: (-self.free_frames[r], r))
+        tr = self._tracer
+        if tr is not None and tr.active:
+            tr.emit(
+                "regions",
+                "select_sources",
+                candidates=candidates[:8],
+                total=len(candidates),
+            )
         return candidates
 
     def best_target_regions(self, exclude: set[int]) -> list[int]:
@@ -102,6 +125,14 @@ class RegionTracker:
             if r not in exclude and self.free_frames[r] > 0
         ]
         candidates.sort(key=lambda r: (self.free_frames[r], r))
+        tr = self._tracer
+        if tr is not None and tr.active:
+            tr.emit(
+                "regions",
+                "select_targets",
+                candidates=candidates[:8],
+                total=len(candidates),
+            )
         return candidates
 
     def check_against(self, frame_state: np.ndarray) -> None:

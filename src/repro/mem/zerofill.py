@@ -27,6 +27,7 @@ class ZeroFillEngine:
         geometry: PageGeometry,
         cost: CostModel,
         pool_capacity: int = 2,
+        obs=None,
     ) -> None:
         if pool_capacity < 0:
             raise ValueError(f"pool_capacity must be >= 0, got {pool_capacity}")
@@ -38,10 +39,31 @@ class ZeroFillEngine:
         self._progress_ns = 0.0  # budget accrued toward the next block
         self.blocks_zeroed = 0
         self.zero_ns_spent = 0.0
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self.blocks_released = 0
+        self._tracer = None
+        self._c_fill = self._c_hit = self._c_miss = None
+        self._c_release = self._c_credit_dropped = self._g_pool = None
+        if obs is not None:
+            m = obs.metrics
+            self._tracer = obs.tracer
+            self._c_fill = m.counter("zerofill_fill_total")
+            self._c_hit = m.counter("zerofill_take_hit_total")
+            self._c_miss = m.counter("zerofill_take_miss_total")
+            self._c_release = m.counter("zerofill_release_total")
+            self._c_credit_dropped = m.counter("zerofill_credit_dropped_ns_total")
+            self._g_pool = m.gauge("zerofill_pool_size")
 
     @property
     def pool_size(self) -> int:
         return len(self._pool)
+
+    def _drop_credit(self, amount_ns: float) -> None:
+        """Surrender accrued zeroing credit (pressure release / no work)."""
+        self._progress_ns = 0.0
+        if self._c_credit_dropped is not None and amount_ns > 0.0:
+            self._c_credit_dropped.inc(amount_ns)
 
     def take_zeroed(self) -> int | None:
         """Pop a pre-zeroed large block; the caller now owns the allocation.
@@ -51,7 +73,21 @@ class ZeroFillEngine:
         page size).
         """
         if self._pool:
-            return self._pool.pop()
+            pfn = self._pool.pop()
+            self.pool_hits += 1
+            if self._c_hit is not None:
+                self._c_hit.inc()
+                self._g_pool.value = len(self._pool)
+                tr = self._tracer
+                if tr.active:
+                    tr.emit("zerofill", "take", pfn=pfn, hit=True)
+            return pfn
+        self.pool_misses += 1
+        if self._c_miss is not None:
+            self._c_miss.inc()
+            tr = self._tracer
+            if tr.active:
+                tr.emit("zerofill", "take", hit=False)
         return None
 
     def background_fill(self, budget_ns: float) -> float:
@@ -75,11 +111,17 @@ class ZeroFillEngine:
             if pfn is None:
                 # No free large block to zero: return the unused credit.
                 spent -= self._progress_ns
-                self._progress_ns = 0.0
+                self._drop_credit(self._progress_ns)
                 break
             self._pool.append(pfn)
             self.blocks_zeroed += 1
             self._progress_ns -= block_cost
+            if self._c_fill is not None:
+                self._c_fill.inc()
+                self._g_pool.value = len(self._pool)
+                tr = self._tracer
+                if tr.active:
+                    tr.emit("zerofill", "fill", pfn=pfn, cost_ns=block_cost)
         if len(self._pool) >= self.pool_capacity:
             spent -= self._progress_ns
             self._progress_ns = 0.0
@@ -93,6 +135,17 @@ class ZeroFillEngine:
         for pfn in self._pool:
             self.buddy.free(pfn)
         self._pool.clear()
+        # The credit was accrued toward blocks the reclaim path just took
+        # away; keeping it would let the next daemon tick instantly re-grab
+        # the large blocks that reclaim freed, defeating the release.
+        self._drop_credit(self._progress_ns)
+        self.blocks_released += released
+        if self._c_release is not None:
+            self._c_release.inc(released)
+            self._g_pool.value = 0
+            tr = self._tracer
+            if tr.active:
+                tr.emit("zerofill", "release_all", released=released)
         return released
 
     # -- latency helpers used by the fault handler -------------------------

@@ -1,0 +1,114 @@
+"""Observability: metrics registry + structured-event tracer.
+
+One :class:`Observability` instance accompanies one simulated machine
+(:class:`repro.sim.system.System` creates its own by default).  The memory
+substrate (buddy, zero-fill, regions, compactors), the OS policies and the
+TLB hierarchy all accept it optionally and instrument themselves when it is
+present; construction without one keeps every component fully functional
+with zero observability overhead.
+
+See ``docs/observability.md`` for the event schema, metric names and
+overhead notes, and ``repro metrics`` for the live catalog.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_key,
+)
+from repro.obs.trace import SUBSYSTEMS, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "Observability",
+    "SUBSYSTEMS",
+    "DEFAULT_BUCKETS",
+    "METRIC_CATALOG",
+    "render_key",
+]
+
+
+class Observability:
+    """The per-machine bundle: a metrics registry and a tracer."""
+
+    def __init__(
+        self,
+        trace_subsystems: tuple[str, ...] | str = (),
+        trace_capacity: int = 65536,
+    ) -> None:
+        if trace_subsystems == "all":
+            trace_subsystems = SUBSYSTEMS
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(capacity=trace_capacity, subsystems=trace_subsystems)
+
+    def write_metrics_json(self, path: str, extra: dict | None = None) -> str:
+        """Snapshot the registry (and trace health) into one JSON file."""
+        sections = {"trace": self.tracer.summary()}
+        if extra:
+            sections.update(extra)
+        return self.metrics.write_json(path, extra=sections)
+
+
+#: (name, kind, labels, description) for every permanently instrumented
+#: metric — what ``repro metrics`` prints.  Collector-mirrored metrics are
+#: authoritative copies of the simulator's own stats structs, so figures
+#: built from either source agree by construction.
+METRIC_CATALOG: tuple[tuple[str, str, str, str], ...] = (
+    # buddy allocator (incrementally maintained)
+    ("buddy_alloc_total", "counter", "order", "block allocations at order"),
+    ("buddy_free_total", "counter", "order", "block frees at order"),
+    ("buddy_split_total", "counter", "", "block splits while allocating"),
+    ("buddy_coalesce_total", "counter", "", "buddy merges while freeing"),
+    ("buddy_free_blocks", "gauge", "order", "free-list depth at order"),
+    ("buddy_free_frames", "gauge", "", "total free base frames"),
+    # zero-fill engine (incrementally maintained)
+    ("zerofill_fill_total", "counter", "", "blocks pre-zeroed into the pool"),
+    ("zerofill_take_hit_total", "counter", "", "take_zeroed served from pool"),
+    ("zerofill_take_miss_total", "counter", "", "take_zeroed on empty pool"),
+    ("zerofill_release_total", "counter", "", "blocks released under pressure"),
+    ("zerofill_credit_dropped_ns_total", "counter", "", "zeroing credit surrendered"),
+    ("zerofill_pool_size", "gauge", "", "pre-zeroed blocks currently pooled"),
+    # compaction (incrementally maintained)
+    ("compaction_attempt_total", "counter", "kind", "compact() calls"),
+    ("compaction_success_total", "counter", "kind", "attempts that produced a block"),
+    ("compaction_bytes_copied_total", "counter", "kind", "bytes physically copied"),
+    ("compaction_bytes_exchanged_total", "counter", "kind", "bytes moved via pv exchange"),
+    ("compaction_wasted_bytes_total", "counter", "kind", "bytes copied then abandoned"),
+    ("compaction_blocks_moved_total", "counter", "kind", "blocks migrated"),
+    ("compaction_regions_freed_total", "counter", "kind", "source regions fully evacuated"),
+    ("compaction_abort_total", "counter", "kind,reason", "evacuations aborted, by reason"),
+    # region counters (collector-mirrored from RegionTracker)
+    ("regions_fully_free", "gauge", "", "large regions with every frame free"),
+    ("regions_with_unmovable", "gauge", "", "large regions pinned by unmovable frames"),
+    # policy layer (collector-mirrored from PolicyStats)
+    ("policy_faults_total", "counter", "", "page faults handled"),
+    ("policy_fault_ns_total", "counter", "", "cumulative fault latency"),
+    ("policy_fault_mapped_total", "counter", "size", "fault-time mappings by page size"),
+    ("policy_promoted_total", "counter", "size", "promotions by target page size"),
+    ("policy_demoted_total", "counter", "size", "demotions by source page size"),
+    ("policy_fault_large_attempts_total", "counter", "", "1GB attempts at fault time"),
+    ("policy_fault_large_failures_total", "counter", "", "1GB fault attempts that fell back"),
+    ("policy_promo_large_attempts_total", "counter", "", "1GB promotion attempts"),
+    ("policy_promo_large_failures_total", "counter", "", "1GB promotions that fell back"),
+    ("policy_promo_copy_bytes_total", "counter", "", "bytes copied by promotion"),
+    ("policy_daemon_ns_total", "counter", "", "background daemon CPU consumed"),
+    ("policy_bloat_recovered_bytes_total", "counter", "", "bloat bytes recovered"),
+    # TLB (histogram incremental; totals collector-mirrored)
+    ("tlb_walk_cycles", "histogram", "size", "page-walk latency distribution"),
+    ("tlb_accesses_total", "counter", "", "translations requested"),
+    ("tlb_l1_hits_total", "counter", "", "L1 TLB hits"),
+    ("tlb_l2_hits_total", "counter", "", "L2 TLB hits"),
+    ("tlb_walks_total", "counter", "size", "page walks by page size"),
+    # system-level (collector-mirrored)
+    ("system_fmfi", "gauge", "", "free-memory fragmentation index at large order"),
+    ("system_daemon_ns_total", "counter", "", "daemon ns across all ticks"),
+)

@@ -1,0 +1,205 @@
+"""A kernel-style metrics registry: counters, gauges and histograms.
+
+The simulator's claims live in counters (zero-fill pool hit rates,
+compaction bytes copied, promotion attempt/failure ratios — Figures 5, 7,
+11 and Tables 4, 5 of the paper), so the registry is designed the way
+``/proc/vmstat`` and tracefs are: a flat namespace of named metrics, each
+optionally qualified by a small set of labels, cheap enough to update from
+hot paths.
+
+Three metric kinds:
+
+* :class:`Counter` — monotonically increasing value (events, bytes, ns).
+* :class:`Gauge` — point-in-time value (pool size, free-list depth).
+* :class:`Histogram` — fixed-boundary bucketed distribution (walk latency).
+
+Hot paths hold direct references to metric objects (``self._c_alloc[order]``
+style) so the per-event cost is one attribute increment — the registry's
+name/label lookup happens only at registration time.  Derived or aggregate
+metrics that would be expensive to maintain incrementally are filled in by
+*collectors*: callbacks run once per :meth:`MetricsRegistry.snapshot`,
+mirroring authoritative simulator state (``PolicyStats``,
+``TranslationStats``) into the registry — the same split the kernel makes
+between per-cpu event counters and fill-on-read ``/proc`` files.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+
+def render_key(name: str, labels: dict) -> str:
+    """Canonical flat key: ``name`` or ``name{k=v,...}`` with sorted keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic event counter.  ``inc`` is the hot-path entry point."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def set(self, value: int | float) -> None:
+        """Overwrite the value (collector mirroring only — not hot paths)."""
+        self.value = value
+
+
+class Gauge:
+    """Point-in-time value; hot paths assign :attr:`value` directly."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+
+#: default bucket upper bounds — powers of four from 1 to ~10^9, a decade
+#: ladder wide enough for cycle counts and nanosecond latencies alike
+DEFAULT_BUCKETS = tuple(4**i for i in range(16))
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative-style buckets on export).
+
+    ``bounds`` are upper bounds of the finite buckets; one implicit
+    overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: dict, bounds: Iterable[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def export(self) -> dict:
+        buckets = {}
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            buckets[str(bound)] = n
+        buckets["+Inf"] = self.bucket_counts[-1]
+        return {"count": self.count, "sum": self.sum, "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Flat namespace of metrics plus snapshot-time collectors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: list[Callable[["MetricsRegistry"], None]] = []
+
+    # -- registration (get-or-create) --------------------------------------
+    def _get_or_create(self, cls, name: str, labels: dict, **kwargs):
+        key = render_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {key!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None, **labels
+    ) -> Histogram:
+        kwargs = {} if buckets is None else {"bounds": buckets}
+        return self._get_or_create(Histogram, name, labels, **kwargs)
+
+    # -- collectors ---------------------------------------------------------
+    def add_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a callback run once per snapshot (fill-on-read metrics)."""
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        for fn in self._collectors:
+            fn(self)
+
+    # -- read side ----------------------------------------------------------
+    def get(self, name: str, **labels) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(render_key(name, labels))
+
+    def value(self, name: str, **labels) -> int | float:
+        """Current value of a counter/gauge (0 if never registered)."""
+        metric = self.get(name, **labels)
+        if metric is None:
+            return 0
+        if isinstance(metric, Histogram):
+            raise TypeError(f"{name} is a histogram; read .export() instead")
+        return metric.value
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Run collectors, then export everything as plain JSON-able dicts."""
+        self.collect()
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            if isinstance(metric, Counter):
+                out["counters"][key] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][key] = metric.value
+            else:
+                out["histograms"][key] = metric.export()
+        return out
+
+    def write_json(self, path: str, extra: dict | None = None) -> str:
+        """Write a snapshot (plus optional extra sections) to ``path``."""
+        data = self.snapshot()
+        if extra:
+            data.update(extra)
+        with open(path, "w") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
+        return path

@@ -1,0 +1,130 @@
+"""Bounded structured-event tracer — the simulator's tracefs.
+
+Events are (seq, subsystem, event, fields) records appended to a ring
+buffer of fixed capacity: old events fall off the front under pressure
+(``dropped`` counts them), exactly like a ftrace per-cpu ring.  Each
+subsystem is gated by its own enable flag; with nothing enabled the tracer
+costs one attribute read per *guarded* call site::
+
+    tr = self._tracer
+    if tr is not None and tr.active:
+        tr.emit("buddy", "alloc", pfn=pfn, order=order)
+
+``active`` is maintained eagerly by :meth:`enable`/:meth:`disable`, so the
+disabled-path cost is a None check plus a bool read — near-zero, which is
+what lets the instrumentation live permanently in the hot layers (the
+eBPF-mm argument: observability must be cheap enough to never remove).
+
+Export is JSONL (one event object per line), the format every trace
+tooling pipeline ingests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from collections import deque
+from typing import IO, Iterable, Iterator
+
+#: every subsystem with permanent instrumentation (``enable_all`` scope)
+SUBSYSTEMS = ("buddy", "zerofill", "regions", "compaction", "policy", "tlb")
+
+
+class Tracer:
+    """Per-subsystem gated ring buffer of structured events."""
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        subsystems: Iterable[str] = (),
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[tuple[int, str, str, dict]] = deque(maxlen=capacity)
+        self._enabled: set[str] = set(subsystems)
+        self.active = bool(self._enabled)
+        self.emitted = 0
+        self.dropped = 0
+        self._seq = 0
+        #: (subsystem, event) -> lifetime emit count (survives ring overflow)
+        self.tallies: TallyCounter = TallyCounter()
+
+    # -- enable flags -------------------------------------------------------
+    def enable(self, *subsystems: str) -> None:
+        self._enabled.update(subsystems)
+        self.active = bool(self._enabled)
+
+    def enable_all(self) -> None:
+        self.enable(*SUBSYSTEMS)
+
+    def disable(self, *subsystems: str) -> None:
+        if subsystems:
+            self._enabled.difference_update(subsystems)
+        else:
+            self._enabled.clear()
+        self.active = bool(self._enabled)
+
+    def is_enabled(self, subsystem: str) -> bool:
+        return subsystem in self._enabled
+
+    @property
+    def enabled_subsystems(self) -> frozenset:
+        return frozenset(self._enabled)
+
+    # -- emission -----------------------------------------------------------
+    def emit(self, subsystem: str, event: str, **fields) -> None:
+        """Record one event if ``subsystem`` is enabled; else a no-op."""
+        if subsystem not in self._enabled:
+            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._seq += 1
+        self.emitted += 1
+        self.tallies[(subsystem, event)] += 1
+        self._events.append((self._seq, subsystem, event, fields))
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.tallies.clear()
+        self.emitted = 0
+        self.dropped = 0
+
+    # -- read side ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self, subsystem: str | None = None, event: str | None = None
+    ) -> Iterator[dict]:
+        """Buffered events, oldest first, as flat dicts."""
+        for seq, sub, name, fields in self._events:
+            if subsystem is not None and sub != subsystem:
+                continue
+            if event is not None and name != event:
+                continue
+            yield {"seq": seq, "subsystem": sub, "event": name, **fields}
+
+    def summary(self) -> dict:
+        """Lifetime emit tallies plus buffer health, for CLI display."""
+        return {
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "buffered": len(self._events),
+            "events": {
+                f"{sub}:{name}": count
+                for (sub, name), count in sorted(self.tallies.items())
+            },
+        }
+
+    def export_jsonl(self, dest: str | IO[str]) -> int:
+        """Write buffered events as JSON Lines; returns the event count."""
+        if isinstance(dest, str):
+            with open(dest, "w") as f:
+                return self.export_jsonl(f)
+        n = 0
+        for record in self.events():
+            dest.write(json.dumps(record, sort_keys=True))
+            dest.write("\n")
+            n += 1
+        return n

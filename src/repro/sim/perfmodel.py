@@ -30,9 +30,8 @@ or per-environment calibration constants documented in
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-
-from repro.config import PageSize
 
 
 @dataclass
@@ -69,6 +68,11 @@ class RunMetrics:
     fault_large_failures: int = 0
     promo_large_attempts: int = 0
     promo_large_failures: int = 0
+    #: async zero-fill pool accounting (Figure 5's fast fault path): how
+    #: often the fault/promotion path found a pre-zeroed block waiting
+    zerofill_pool_hits: int = 0
+    zerofill_pool_misses: int = 0
+    zerofill_blocks_zeroed: int = 0
     request_latencies_ns: list[float] | None = None
 
     # -- derived quantities ------------------------------------------------
@@ -126,12 +130,20 @@ class RunMetrics:
         return self.walk_cycle_fraction / base if base else 0.0
 
     def percentile_latency_ns(self, pct: float = 99.0) -> float:
-        """Tail latency over recorded request samples (Table 5)."""
+        """Tail latency over recorded request samples (Table 5).
+
+        Ceil-based nearest-rank: the p-th percentile is the smallest sample
+        such that at least p% of the samples are <= it.  (The previous
+        ``round``-based index under-reported tails on small sample sets —
+        rounding 48.51 down to 48 reports the 49th of 50 samples as "p99".)
+        """
         if not self.request_latencies_ns:
             return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"pct must be in [0, 100], got {pct}")
         data = sorted(self.request_latencies_ns)
-        idx = min(len(data) - 1, int(round(pct / 100.0 * (len(data) - 1))))
-        return data[idx]
+        rank = math.ceil(pct / 100.0 * len(data))
+        return data[max(0, rank - 1)]
 
 
 class PerfModel:
@@ -194,6 +206,9 @@ class PerfModel:
             fault_large_failures=policy.fault_large_failures,
             promo_large_attempts=policy.promo_large_attempts,
             promo_large_failures=policy.promo_large_failures,
+            zerofill_pool_hits=system.zerofill.pool_hits,
+            zerofill_pool_misses=system.zerofill.pool_misses,
+            zerofill_blocks_zeroed=system.zerofill.blocks_zeroed,
             request_latencies_ns=request_latencies_ns,
         )
 

@@ -24,6 +24,7 @@ from repro.mem.buddy import BuddyAllocator
 from repro.mem.fragmentation import FragmentationInjector, fmfi
 from repro.mem.regions import RegionTracker
 from repro.mem.zerofill import ZeroFillEngine
+from repro.obs import Observability
 from repro.sim.process import Process
 from repro.tlb.hierarchy import TLBHierarchy
 
@@ -38,24 +39,35 @@ class System:
         seed: int = 0,
         daemon_period_accesses: int = 20_000,
         daemon_budget_ns: float = 2_000_000.0,
+        obs: Observability | None = None,
     ) -> None:
         self.machine = machine
         self.geometry = machine.geometry
         self.cost = machine.cost
         self.rng = random.Random(seed)
-        self.regions = RegionTracker(machine.total_frames, machine.geometry)
+        #: per-machine observability (metrics registry + tracer); every
+        #: substrate component below instruments itself against it
+        self.obs = obs if obs is not None else Observability()
+        self.regions = RegionTracker(
+            machine.total_frames, machine.geometry, obs=self.obs
+        )
         self.buddy = BuddyAllocator(
             machine.total_frames,
             machine.geometry.large_order,
             listeners=(self.regions,),
+            obs=self.obs,
         )
         self.rmap = ReverseMap()
-        self.zerofill = ZeroFillEngine(self.buddy, self.geometry, self.cost)
+        self.zerofill = ZeroFillEngine(
+            self.buddy, self.geometry, self.cost, obs=self.obs
+        )
         self.normal_compactor = NormalCompactor(
-            self.buddy, self.regions, self.rmap, self.geometry, self.cost
+            self.buddy, self.regions, self.rmap, self.geometry, self.cost,
+            obs=self.obs,
         )
         self.smart_compactor = SmartCompactor(
-            self.buddy, self.regions, self.rmap, self.geometry, self.cost
+            self.buddy, self.regions, self.rmap, self.geometry, self.cost,
+            obs=self.obs,
         )
         self.processes: list[Process] = []
         self.injector: FragmentationInjector | None = None
@@ -67,6 +79,28 @@ class System:
         self._reserve_kernel_memory()
         self.policy = policy_factory(self)
         self.policy.on_boot()
+        self.obs.metrics.add_collector(self._collect_system_metrics)
+
+    def _collect_system_metrics(self, metrics) -> None:
+        """Snapshot-time system-wide gauges and aggregated TLB totals."""
+        metrics.gauge("system_fmfi").value = self.fmfi
+        metrics.counter("system_daemon_ns_total").set(self.daemon_ns_total)
+        accesses = l1 = l2 = 0
+        walks = {s: 0 for s in PageSize.ALL}
+        for process in self.processes:
+            stats = process.tlb.stats
+            accesses += stats.accesses
+            l1 += stats.l1_hits
+            l2 += stats.l2_hits
+            for size in PageSize.ALL:
+                walks[size] += stats.walks_by_size[size]
+        metrics.counter("tlb_accesses_total").set(accesses)
+        metrics.counter("tlb_l1_hits_total").set(l1)
+        metrics.counter("tlb_l2_hits_total").set(l2)
+        for size in PageSize.ALL:
+            metrics.counter(
+                "tlb_walks_total", size=PageSize.X86_NAMES[size]
+            ).set(walks[size])
 
     def _reserve_kernel_memory(self) -> None:
         """Boot-time unmovable kernel allocations.
@@ -118,7 +152,9 @@ class System:
 
     # -- processes --------------------------------------------------------------
     def create_process(self, name: str = "app") -> Process:
-        tlb = TLBHierarchy(self.machine.tlb, self.machine.walk, self.geometry)
+        tlb = TLBHierarchy(
+            self.machine.tlb, self.machine.walk, self.geometry, obs=self.obs
+        )
         process = Process(self._next_pid, name, self.geometry, tlb)
         self._next_pid += 1
         self.processes.append(process)

@@ -52,14 +52,30 @@ class TranslationStats:
 class TLBHierarchy:
     """L1 (per-size) + L2 (shared and 1GB) TLBs over one page table."""
 
+    #: walk-latency histogram bucket upper bounds, in cycles
+    WALK_BUCKETS = (10, 20, 40, 60, 80, 120, 160, 240, 320, 640)
+
     def __init__(
         self,
         config: TLBHierarchyConfig,
         walk: WalkConfig,
         geometry: PageGeometry,
+        obs=None,
     ) -> None:
         self.geometry = geometry
         self.walk_config = walk
+        self._tracer = None
+        self._h_walk = None
+        if obs is not None:
+            self._tracer = obs.tracer
+            self._h_walk = {
+                s: obs.metrics.histogram(
+                    "tlb_walk_cycles",
+                    buckets=self.WALK_BUCKETS,
+                    size=PageSize.X86_NAMES[s],
+                )
+                for s in PageSize.ALL
+            }
         self.l1 = {
             PageSize.BASE: SetAssocTLB(config.l1_base),
             PageSize.MID: SetAssocTLB(config.l1_mid),
@@ -111,6 +127,14 @@ class TLBHierarchy:
         stats.walks_by_size[size] += 1
         stats.walk_cycles += cycles
         stats.translation_cycles += cycles + self.walk_config.l2_tlb_hit_cycles
+        if self._h_walk is not None:
+            self._h_walk[size].observe(cycles)
+            tr = self._tracer
+            if tr.active:
+                tr.emit(
+                    "tlb", "walk", vpn=vpn,
+                    size=PageSize.X86_NAMES[size], cycles=cycles,
+                )
         l2.insert(vpn)
         self.l1[size].insert(vpn)
         return cycles

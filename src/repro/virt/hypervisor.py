@@ -14,7 +14,6 @@ splitting a covering EPT huge page first, exactly like KVM EPT splitting.
 
 from __future__ import annotations
 
-from repro.config import PageSize
 from repro.sim.system import System
 
 

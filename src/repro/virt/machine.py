@@ -85,6 +85,7 @@ class VirtualMachine:
         host_policy_factory,
         seed: int = 0,
         guest_daemon_budget_ns: float = 2_000_000.0,
+        guest_obs=None,
     ) -> None:
         if host_machine.total_bytes < guest_machine.total_bytes:
             raise ValueError("host memory must be at least the guest's size")
@@ -96,6 +97,7 @@ class VirtualMachine:
             self.hypervisor,
             seed=seed + 1,
             daemon_budget_ns=guest_daemon_budget_ns,
+            obs=guest_obs,
         )
 
     def create_guest_process(self, name: str = "app") -> Process:

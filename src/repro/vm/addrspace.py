@@ -19,7 +19,7 @@ base-page alignment by default, like real ``mmap``, which is exactly why
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import PageGeometry
 

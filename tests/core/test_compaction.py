@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.config import CostModel, PageGeometry
 from repro.core.compaction import NormalCompactor, SmartCompactor

@@ -1,6 +1,5 @@
 """Memory-pressure demotion: huge pages never cause avoidable OOMs."""
 
-import pytest
 
 from repro.config import PageSize, default_machine
 from repro.core.baseline4k import Baseline4KPolicy

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 
 from repro.mem.buddy import BuddyAllocator, OutOfMemoryError
+from repro.obs import Observability
 
 TOTAL = 256
 MAX_ORDER = 6
@@ -53,6 +54,58 @@ class BuddyMachine(RuleBasedStateMachine):
 
 TestBuddyMachine = BuddyMachine.TestCase
 TestBuddyMachine.settings = settings(max_examples=30, stateful_step_count=40)
+
+
+class InstrumentedBuddyMachine(RuleBasedStateMachine):
+    """The registry's free-list gauges track the allocator exactly.
+
+    The gauges are collector-mirrored at snapshot time, so after running
+    the collectors they must equal ``free_blocks(order)`` for every order
+    after an arbitrary alloc/free/alloc_at sequence."""
+
+    def __init__(self):
+        super().__init__()
+        self.obs = Observability()
+        self.buddy = BuddyAllocator(TOTAL, MAX_ORDER, obs=self.obs)
+        self.live: list[int] = []
+
+    @rule(order=st.integers(0, MAX_ORDER), movable=st.booleans())
+    def alloc(self, order, movable):
+        pfn = self.buddy.try_alloc(order, movable)
+        if pfn is not None:
+            self.live.append(pfn)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        idx = data.draw(st.integers(0, len(self.live) - 1))
+        self.buddy.free(self.live.pop(idx))
+
+    @rule(pfn=st.integers(0, TOTAL - 1), order=st.integers(0, 3))
+    def alloc_at(self, pfn, order):
+        pfn &= ~((1 << order) - 1)
+        try:
+            self.buddy.alloc_at(pfn, order)
+            self.live.append(pfn)
+        except ValueError:
+            pass
+
+    @invariant()
+    def gauges_match_free_lists(self):
+        metrics = self.obs.metrics
+        metrics.collect()
+        for order in range(MAX_ORDER + 1):
+            assert (
+                metrics.value("buddy_free_blocks", order=order)
+                == self.buddy.free_blocks(order)
+            ), f"gauge out of sync at order {order}"
+        assert metrics.value("buddy_free_frames") == self.buddy.free_frames
+
+
+TestInstrumentedBuddyMachine = InstrumentedBuddyMachine.TestCase
+TestInstrumentedBuddyMachine.settings = settings(
+    max_examples=30, stateful_step_count=40
+)
 
 
 @given(

@@ -44,6 +44,38 @@ class TestProgressCarryOver:
         engine.background_fill(1e12)
         assert engine.blocks_zeroed == 2
 
+    def test_release_all_drops_accrued_credit(self):
+        """Regression: release_all must zero the zeroing credit.
+
+        Previously it returned the pooled blocks but kept ``_progress_ns``,
+        so the very next daemon tick could instantly re-allocate the large
+        blocks the memory-pressure path had just reclaimed.
+        """
+        buddy, engine = make(n_regions=4, pool=2)
+        block_cost = CostModel().zero_ns(GEOM.large_size)
+        engine.background_fill(block_cost * 1.9)  # 1 block + 0.9 credit
+        assert engine.pool_size == 1
+        assert engine._progress_ns > 0.0
+        free_before = buddy.free_frames
+        released = engine.release_all()
+        assert released == 1
+        assert engine.pool_size == 0
+        assert engine._progress_ns == 0.0
+        assert buddy.free_frames == free_before + GEOM.frames_per_large
+        # With zero credit banked, a sub-block budget cannot produce a
+        # block on the next tick — the daemon starts from scratch.
+        engine.background_fill(block_cost * 0.5)
+        assert engine.pool_size == 0
+
+    def test_release_all_counts_released_blocks(self):
+        _, engine = make(pool=2)
+        engine.background_fill(1e12)
+        assert engine.pool_size == 2
+        engine.release_all()
+        engine.background_fill(1e12)
+        engine.release_all()
+        assert engine.blocks_released == 4
+
 
 class TestStatsHelpers:
     def test_policy_stats_mapped_pages(self):

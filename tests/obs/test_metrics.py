@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    render_key,
+)
+
+
+class TestRenderKey:
+    def test_no_labels_is_bare_name(self):
+        assert render_key("buddy_alloc_total", {}) == "buddy_alloc_total"
+
+    def test_labels_sorted(self):
+        key = render_key("m", {"b": 2, "a": 1})
+        assert key == "m{a=1,b=2}"
+
+
+class TestCounter:
+    def test_inc_default_and_amount(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total")
+        c.inc()
+        c.inc(4)
+        assert reg.value("events_total") == 5
+
+    def test_labelled_counters_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("allocs", order=0).inc()
+        reg.counter("allocs", order=1).inc(2)
+        assert reg.value("allocs", order=0) == 1
+        assert reg.value("allocs", order=1) == 2
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("pool_size")
+        g.set(5)
+        g.inc()
+        g.dec(3)
+        assert reg.value("pool_size") == 3
+
+    def test_unregistered_value_is_zero(self):
+        assert MetricsRegistry().value("never_seen") == 0
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        h = Histogram("lat", {}, bounds=(10, 100))
+        for v in (3, 10, 50, 5000):
+            h.observe(v)
+        export = h.export()
+        assert export["count"] == 4
+        assert export["buckets"] == {"10": 2, "100": 1, "+Inf": 1}
+        assert h.mean == pytest.approx((3 + 10 + 50 + 5000) / 4)
+
+    def test_default_buckets_are_sorted_powers_of_four(self):
+        assert DEFAULT_BUCKETS[0] == 1
+        assert all(
+            b == 4 * a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        )
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", {}, bounds=())
+
+    def test_value_raises_on_histogram(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        with pytest.raises(TypeError):
+            reg.value("h")
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(2)
+        reg.histogram("h", buckets=(1, 2)).observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 7}
+        assert snap["gauges"] == {"g": 2}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_collectors_run_on_snapshot(self):
+        reg = MetricsRegistry()
+        state = {"value": 10}
+        reg.add_collector(lambda m: m.gauge("mirrored").set(state["value"]))
+        assert reg.snapshot()["gauges"]["mirrored"] == 10
+        state["value"] = 20
+        assert reg.snapshot()["gauges"]["mirrored"] == 20
+
+    def test_write_json_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c", order=3).inc(9)
+        path = str(tmp_path / "m.json")
+        assert reg.write_json(path, extra={"run": {"policy": "Trident"}}) == path
+        data = json.loads(open(path).read())
+        assert data["counters"]["c{order=3}"] == 9
+        assert data["run"]["policy"] == "Trident"
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert reg.names() == ["a", "z"]

@@ -1,0 +1,110 @@
+"""Unit tests for the bounded structured-event tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.trace import SUBSYSTEMS, Tracer
+
+
+class TestGating:
+    def test_disabled_subsystem_is_noop(self):
+        tr = Tracer(subsystems=("buddy",))
+        tr.emit("tlb", "walk", cycles=40)
+        assert len(tr) == 0
+        assert tr.emitted == 0
+
+    def test_inactive_until_enabled(self):
+        tr = Tracer()
+        assert not tr.active
+        tr.enable("buddy")
+        assert tr.active
+        tr.disable("buddy")
+        assert not tr.active
+
+    def test_enable_all_covers_every_subsystem(self):
+        tr = Tracer()
+        tr.enable_all()
+        assert tr.enabled_subsystems == frozenset(SUBSYSTEMS)
+
+    def test_disable_no_args_clears_everything(self):
+        tr = Tracer(subsystems=SUBSYSTEMS)
+        tr.disable()
+        assert not tr.active
+
+
+class TestRingBuffer:
+    def test_oldest_events_dropped_at_capacity(self):
+        tr = Tracer(capacity=3, subsystems=("buddy",))
+        for i in range(5):
+            tr.emit("buddy", "alloc", pfn=i)
+        assert len(tr) == 3
+        assert tr.emitted == 5
+        assert tr.dropped == 2
+        assert [e["pfn"] for e in tr.events()] == [2, 3, 4]
+
+    def test_seq_is_monotonic_across_overflow(self):
+        tr = Tracer(capacity=2, subsystems=("buddy",))
+        for i in range(4):
+            tr.emit("buddy", "alloc", pfn=i)
+        seqs = [e["seq"] for e in tr.events()]
+        assert seqs == [3, 4]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear_resets_counts(self):
+        tr = Tracer(subsystems=("buddy",))
+        tr.emit("buddy", "alloc")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.emitted == 0
+        assert tr.summary()["events"] == {}
+
+
+class TestReadSide:
+    def test_events_filter_by_subsystem_and_event(self):
+        tr = Tracer(subsystems=("buddy", "tlb"))
+        tr.emit("buddy", "alloc", pfn=1)
+        tr.emit("buddy", "free", pfn=1)
+        tr.emit("tlb", "walk", cycles=40)
+        assert len(list(tr.events("buddy"))) == 2
+        assert len(list(tr.events("buddy", "free"))) == 1
+        assert len(list(tr.events(event="walk"))) == 1
+
+    def test_summary_tallies_survive_overflow(self):
+        tr = Tracer(capacity=1, subsystems=("buddy",))
+        for _ in range(10):
+            tr.emit("buddy", "alloc")
+        assert tr.summary()["events"] == {"buddy:alloc": 10}
+        assert tr.summary()["buffered"] == 1
+
+    def test_export_jsonl(self, tmp_path):
+        tr = Tracer(subsystems=("zerofill",))
+        tr.emit("zerofill", "fill", pfn=64, cost_ns=1.5)
+        path = str(tmp_path / "t.jsonl")
+        assert tr.export_jsonl(path) == 1
+        record = json.loads(open(path).readline())
+        assert record["subsystem"] == "zerofill"
+        assert record["event"] == "fill"
+        assert record["pfn"] == 64
+
+
+class TestObservabilityBundle:
+    def test_all_expands_to_every_subsystem(self):
+        obs = Observability(trace_subsystems="all")
+        assert obs.tracer.enabled_subsystems == frozenset(SUBSYSTEMS)
+
+    def test_default_is_disabled(self):
+        obs = Observability()
+        assert not obs.tracer.active
+
+    def test_write_metrics_json_includes_trace_health(self, tmp_path):
+        obs = Observability(trace_subsystems=("buddy",))
+        obs.tracer.emit("buddy", "alloc", pfn=0)
+        path = str(tmp_path / "m.json")
+        obs.write_metrics_json(path)
+        data = json.loads(open(path).read())
+        assert data["trace"]["emitted"] == 1

@@ -4,7 +4,6 @@ These exercise the exact paths the figure regenerators use, asserting the
 paper's key orderings on tiny inputs so they run in CI time.
 """
 
-import pytest
 
 from repro.config import PageSize
 from repro.experiments.runner import NativeRunner, RunConfig, VirtRunConfig, VirtRunner

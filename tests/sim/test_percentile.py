@@ -1,0 +1,61 @@
+"""Nearest-rank percentile semantics of RunMetrics (Table 5 tails)."""
+
+import pytest
+
+from repro.sim.perfmodel import RunMetrics
+
+
+def metrics_with(latencies):
+    return RunMetrics(
+        policy="Trident",
+        workload="Redis",
+        accesses=1,
+        translation_cycles=0.0,
+        walk_cycles=0.0,
+        walks=0,
+        fault_ns=0.0,
+        daemon_ns=0.0,
+        represented_accesses=1,
+        cpi_base=1.0,
+        request_latencies_ns=latencies,
+    )
+
+
+class TestPercentileLatency:
+    def test_empty_samples_return_zero(self):
+        assert metrics_with(None).percentile_latency_ns(99) == 0.0
+        assert metrics_with([]).percentile_latency_ns(99) == 0.0
+
+    def test_p0_is_minimum(self):
+        m = metrics_with([30.0, 10.0, 20.0])
+        assert m.percentile_latency_ns(0) == 10.0
+
+    def test_p50_of_even_count_is_lower_middle(self):
+        # ceil(0.5 * 4) = 2 -> second-smallest sample
+        m = metrics_with([40.0, 10.0, 30.0, 20.0])
+        assert m.percentile_latency_ns(50) == 20.0
+
+    def test_p100_is_maximum(self):
+        m = metrics_with([5.0, 50.0, 25.0])
+        assert m.percentile_latency_ns(100) == 50.0
+
+    def test_p99_of_fifty_samples_is_last(self):
+        """The round() regression: rank 48.51 was rounded down to 48,
+        reporting the 49th of 50 sorted samples as p99.  Nearest-rank says
+        ceil(49.5) = 50 -> the maximum."""
+        data = [float(i) for i in range(1, 51)]
+        assert metrics_with(data).percentile_latency_ns(99) == 50.0
+
+    def test_p25_of_four_samples(self):
+        # ceil(0.25 * 4) = 1 -> the minimum; round() would also give 1 here,
+        # but ceil differs at e.g. p26: ceil(1.04) = 2.
+        m = metrics_with([1.0, 2.0, 3.0, 4.0])
+        assert m.percentile_latency_ns(25) == 1.0
+        assert m.percentile_latency_ns(26) == 2.0
+
+    def test_out_of_range_pct_rejected(self):
+        m = metrics_with([1.0])
+        with pytest.raises(ValueError):
+            m.percentile_latency_ns(-1)
+        with pytest.raises(ValueError):
+            m.percentile_latency_ns(100.5)

@@ -1,11 +1,8 @@
 """Tests for the paper-claims analysis layer."""
 
-import os
 
-import pytest
-
-from repro.analysis.compare import CheckResult, check_all, load_report, render_markdown
-from repro.analysis.paper_expectations import PAPER_CLAIMS, Claim
+from repro.analysis.compare import check_all, load_report, render_markdown
+from repro.analysis.paper_expectations import PAPER_CLAIMS
 
 
 class TestClaims:

@@ -1,6 +1,5 @@
 """Trident-pv batching behaviour and dual-level fragmentation combos."""
 
-import pytest
 
 from repro.config import PageSize, default_machine
 from repro.core.trident import TridentPolicy

@@ -6,7 +6,6 @@ from repro.config import PageSize, default_machine
 from repro.core.thp import THPPolicy
 from repro.core.trident import TridentPolicy
 from repro.virt.hypercall import PVExchangeInterface
-from repro.virt.hypervisor import Hypervisor
 from repro.virt.machine import VirtualMachine
 from repro.virt.tridentpv import TridentPVPolicy
 

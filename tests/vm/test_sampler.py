@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.baseline4k import Baseline4KPolicy
 from repro.sim.system import System
 from repro.vm.sampler import AccessBitSampler

@@ -1,7 +1,6 @@
 """Tests for trace record/replay."""
 
 import numpy as np
-import pytest
 
 from repro.workloads.trace import Trace, TraceWorkload, record_trace
 
