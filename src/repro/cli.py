@@ -4,7 +4,8 @@ Commands
 --------
 
 ``run``        one (workload, policy) measurement, native or virtualized
-``experiment`` regenerate a figure/table by name (or ``all``)
+``experiment`` regenerate a figure/table by name (or ``all``), serially
+``sweep``      regenerate figures/tables on the parallel orchestrator
 ``list``       show available workloads, policies and experiments
 ``metrics``    list every metric the observability registry can export
 
@@ -15,6 +16,9 @@ Examples::
     python -m repro run GUPS --policy trident --trace --metrics-out m.json
     python -m repro run Canneal Trident --virt --host-policy Trident
     python -m repro experiment figure9 --metrics-out report/metrics
+    python -m repro sweep --quick --jobs 4 --seed 7
+    python -m repro sweep figure2 table3 --jobs 2 --timeout 600
+    python -m repro sweep --resume report/sweep_manifest.json
 """
 
 from __future__ import annotations
@@ -70,6 +74,68 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="write per-run metrics_<workload>_<policy>.json files into DIR",
+    )
+    exp.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-size pass (the module's QUICK_KWARGS)",
+    )
+    exp.add_argument("--seed", type=int, default=7)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="regenerate figures/tables in parallel (process pool, "
+        "deterministic per-unit seeds, run manifest)",
+    )
+    sweep.add_argument(
+        "modules",
+        nargs="*",
+        help="subset of experiment modules (default: all)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, same outputs bit-for-bit)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=900.0,
+        metavar="S",
+        help="per-unit wall-clock timeout in seconds",
+    )
+    sweep.add_argument("--seed", type=int, default=7, help="root seed")
+    sweep.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-size pass (every module's QUICK_KWARGS)",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per unit after a failure/timeout/crash",
+    )
+    sweep.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="base retry backoff (doubles per attempt)",
+    )
+    sweep.add_argument(
+        "--out",
+        default="report",
+        metavar="DIR",
+        help="output directory (CSVs, partial/, metrics/, logs/, manifest)",
+    )
+    sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="MANIFEST",
+        help="skip units already 'ok' in this prior sweep manifest",
     )
 
     sub.add_parser("list", help="list workloads, policies, experiments")
@@ -139,13 +205,9 @@ def _cmd_list() -> int:
 
 
 def _resolve_policy(name: str) -> str:
-    """Map a possibly lower-cased policy name to its canonical spelling."""
-    from repro.experiments.configs import POLICY_CONFIGS
+    from repro.experiments.configs import resolve_policy
 
-    if name in POLICY_CONFIGS:
-        return name
-    folded = {key.lower(): key for key in POLICY_CONFIGS}
-    return folded.get(name.lower(), name)
+    return resolve_policy(name)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -252,7 +314,12 @@ def _print_metrics(m) -> None:
         )
 
 
-def _cmd_experiment(name: str, metrics_out: str | None = None) -> int:
+def _cmd_experiment(
+    name: str,
+    metrics_out: str | None = None,
+    quick: bool = False,
+    seed: int = 7,
+) -> int:
     import repro.experiments.runner as runner_mod
     from repro.experiments.run_all import MODULES, main as run_all_main
 
@@ -260,10 +327,10 @@ def _cmd_experiment(name: str, metrics_out: str | None = None) -> int:
         import os
 
         os.makedirs(metrics_out, exist_ok=True)
-        runner_mod.METRICS_DIR = metrics_out
+        runner_mod.set_metrics_dir(metrics_out)
     try:
         if name == "all":
-            run_all_main([])
+            run_all_main((["--quick"] if quick else []) + ["--seed", str(seed)])
             return 0
         table = dict(MODULES)
         if name not in table:
@@ -271,10 +338,47 @@ def _cmd_experiment(name: str, metrics_out: str | None = None) -> int:
                 f"unknown experiment {name!r}; try one of: {', '.join(table)}"
             )
             return 2
-        table[name].main()
+        table[name].main(quick=quick, seed=seed)
         return 0
     finally:
-        runner_mod.METRICS_DIR = None
+        runner_mod.set_metrics_dir(None)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.orchestrator import SweepConfig, run_sweep
+    from repro.experiments.report import sweep_status_table
+
+    config = SweepConfig(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        root_seed=args.seed,
+        quick=args.quick,
+        out_dir=args.out,
+        max_retries=args.retries,
+        backoff_base_s=args.backoff,
+        modules=tuple(args.modules),
+        resume=args.resume,
+    )
+    manifest = run_sweep(config, progress=print)
+    print()
+    print(sweep_status_table(manifest["units"]))
+    counts = manifest["counts"]
+    print(
+        f"sweep finished in {manifest['wall_s']:.1f}s wall "
+        f"({manifest['serial_equivalent_s']:.1f}s serial-equivalent), "
+        f"{counts.get('ok', 0)}/{len(manifest['units'])} units ok"
+    )
+    for name, entry in manifest["merged"].items():
+        if entry["missing_workloads"]:
+            print(
+                f"warning: {name} compiled without failed cells: "
+                f"{', '.join(entry['missing_workloads'])}"
+            )
+    print(f"manifest: {manifest['manifest_path']}")
+    if manifest["metrics_summary"]:
+        print(f"metrics summary: {manifest['metrics_summary']}")
+    failed = len(manifest["units"]) - counts.get("ok", 0)
+    return 3 if failed else 0
 
 
 def _cmd_metrics(kind: str | None) -> int:
@@ -295,7 +399,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "experiment":
-        return _cmd_experiment(args.name, args.metrics_out)
+        return _cmd_experiment(
+            args.name, args.metrics_out, quick=args.quick, seed=args.seed
+        )
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "metrics":
         return _cmd_metrics(args.kind)
     return 2

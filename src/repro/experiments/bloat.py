@@ -16,6 +16,12 @@ from repro.experiments.runner import NativeRunner, RunConfig
 WORKLOADS = ("Memcached", "Btree")
 CONFIGS = ("2MB-THP", "Trident", "HawkEye")
 
+CSV_NAME = "bloat"
+TITLE = (
+    "Memory bloat (paper-scale GB): mapped-but-untouched bytes per policy"
+)
+QUICK_KWARGS = {"workloads": ("Btree",), "n_accesses": 5_000}
+
 
 def run(
     workloads: tuple[str, ...] = WORKLOADS,
@@ -37,13 +43,9 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "bloat",
-        "Memory bloat (paper-scale GB): mapped-but-untouched bytes per policy",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

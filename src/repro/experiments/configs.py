@@ -40,3 +40,11 @@ def policy_factory(name: str):
         raise KeyError(
             f"unknown policy config {name!r}; choose from {sorted(POLICY_CONFIGS)}"
         ) from None
+
+
+def resolve_policy(name: str) -> str:
+    """Map a possibly lower-cased policy name to its canonical spelling."""
+    if name in POLICY_CONFIGS:
+        return name
+    folded = {key.lower(): key for key in POLICY_CONFIGS}
+    return folded.get(name.lower(), name)

@@ -16,6 +16,10 @@ from repro.experiments.runner import NativeRunner, RunConfig
 WORKLOADS = ("GUPS", "Canneal", "XSBench")
 CONFIGS = ("2MB-THP", "Trident")
 
+CSV_NAME = "extension_5level"
+TITLE = "Extension: Trident's advantage under 4- vs 5-level page tables"
+QUICK_KWARGS = {"workloads": ("GUPS",), "n_accesses": 6_000}
+
 
 def run(
     workloads: tuple[str, ...] = WORKLOADS,
@@ -52,13 +56,9 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "extension_5level",
-        "Extension: Trident's advantage under 4- vs 5-level page tables",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,10 @@ from repro.experiments.runner import NativeRunner, RunConfig
 WORKLOADS = ("Redis", "Canneal")
 CONFIGS = ("Trident", "Trident-heat")
 
+CSV_NAME = "extension_heat"
+TITLE = "Extension: heat-ordered Trident promotion (Section 8 future work)"
+QUICK_KWARGS = {"workloads": ("Redis",), "n_accesses": 5_000}
+
 
 def run(
     workloads: tuple[str, ...] = WORKLOADS,
@@ -53,13 +57,9 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "extension_heat",
-        "Extension: heat-ordered Trident promotion (Section 8 future work)",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,62 @@
+"""Fault-injection unit targets for exercising the orchestrator.
+
+These are real worker targets (resolved by dotted path inside a worker
+process, exactly like the experiment units) that fail in the three ways a
+sweep unit can fail: raise an exception, hang past the wall-clock
+timeout, or kill the worker process outright.  The orchestrator's tests
+schedule them next to healthy units to verify retry/backoff accounting,
+manifest status fields, and graceful degradation of the report compiler.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+
+def healthy_unit(out_dir: str, token: str = "ok", seed: int = 0, **_) -> dict:
+    """Completes normally: writes one JSON artifact and reports it."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"healthy_{token}.json")
+    with open(path, "w") as f:
+        json.dump({"token": token, "seed": seed}, f)
+    return {"outputs": [path], "metrics": []}
+
+
+def raising_unit(message: str = "injected failure", **_) -> dict:
+    """Raises inside the worker: the unit ends up ``failed``."""
+    raise RuntimeError(message)
+
+
+def sleeping_unit(sleep_s: float = 3600.0, **_) -> dict:
+    """Sleeps past any reasonable timeout: the unit ends up ``timeout``."""
+    time.sleep(sleep_s)
+    return {"outputs": [], "metrics": []}
+
+
+def exiting_unit(code: int = 3, **_) -> dict:
+    """Kills the worker without a reply: the unit ends up ``crashed``."""
+    os._exit(code)
+
+
+def flaky_unit(
+    out_dir: str, fail_times: int = 1, token: str = "flaky", seed: int = 0, **_
+) -> dict:
+    """Fails the first ``fail_times`` attempts, then succeeds.
+
+    Attempt state is kept on disk (workers are separate processes), which
+    is exactly how a transiently-broken experiment behaves across retries.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    marker = os.path.join(out_dir, f"attempts_{token}.txt")
+    attempts = 0
+    if os.path.exists(marker):
+        with open(marker) as f:
+            attempts = int(f.read().strip() or 0)
+    attempts += 1
+    with open(marker, "w") as f:
+        f.write(str(attempts))
+    if attempts <= fail_times:
+        raise RuntimeError(f"flaky failure {attempts}/{fail_times}")
+    return healthy_unit(out_dir, token=token, seed=seed)

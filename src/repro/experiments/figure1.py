@@ -17,6 +17,10 @@ from repro.workloads.registry import ALL_WORKLOADS
 
 CONFIGS = ("4KB", "2MB-THP", "2MB-Hugetlbfs", "1GB-Hugetlbfs")
 
+CSV_NAME = "figure1"
+TITLE = "Figure 1: normalized walk-cycle fraction (a) and performance (b), native"
+QUICK_KWARGS = {"workloads": ("GUPS", "Redis"), "n_accesses": 8_000}
+
 
 def run(
     workloads: tuple[str, ...] = ALL_WORKLOADS,
@@ -41,13 +45,9 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure1",
-        "Figure 1: normalized walk-cycle fraction (a) and performance (b), native",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

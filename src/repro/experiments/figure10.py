@@ -10,8 +10,13 @@ overhead and lock contention.
 from __future__ import annotations
 
 from repro.experiments.figure9 import run as _run
+from repro.experiments.figure9 import summarize  # noqa: F401 - sweep merge hook
 from repro.experiments.report import print_and_save
 from repro.workloads.registry import SHADED_EIGHT
+
+CSV_NAME = "figure10"
+TITLE = "Figure 10: performance (a) and walk cycles (b) vs THP, fragmented"
+QUICK_KWARGS = {"workloads": ("GUPS", "Redis"), "n_accesses": 8_000}
 
 
 def run(
@@ -22,13 +27,9 @@ def run(
     return _run(workloads, n_accesses, seed, fragmented=True)
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure10",
-        "Figure 10: performance (a) and walk cycles (b) vs THP, fragmented",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows + summarize(rows), CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

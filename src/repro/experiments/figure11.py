@@ -17,6 +17,10 @@ from repro.workloads.registry import SHADED_EIGHT
 
 CONFIGS = ("2MB-THP", "Trident-1Gonly", "Trident-NC", "Trident")
 
+CSV_NAME = "figure11"
+TITLE = "Figure 11: Trident component ablation (normalized to THP)"
+QUICK_KWARGS = {"workloads": ("GUPS",), "n_accesses": 6_000}
+
 
 def run(
     workloads: tuple[str, ...] = SHADED_EIGHT,
@@ -44,21 +48,26 @@ def run(
             for cfg in CONFIGS:
                 row[f"perf:{cfg}"] = metrics[cfg].speedup_over(base)
             rows.append(row)
-        summary: dict = {"state": state, "workload": "geomean"}
-        state_rows = [r for r in rows if r["state"] == state and "perf:Trident" in r]
-        for cfg in CONFIGS:
-            summary[f"perf:{cfg}"] = geomean(r[f"perf:{cfg}"] for r in state_rows)
-        rows.append(summary)
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure11",
-        "Figure 11: Trident component ablation (normalized to THP)",
-    )
+def summarize(rows: list[dict]) -> list[dict]:
+    """Per-state geomean rows (recomputed by the sweep merge)."""
+    out = []
+    for state in ("unfrag", "frag"):
+        state_rows = [r for r in rows if r.get("state") == state]
+        if not state_rows:
+            continue
+        summary: dict = {"state": state, "workload": "geomean"}
+        for cfg in CONFIGS:
+            summary[f"perf:{cfg}"] = geomean(r[f"perf:{cfg}"] for r in state_rows)
+        out.append(summary)
+    return out
+
+
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows + summarize(rows), CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

@@ -40,6 +40,13 @@ CONFIGS = (
     ),
 )
 
+CSV_NAME = "figure13"
+TITLE = (
+    "Figure 13: Trident-pv vs Trident vs THP, fragmented gPA, "
+    "capped khugepaged"
+)
+QUICK_KWARGS = {"workloads": ("GUPS",), "n_accesses": 5_000}
+
 
 def run(
     workloads: tuple[str, ...] = SHADED_EIGHT,
@@ -69,21 +76,21 @@ def run(
             metrics["Trident+Trident"]
         )
         rows.append(row)
+    return rows
+
+
+def summarize(rows: list[dict]) -> list[dict]:
+    """Geomean row over per-workload rows (recomputed by the sweep merge)."""
     summary: dict = {"workload": "geomean"}
     for label, _ in CONFIGS:
         summary[f"perf:{label}"] = geomean(r[f"perf:{label}"] for r in rows)
     summary["pv_vs_trident"] = geomean(r["pv_vs_trident"] for r in rows)
-    rows.append(summary)
-    return rows
+    return [summary]
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure13",
-        "Figure 13: Trident-pv vs Trident vs THP, fragmented gPA, capped khugepaged",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows + summarize(rows), CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,13 @@ COMBOS = (
     ("1GB+1GB", "1GB-Hugetlbfs", "1GB-Hugetlbfs"),
 )
 
+CSV_NAME = "figure2"
+TITLE = (
+    "Figure 2: normalized walk-cycle fraction (a) and performance (b), "
+    "virtualized"
+)
+QUICK_KWARGS = {"workloads": ("GUPS", "Redis"), "n_accesses": 4_000}
+
 
 def run(
     workloads: tuple[str, ...] = ALL_WORKLOADS,
@@ -45,13 +52,9 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure2",
-        "Figure 2: normalized walk-cycle fraction (a) and performance (b), virtualized",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

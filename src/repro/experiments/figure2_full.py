@@ -19,6 +19,10 @@ SIZES = (
     ("1GB", "1GB-Hugetlbfs"),
 )
 
+CSV_NAME = "figure2_full"
+TITLE = "Extension: all nine guest x host page-size combinations (GUPS)"
+QUICK_KWARGS = {"n_accesses": 4_000}
+
 
 def run(
     workload: str = "GUPS", n_accesses: int = 40_000, seed: int = 7
@@ -44,13 +48,9 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure2_full",
-        "Extension: all nine guest x host page-size combinations (GUPS)",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

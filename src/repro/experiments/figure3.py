@@ -15,6 +15,13 @@ from repro.experiments.runner import NativeRunner, RunConfig
 
 WORKLOADS = ("Graph500", "SVM")
 
+CSV_NAME = "figure3"
+TITLE = (
+    "Figure 3: memory mappable with 1GB vs 2MB pages over time "
+    "(paper-scale GB)"
+)
+QUICK_KWARGS = {"workloads": ("Graph500",)}
+
 
 def run(workloads: tuple[str, ...] = WORKLOADS, seed: int = 7) -> list[dict]:
     rows = []
@@ -38,13 +45,9 @@ def run(workloads: tuple[str, ...] = WORKLOADS, seed: int = 7) -> list[dict]:
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure3",
-        "Figure 3: memory mappable with 1GB vs 2MB pages over time (paper-scale GB)",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

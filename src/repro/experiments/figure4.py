@@ -19,6 +19,14 @@ from repro.vm.sampler import AccessBitSampler
 
 WORKLOADS = ("Graph500", "SVM")
 
+CSV_NAME = "figure4"
+TITLE = "Figure 4: relative TLB-miss frequency by region mappability class"
+QUICK_KWARGS = {
+    "workloads": ("Graph500",),
+    "n_accesses": 20_000,
+    "sample_chunks": 10,
+}
+
 
 def run(
     workloads: tuple[str, ...] = WORKLOADS,
@@ -52,13 +60,9 @@ def _api_of(runner: NativeRunner):
     )
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure4",
-        "Figure 4: relative TLB-miss frequency by region mappability class",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
     # Summarize the headline comparison.
     for workload in {r["workload"] for r in rows}:
         wrows = [r for r in rows if r["workload"] == workload]

@@ -13,6 +13,10 @@ from repro.experiments.report import print_and_save
 from repro.experiments.runner import NativeRunner, RunConfig
 from repro.workloads.registry import SHADED_EIGHT
 
+CSV_NAME = "figure7"
+TITLE = "Figure 7: % reduction in bytes copied, smart vs normal compaction"
+QUICK_KWARGS = {"workloads": ("GUPS", "Redis"), "n_accesses": 5_000}
+
 
 def run(
     workloads: tuple[str, ...] = SHADED_EIGHT,
@@ -52,13 +56,9 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure7",
-        "Figure 7: % reduction in bytes copied, smart vs normal compaction",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

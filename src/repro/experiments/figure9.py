@@ -14,6 +14,10 @@ from repro.workloads.registry import SHADED_EIGHT
 
 CONFIGS = ("2MB-THP", "HawkEye", "Trident")
 
+CSV_NAME = "figure9"
+TITLE = "Figure 9: performance (a) and walk cycles (b) vs THP, unfragmented"
+QUICK_KWARGS = {"workloads": ("GUPS", "Redis"), "n_accesses": 8_000}
+
 
 def run(
     workloads: tuple[str, ...] = SHADED_EIGHT,
@@ -42,21 +46,21 @@ def run(
         for cfg in CONFIGS:
             row[f"walk_frac:{cfg}"] = metrics[cfg].walk_fraction_vs(base)
         rows.append(row)
+    return rows
+
+
+def summarize(rows: list[dict]) -> list[dict]:
+    """Geomean row over per-workload rows (recomputed by the sweep merge)."""
     summary = {"workload": "geomean"}
     for cfg in CONFIGS:
         summary[f"perf:{cfg}"] = geomean(r[f"perf:{cfg}"] for r in rows)
         summary[f"walk_frac:{cfg}"] = geomean(r[f"walk_frac:{cfg}"] for r in rows)
-    rows.append(summary)
-    return rows
+    return [summary]
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "figure9",
-        "Figure 9: performance (a) and walk cycles (b) vs THP, unfragmented",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows + summarize(rows), CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

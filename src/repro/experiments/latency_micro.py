@@ -17,6 +17,11 @@ from __future__ import annotations
 from repro.config import X86_GEOMETRY, CostModel
 from repro.experiments.report import print_and_save
 
+CSV_NAME = "latency_micro"
+TITLE = "Latency microbenchmarks (x86 scale)"
+#: pure closed-form arithmetic over the cost model — nothing to shrink
+QUICK_KWARGS: dict = {}
+
 #: boot-time work (decompress, init, device setup) that zeroing overlaps with
 _VM_BOOT_BASE_S = 12.0
 #: fraction of guest RAM the boot sequence actually touches (and so must
@@ -106,9 +111,10 @@ def run() -> list[dict]:
     return rows
 
 
-def main() -> None:
+def main(quick: bool = False, seed: int = 7) -> None:
+    del quick, seed  # closed-form: no run size, no randomness
     rows = run()
-    print_and_save(rows, "latency_micro", "Latency microbenchmarks (x86 scale)")
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

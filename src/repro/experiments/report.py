@@ -107,6 +107,22 @@ def bar_chart(
     return "\n".join(lines) + "\n"
 
 
+def sweep_status_table(units: list[dict]) -> str:
+    """Render a sweep manifest's per-unit records as an aligned table."""
+    rows = []
+    for unit in units:
+        rows.append(
+            {
+                "unit": unit["unit_id"],
+                "status": unit["status"] + (" (cached)" if unit.get("cached") else ""),
+                "attempts": unit.get("attempts", 0),
+                "seconds": round(unit.get("duration_s", 0.0), 2),
+                "error": (unit.get("error") or "")[:48],
+            }
+        )
+    return format_table(rows, "Sweep units")
+
+
 def geomean(values: Iterable[float]) -> float:
     vals = [v for v in values if v > 0]
     if not vals:

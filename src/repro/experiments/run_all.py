@@ -1,13 +1,21 @@
 """Regenerate every table and figure: ``python -m repro.experiments.run_all``.
 
 Equivalent of the paper artifact's "run all experiments then
-compile_report.py" flow.  Expect the full sweep to take tens of minutes;
-pass ``--quick`` for a reduced-size pass (fewer accesses, subset checks
-still meaningful).
+compile_report.py" flow, run serially and in-process.  ``--quick`` runs
+every module's reduced-size configuration (its ``QUICK_KWARGS``) and
+*verifies first* that every selected module actually implements quick
+mode — a module that would silently ignore the flag and run full-size
+fails the sweep up front with a readable error instead.
+
+For the parallel version of this flow (process pool, per-unit seeds,
+retries, run manifest) use ``python -m repro sweep`` — see
+:mod:`repro.experiments.orchestrator`.
 """
 
 from __future__ import annotations
 
+import argparse
+import inspect
 import sys
 import time
 
@@ -58,15 +66,97 @@ MODULES = (
 )
 
 
+class QuickModeError(RuntimeError):
+    """A module cannot honor quick mode (it would silently run full-size)."""
+
+
+def validate_quick_support(name: str, module) -> None:
+    """Assert ``module`` really implements the quick/seed protocol.
+
+    Every experiment module must expose ``main(quick=..., seed=...)`` and
+    a ``QUICK_KWARGS`` dict whose keys its ``run`` entrypoint accepts.
+    Anything less means ``--quick`` (or a sweep unit's derived seed) would
+    be silently dropped — the failure mode this check turns into a loud,
+    attributable error.
+    """
+    main_fn = getattr(module, "main", None)
+    if not callable(main_fn):
+        raise QuickModeError(f"{name}: module has no callable main()")
+    params = inspect.signature(main_fn).parameters
+    for required in ("quick", "seed"):
+        if required not in params:
+            raise QuickModeError(
+                f"{name}: main() does not accept {required}=... — the flag "
+                f"would be silently ignored and the module would run "
+                f"full-size"
+            )
+    quick_kwargs = getattr(module, "QUICK_KWARGS", None)
+    if not isinstance(quick_kwargs, dict):
+        raise QuickModeError(
+            f"{name}: no QUICK_KWARGS dict defining its reduced-size "
+            f"configuration"
+        )
+    run_fn = getattr(module, "run", None)
+    if callable(run_fn):
+        run_params = inspect.signature(run_fn).parameters
+        unknown = sorted(set(quick_kwargs) - set(run_params))
+        if unknown:
+            raise QuickModeError(
+                f"{name}: QUICK_KWARGS keys {unknown} are not accepted by "
+                f"run() — quick mode would not actually shrink the run"
+            )
+
+
+def _parse(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run_all",
+        description="regenerate every figure/table serially",
+    )
+    parser.add_argument(
+        "modules",
+        nargs="*",
+        help="subset of module names to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-size pass (each module's QUICK_KWARGS)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    return parser.parse_args(argv)
+
+
 def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
-    only = [a for a in argv if not a.startswith("-")]
-    for name, module in MODULES:
-        if only and name not in only:
-            continue
+    args = _parse(argv)
+    table = dict(MODULES)
+    unknown = sorted(set(args.modules) - set(table))
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment module(s): {', '.join(unknown)}; "
+            f"choose from {', '.join(name for name, _ in MODULES)}"
+        )
+    selected = [
+        (name, module)
+        for name, module in MODULES
+        if not args.modules or name in args.modules
+    ]
+    if args.quick:
+        problems = []
+        for name, module in selected:
+            try:
+                validate_quick_support(name, module)
+            except QuickModeError as exc:
+                problems.append(str(exc))
+        if problems:
+            raise QuickModeError(
+                "quick mode not honored by every module:\n  "
+                + "\n  ".join(problems)
+            )
+    for name, module in selected:
         start = time.time()
         print(f"=== {name} ===")
-        module.main()
+        module.main(quick=args.quick, seed=args.seed)
         print(f"[{name} done in {time.time() - start:.0f}s]\n")
 
 

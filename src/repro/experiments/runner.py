@@ -35,10 +35,27 @@ from repro.sim.system import System
 from repro.vm.mappability import MappabilityScanner
 from repro.workloads.registry import get_workload
 
-#: when set (``repro experiment --metrics-out DIR``), every runner writes a
-#: per-run ``metrics_<workload>_<policy>.json`` into this directory, next to
-#: the report CSVs
+#: when set (``repro experiment --metrics-out DIR``, or per worker by the
+#: sweep orchestrator), every runner writes a per-run
+#: ``metrics_<workload>_<policy>.json`` into this directory, next to the
+#: report CSVs
 METRICS_DIR: str | None = None
+
+
+def metrics_dir() -> str | None:
+    """The active metrics drop directory.
+
+    Module global first (set in-process by the CLI or by an orchestrator
+    worker after fork), then the ``REPRO_METRICS_DIR`` environment
+    variable — the handoff that survives spawn-style worker startup.
+    """
+    return METRICS_DIR or os.environ.get("REPRO_METRICS_DIR") or None
+
+
+def set_metrics_dir(path: str | None) -> None:
+    """Point every subsequent runner's metrics.json drop at ``path``."""
+    global METRICS_DIR
+    METRICS_DIR = path
 
 
 def _metrics_run_section(metrics: RunMetrics) -> dict:
@@ -72,9 +89,10 @@ def emit_metrics_json(
     Returns the path written, or None when neither destination is set.
     """
     path = explicit_path
-    if path is None and METRICS_DIR:
+    drop_dir = metrics_dir()
+    if path is None and drop_dir:
         safe = f"metrics_{metrics.workload}_{metrics.policy}".replace("/", "_")
-        path = os.path.join(METRICS_DIR, f"{safe}.json")
+        path = os.path.join(drop_dir, f"{safe}.json")
     if path is None:
         return None
     parent = os.path.dirname(path)

@@ -89,24 +89,27 @@ def run_tlb_capacity_sweep(
     return rows
 
 
-def run(n_accesses: int = 40_000) -> list[dict]:
+CSV_NAME = ("sensitivity_fragmentation", "sensitivity_tlb")
+QUICK_KWARGS = {"n_accesses": 6_000}
+
+
+def run(n_accesses: int = 40_000, seed: int = 7) -> list[dict]:
     rows = []
-    for row in run_fragmentation_sweep(n_accesses=n_accesses):
+    for row in run_fragmentation_sweep(n_accesses=n_accesses, seed=seed):
         rows.append({"sweep": "fragmentation", **row})
-    for row in run_tlb_capacity_sweep(n_accesses=n_accesses):
+    for row in run_tlb_capacity_sweep(n_accesses=n_accesses, seed=seed):
         rows.append({"sweep": "tlb_capacity", **row})
     return rows
 
 
-def main() -> None:
-    frag = run_fragmentation_sweep()
+def main(quick: bool = False, seed: int = 7) -> None:
+    kwargs = dict(QUICK_KWARGS) if quick else {}
+    frag = run_fragmentation_sweep(seed=seed, **kwargs)
     print_and_save(
-        frag, "sensitivity_fragmentation", "Sensitivity: fragmentation severity (GUPS)"
+        frag, CSV_NAME[0], "Sensitivity: fragmentation severity (GUPS)"
     )
-    tlb = run_tlb_capacity_sweep()
-    print_and_save(
-        tlb, "sensitivity_tlb", "Sensitivity: 1GB L2 TLB capacity (GUPS)"
-    )
+    tlb = run_tlb_capacity_sweep(seed=seed, **kwargs)
+    print_and_save(tlb, CSV_NAME[1], "Sensitivity: 1GB L2 TLB capacity (GUPS)")
 
 
 if __name__ == "__main__":

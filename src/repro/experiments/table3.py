@@ -29,6 +29,10 @@ MECHANISMS = (
     ("smart_compaction", "Trident"),
 )
 
+CSV_NAME = "table3"
+TITLE = "Table 3: GB mapped with 1GB/2MB pages per allocation mechanism"
+QUICK_KWARGS = {"workloads": ("GUPS",), "n_accesses": 3_000}
+
 
 def run(
     workloads: tuple[str, ...] = SHADED_EIGHT,
@@ -61,13 +65,9 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows,
-        "table3",
-        "Table 3: GB mapped with 1GB/2MB pages per allocation mechanism",
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,10 @@ from repro.experiments.report import print_and_save
 from repro.experiments.runner import NativeRunner, RunConfig
 from repro.workloads.registry import SHADED_EIGHT
 
+CSV_NAME = "table4"
+TITLE = "Table 4: % 1GB allocation failures under fragmentation"
+QUICK_KWARGS = {"workloads": ("GUPS", "Redis"), "n_accesses": 5_000}
+
 
 def run(
     workloads: tuple[str, ...] = SHADED_EIGHT,
@@ -49,11 +53,9 @@ def _pct(failures: int, attempts: int):
     return round(100.0 * failures / attempts, 1)
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows, "table4", "Table 4: % 1GB allocation failures under fragmentation"
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

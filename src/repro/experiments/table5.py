@@ -15,6 +15,10 @@ from repro.experiments.runner import NativeRunner, RunConfig
 WORKLOADS = ("Redis", "Memcached")
 CONFIGS = ("4KB", "2MB-THP", "Trident")
 
+CSV_NAME = "table5"
+TITLE = "Table 5: request tail latency (us), Redis & Memcached"
+QUICK_KWARGS = {"workloads": ("Redis",), "n_accesses": 5_000}
+
 
 def run(
     workloads: tuple[str, ...] = WORKLOADS,
@@ -43,11 +47,9 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print_and_save(
-        rows, "table5", "Table 5: request tail latency (us), Redis & Memcached"
-    )
+def main(quick: bool = False, seed: int = 7) -> None:
+    rows = run(seed=seed, **(QUICK_KWARGS if quick else {}))
+    print_and_save(rows, CSV_NAME, TITLE)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,309 @@
+"""Orchestrator engine: unit registry, fault injection, resume, compile."""
+
+import json
+import multiprocessing as mp
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.orchestrator import (
+    GRID_TARGET,
+    MODULE_TARGET,
+    SweepConfig,
+    SweepPlan,
+    UnitSpec,
+    _cached_results,
+    build_plan,
+    compile_report,
+    derive_seed,
+    execute_units,
+    run_sweep,
+    write_manifest,
+)
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+
+
+def _spec(unit_id, target, kwargs, timeout_s=30.0, max_retries=1):
+    return UnitSpec(
+        unit_id=unit_id,
+        target=f"repro.experiments.faults:{target}",
+        kwargs=kwargs,
+        seed=derive_seed(7, unit_id),
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+    )
+
+
+class TestBuildPlan:
+    def test_grid_modules_split_per_workload(self):
+        plan = build_plan(modules=("figure2",), quick=True)
+        from repro.experiments.figure2 import QUICK_KWARGS
+
+        ids = [s.unit_id for s in plan.specs]
+        assert ids == [f"figure2:{w}" for w in QUICK_KWARGS["workloads"]]
+        assert all(s.target == GRID_TARGET for s in plan.specs)
+        # quick kwargs (minus the workloads axis) ride along to every cell
+        for spec in plan.specs:
+            assert spec.kwargs["extra_kwargs"] == {
+                k: v for k, v in QUICK_KWARGS.items() if k != "workloads"
+            }
+        assert plan.grids["figure2"].csv_name == "figure2"
+
+    def test_full_mode_uses_run_defaults(self):
+        plan = build_plan(modules=("figure9",), quick=False)
+        from repro.workloads.registry import SHADED_EIGHT
+
+        assert [s.unit_id for s in plan.specs] == [
+            f"figure9:{w}" for w in SHADED_EIGHT
+        ]
+        assert all(s.kwargs["extra_kwargs"] == {} for s in plan.specs)
+
+    def test_non_grid_modules_are_single_units(self):
+        plan = build_plan(modules=("latency_micro", "sensitivity"), quick=True)
+        assert [s.unit_id for s in plan.specs] == [
+            "latency_micro",
+            "sensitivity",
+        ]
+        assert all(s.target == MODULE_TARGET for s in plan.specs)
+        assert plan.grids == {}
+
+    def test_whole_registry_registers_many_units(self):
+        plan = build_plan(quick=False)
+        # every module contributes; grid modules contribute one per workload
+        assert len(plan.specs) > 50
+        assert len({s.unit_id for s in plan.specs}) == len(plan.specs)
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(KeyError, match="nope"):
+            build_plan(modules=("nope",))
+
+    def test_seeds_are_derived_not_root(self):
+        plan = build_plan(modules=("figure2",), quick=True, root_seed=7)
+        for spec in plan.specs:
+            assert spec.seed == derive_seed(7, spec.unit_id)
+            assert spec.kwargs["seed"] == spec.seed
+
+
+class TestFaultInjection:
+    def test_raising_unit_retried_with_backoff(self, tmp_path):
+        specs = [
+            _spec("boom", "raising_unit", {"message": "kapow"}, max_retries=2),
+            _spec("fine", "healthy_unit", {"out_dir": str(tmp_path)}),
+        ]
+        results = execute_units(specs, jobs=2, backoff_base_s=0.05)
+        boom = results["boom"]
+        assert boom.status == "failed"
+        assert boom.attempts == 3  # 1 try + 2 retries
+        assert boom.backoffs_s == [0.05, 0.1]  # exponential
+        assert "kapow" in boom.error
+        assert len(boom.durations_s) == 3
+        # the healthy unit is unaffected by its neighbour's failure
+        fine = results["fine"]
+        assert fine.status == "ok"
+        assert fine.outputs and os.path.exists(fine.outputs[0])
+
+    def test_timeout_unit_terminated(self, tmp_path):
+        specs = [
+            _spec(
+                "sleepy",
+                "sleeping_unit",
+                {"sleep_s": 60.0},
+                timeout_s=0.4,
+                max_retries=1,
+            ),
+            _spec("fine", "healthy_unit", {"out_dir": str(tmp_path)}),
+        ]
+        results = execute_units(specs, jobs=2, backoff_base_s=0.01)
+        sleepy = results["sleepy"]
+        assert sleepy.status == "timeout"
+        assert sleepy.attempts == 2
+        assert sleepy.backoffs_s == [0.01]
+        assert "0.4" in sleepy.error
+        assert results["fine"].status == "ok"
+
+    def test_crashing_unit_recorded(self, tmp_path):
+        specs = [
+            _spec("dead", "exiting_unit", {"code": 3}, max_retries=1),
+            _spec("fine", "healthy_unit", {"out_dir": str(tmp_path)}),
+        ]
+        results = execute_units(specs, jobs=2, backoff_base_s=0.01)
+        dead = results["dead"]
+        assert dead.status == "crashed"
+        assert dead.attempts == 2
+        assert "exitcode" in dead.error
+        assert results["fine"].status == "ok"
+
+    def test_flaky_unit_recovers_on_retry(self, tmp_path):
+        specs = [
+            _spec(
+                "flaky",
+                "flaky_unit",
+                {"out_dir": str(tmp_path), "fail_times": 1},
+                max_retries=2,
+            )
+        ]
+        results = execute_units(specs, jobs=1, backoff_base_s=0.01)
+        flaky = results["flaky"]
+        assert flaky.status == "ok"
+        assert flaky.attempts == 2
+        assert flaky.backoffs_s == [0.01]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_failed_cell_degrades_gracefully(self, tmp_path, monkeypatch):
+        """A raising grid cell is recorded; survivors still compile."""
+        import repro.experiments.figure3 as figure3
+
+        real_run = figure3.run
+
+        def sabotaged(workloads=figure3.WORKLOADS, seed=7):
+            if "SVM" in workloads:
+                raise RuntimeError("injected cell failure")
+            return real_run(workloads=workloads, seed=seed)
+
+        monkeypatch.setattr(figure3, "run", sabotaged)
+        config = SweepConfig(
+            jobs=2,
+            root_seed=7,
+            out_dir=str(tmp_path),
+            max_retries=1,
+            backoff_base_s=0.01,
+            modules=("figure3", "latency_micro"),
+            timeout_s=120.0,
+        )
+        manifest = run_sweep(config)
+        by_id = {u["unit_id"]: u for u in manifest["units"]}
+        assert by_id["figure3:SVM"]["status"] == "failed"
+        assert by_id["figure3:SVM"]["attempts"] == 2
+        assert "injected cell failure" in by_id["figure3:SVM"]["error"]
+        assert by_id["figure3:Graph500"]["status"] == "ok"
+        assert by_id["latency_micro"]["status"] == "ok"
+        # the report compiler merged the surviving cell and flagged the gap
+        merged = manifest["merged"]["figure3"]
+        assert merged["missing_workloads"] == ["SVM"]
+        csv_text = open(merged["csv"]).read()
+        assert "Graph500" in csv_text and "SVM" not in csv_text
+        # the failure did not stop the manifest or the metrics summary
+        assert os.path.exists(manifest["manifest_path"])
+        assert manifest["counts"] == {"ok": 2, "failed": 1}
+
+
+class TestResume:
+    def test_cached_results_skip_ok_units(self, tmp_path):
+        art = tmp_path / "artifacts"
+        specs = [
+            _spec("a", "healthy_unit", {"out_dir": str(art), "token": "a"}),
+            _spec("b", "raising_unit", {}),
+        ]
+        results = execute_units(specs, jobs=1, backoff_base_s=0.01)
+        manifest_path = str(tmp_path / "manifest.json")
+        write_manifest(
+            {"units": [asdict(results[s.unit_id]) for s in specs]},
+            manifest_path,
+        )
+        plan = SweepPlan(specs=specs, grids={})
+        cached = _cached_results(plan, manifest_path)
+        assert set(cached) == {"a"}
+        assert cached["a"].cached is True
+        assert cached["a"].seed == specs[0].seed
+
+    def test_cached_results_require_outputs_on_disk(self, tmp_path):
+        art = tmp_path / "artifacts"
+        specs = [
+            _spec("a", "healthy_unit", {"out_dir": str(art), "token": "a"})
+        ]
+        results = execute_units(specs, jobs=1)
+        manifest_path = str(tmp_path / "manifest.json")
+        write_manifest({"units": [asdict(results["a"])]}, manifest_path)
+        os.remove(results["a"].outputs[0])
+        plan = SweepPlan(specs=specs, grids={})
+        assert _cached_results(plan, manifest_path) == {}
+
+    def test_cached_results_ignore_other_seeds(self, tmp_path):
+        art = tmp_path / "artifacts"
+        specs = [
+            _spec("a", "healthy_unit", {"out_dir": str(art), "token": "a"})
+        ]
+        results = execute_units(specs, jobs=1)
+        manifest_path = str(tmp_path / "manifest.json")
+        write_manifest({"units": [asdict(results["a"])]}, manifest_path)
+        other = UnitSpec(
+            unit_id="a",
+            target=specs[0].target,
+            kwargs=specs[0].kwargs,
+            seed=derive_seed(8, "a"),  # different root seed
+        )
+        plan = SweepPlan(specs=[other], grids={})
+        assert _cached_results(plan, manifest_path) == {}
+
+    def test_run_sweep_resume_skips_completed(self, tmp_path):
+        config = SweepConfig(
+            jobs=1,
+            out_dir=str(tmp_path),
+            modules=("latency_micro",),
+        )
+        first = run_sweep(config)
+        assert first["units"][0]["status"] == "ok"
+        resumed = run_sweep(
+            SweepConfig(
+                jobs=1,
+                out_dir=str(tmp_path),
+                modules=("latency_micro",),
+                resume=first["manifest_path"],
+            )
+        )
+        assert resumed["units"][0]["status"] == "ok"
+        assert resumed["units"][0]["cached"] is True
+
+
+class TestCompileReport:
+    def _grid(self, tmp_path, workloads, statuses):
+        """A synthetic latency_micro grid (module has no summarize hook)."""
+        from repro.experiments.orchestrator import GridPlan, UnitResult
+
+        partial_dir = tmp_path / "partial"
+        partial_dir.mkdir(exist_ok=True)
+        cells, results = [], {}
+        for workload, status in zip(workloads, statuses):
+            unit_id = f"latency_micro:{workload}"
+            path = str(partial_dir / f"{workload}.json")
+            if status == "ok":
+                with open(path, "w") as f:
+                    json.dump([{"workload": workload, "x": 1.0}], f)
+            cells.append((workload, unit_id, path))
+            results[unit_id] = UnitResult(
+                unit_id=unit_id, seed=0, status=status
+            )
+        plan = SweepPlan(
+            specs=[],
+            grids={
+                "latency_micro": GridPlan("latency_micro", "merged", cells)
+            },
+        )
+        return plan, results
+
+    def test_merge_preserves_canonical_order(self, tmp_path):
+        """Cells merge in registration order, not completion order."""
+        plan, results = self._grid(
+            tmp_path, ("W1", "W2", "W3"), ("ok", "ok", "ok")
+        )
+        merged = compile_report(plan, results, str(tmp_path))
+        lines = open(merged["latency_micro"]["csv"]).read().splitlines()
+        assert [ln.split(",")[0] for ln in lines[1:]] == ["W1", "W2", "W3"]
+        assert merged["latency_micro"]["missing_workloads"] == []
+
+    def test_failed_cells_are_skipped_and_flagged(self, tmp_path):
+        plan, results = self._grid(
+            tmp_path, ("W1", "W2", "W3"), ("ok", "failed", "ok")
+        )
+        merged = compile_report(plan, results, str(tmp_path))
+        lines = open(merged["latency_micro"]["csv"]).read().splitlines()
+        assert [ln.split(",")[0] for ln in lines[1:]] == ["W1", "W3"]
+        assert merged["latency_micro"]["missing_workloads"] == ["W2"]
+
+    def test_all_cells_failed_writes_no_csv(self, tmp_path):
+        plan, results = self._grid(tmp_path, ("W1",), ("crashed",))
+        merged = compile_report(plan, results, str(tmp_path))
+        assert merged["latency_micro"]["csv"] is None
+        assert merged["latency_micro"]["missing_workloads"] == ["W1"]

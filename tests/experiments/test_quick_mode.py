@@ -1,0 +1,103 @@
+"""Satellite 4: ``run_all --quick`` must actually reach every module.
+
+The historical bug: ``--quick`` was parsed but silently dropped, so every
+"quick" CI run executed the full-size experiments.  These tests pin the
+fix from both ends — the flag now flows into ``module.main``, and any
+module whose entrypoint cannot accept it is rejected up front.
+"""
+
+import types
+
+import pytest
+
+from repro.experiments.run_all import (
+    MODULES,
+    QuickModeError,
+    main,
+    validate_quick_support,
+)
+
+
+class TestValidateQuickSupport:
+    def test_every_registered_module_supports_quick(self):
+        for name, module in MODULES:
+            validate_quick_support(name, module)  # must not raise
+
+    def test_every_registered_module_declares_quick_kwargs(self):
+        for name, module in MODULES:
+            assert isinstance(getattr(module, "QUICK_KWARGS", None), dict), (
+                f"{name} must define QUICK_KWARGS (may be empty)"
+            )
+
+    def test_main_without_quick_kwarg_is_rejected(self):
+        bad = types.ModuleType("bad")
+        bad.QUICK_KWARGS = {}
+        bad.main = lambda seed=7: None  # drops the quick flag: the old bug
+        with pytest.raises(QuickModeError, match="bad"):
+            validate_quick_support("bad", bad)
+
+    def test_main_without_seed_kwarg_is_rejected(self):
+        bad = types.ModuleType("bad")
+        bad.QUICK_KWARGS = {}
+        bad.main = lambda quick=False: None
+        with pytest.raises(QuickModeError, match="seed"):
+            validate_quick_support("bad", bad)
+
+    def test_quick_kwargs_must_match_run_signature(self):
+        bad = types.ModuleType("bad")
+        bad.QUICK_KWARGS = {"n_accesses": 10}  # run() has no such knob
+        bad.main = lambda quick=False, seed=7: None
+        bad.run = lambda workloads=(): []
+        with pytest.raises(QuickModeError, match="n_accesses"):
+            validate_quick_support("bad", bad)
+
+
+class TestRunAllCli:
+    def test_quick_flag_reaches_the_module(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake_main(quick=False, seed=7):
+            seen.update(quick=quick, seed=seed)
+
+        import repro.experiments.latency_micro as latency_micro
+
+        monkeypatch.setattr(latency_micro, "main", fake_main)
+        main(["latency_micro", "--quick", "--seed", "11"])
+        assert seen == {"quick": True, "seed": 11}
+        out = capsys.readouterr().out
+        assert "=== latency_micro ===" in out
+
+    def test_default_is_full_mode(self, monkeypatch):
+        seen = {}
+
+        def fake_main(quick=False, seed=7):
+            seen.update(quick=quick, seed=seed)
+
+        import repro.experiments.latency_micro as latency_micro
+
+        monkeypatch.setattr(latency_micro, "main", fake_main)
+        main(["latency_micro"])
+        assert seen == {"quick": False, "seed": 7}
+
+    def test_unknown_module_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["definitely_not_a_module"])
+
+    def test_quick_validates_before_running_anything(self, monkeypatch):
+        """A module that ignores --quick aborts the run before any work."""
+
+        import repro.experiments.latency_micro as latency_micro
+
+        calls = []
+        monkeypatch.setattr(
+            latency_micro,
+            "main",
+            lambda **kw: calls.append(kw),
+        )
+        # break figure3's quick contract
+        import repro.experiments.figure3 as figure3
+
+        monkeypatch.setattr(figure3, "main", lambda seed=7: None)
+        with pytest.raises(QuickModeError, match="figure3"):
+            main(["figure3", "latency_micro", "--quick"])
+        assert calls == []  # nothing executed

@@ -1,0 +1,81 @@
+"""Satellite 3: golden-file smoke tests over the sweep pipeline.
+
+Two tiny quick-mode artifacts — ``table3`` (a real simulator grid) and
+``latency_micro`` (closed-form cost-model arithmetic) — are produced
+through the *actual* sweep pipeline (``run_sweep`` at root seed 7) and
+compared byte-for-byte against checked-in goldens.  Any drift anywhere in
+the stack (seed derivation, simulator behaviour, cell merge, CSV
+formatting) fails with a readable unified diff.
+
+To regenerate after an intentional change:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest -q \
+        tests/experiments/test_sweep_golden.py
+"""
+
+import difflib
+import os
+
+import pytest
+
+from repro.experiments.orchestrator import SweepConfig, run_sweep
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN_ROOT_SEED = 7
+GOLDEN_MODULES = ("table3", "latency_micro")
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+
+@pytest.fixture(scope="module")
+def sweep_out(tmp_path_factory):
+    out = str(tmp_path_factory.mktemp("golden_sweep"))
+    manifest = run_sweep(
+        SweepConfig(
+            jobs=2,
+            root_seed=GOLDEN_ROOT_SEED,
+            quick=True,
+            out_dir=out,
+            modules=GOLDEN_MODULES,
+            timeout_s=300.0,
+        )
+    )
+    assert all(u["status"] == "ok" for u in manifest["units"])
+    return out
+
+
+def _check_golden(sweep_out: str, name: str) -> None:
+    produced_path = os.path.join(sweep_out, f"{name}.csv")
+    golden_path = os.path.join(GOLDEN_DIR, f"{name}.csv")
+    with open(produced_path) as f:
+        produced = f.read()
+    if REGEN:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(golden_path, "w") as f:
+            f.write(produced)
+        pytest.skip(f"regenerated {golden_path}")
+    with open(golden_path) as f:
+        golden = f.read()
+    if produced != golden:
+        diff = "\n".join(
+            difflib.unified_diff(
+                golden.splitlines(),
+                produced.splitlines(),
+                fromfile=f"golden/{name}.csv",
+                tofile=f"produced/{name}.csv",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"{name}.csv drifted from its golden (root seed "
+            f"{GOLDEN_ROOT_SEED}, quick mode).\n"
+            f"If the change is intentional, regenerate with "
+            f"REPRO_REGEN_GOLDEN=1.\n{diff}"
+        )
+
+
+def test_table3_matches_golden(sweep_out):
+    _check_golden(sweep_out, "table3")
+
+
+def test_latency_micro_matches_golden(sweep_out):
+    _check_golden(sweep_out, "latency_micro")

@@ -1,5 +1,8 @@
 """CLI tests."""
 
+import json
+import os
+
 import pytest
 
 from repro.cli import main
@@ -41,3 +44,36 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepCLI:
+    def test_sweep_writes_manifest_and_csvs(self, capsys, tmp_path):
+        out = str(tmp_path / "sweep")
+        code = main(
+            ["sweep", "latency_micro", "--jobs", "2", "--out", out]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Sweep units" in stdout
+        assert "latency_micro" in stdout
+        assert os.path.exists(os.path.join(out, "latency_micro.csv"))
+        with open(os.path.join(out, "sweep_manifest.json")) as f:
+            manifest = json.load(f)
+        assert manifest["counts"] == {"ok": 1}
+        assert manifest["units"][0]["unit_id"] == "latency_micro"
+        assert manifest["units"][0]["duration_s"] > 0
+
+    def test_sweep_resume_reuses_completed_units(self, capsys, tmp_path):
+        out = str(tmp_path / "sweep")
+        assert main(["sweep", "latency_micro", "--out", out]) == 0
+        capsys.readouterr()
+        manifest_path = os.path.join(out, "sweep_manifest.json")
+        code = main(
+            ["sweep", "latency_micro", "--out", out, "--resume", manifest_path]
+        )
+        assert code == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_module(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["sweep", "nope", "--out", str(tmp_path)])
