@@ -8,6 +8,7 @@ Commands
 ``sweep``      regenerate figures/tables on the parallel orchestrator
 ``list``       show available workloads, policies and experiments
 ``metrics``    list every metric the observability registry can export
+``lint``       project-specific static analysis (TRD rules, docs/linting.md)
 
 Examples::
 
@@ -15,10 +16,12 @@ Examples::
     python -m repro run GUPS Trident --fragmented
     python -m repro run GUPS --policy trident --trace --metrics-out m.json
     python -m repro run Canneal Trident --virt --host-policy Trident
+    python -m repro run GUPS Trident --audit --audit-every 1024
     python -m repro experiment figure9 --metrics-out report/metrics
     python -m repro sweep --quick --jobs 4 --seed 7
     python -m repro sweep figure2 table3 --jobs 2 --timeout 600
     python -m repro sweep --resume report/sweep_manifest.json
+    python -m repro lint src/ --format json
 """
 
 from __future__ import annotations
@@ -59,6 +62,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also run this policy and report relative numbers",
     )
+    _add_audit_arguments(run)
     _add_obs_arguments(run)
     run.add_argument(
         "--trace-out",
@@ -81,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reduced-size pass (the module's QUICK_KWARGS)",
     )
     exp.add_argument("--seed", type=int, default=7)
+    exp.add_argument(
+        "--audit",
+        action="store_true",
+        help="attach sampled invariant auditors to every run",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -137,6 +146,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="MANIFEST",
         help="skip units already 'ok' in this prior sweep manifest",
     )
+    sweep.add_argument(
+        "--audit",
+        action="store_true",
+        help="attach sampled invariant auditors in every worker; audit "
+        "failures surface as unit failures in the manifest",
+    )
 
     sub.add_parser("list", help="list workloads, policies, experiments")
 
@@ -149,7 +164,50 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="only show metrics of this kind",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-specific static analysis (see docs/linting.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
     return parser
+
+
+def _add_audit_arguments(run: argparse.ArgumentParser) -> None:
+    run.add_argument(
+        "--audit",
+        action="store_true",
+        help="attach a sampled invariant auditor (repro.lint.invariants)",
+    )
+    run.add_argument(
+        "--audit-every",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="audit at the next checkpoint after every N buddy events",
+    )
 
 
 def _add_obs_arguments(run: argparse.ArgumentParser) -> None:
@@ -235,6 +293,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             trace_subsystems=subsystems,
             trace_capacity=args.trace_capacity,
             metrics_out=args.metrics_out if first else None,
+            audit=args.audit or None,
+            audit_every=args.audit_every,
         )
         if args.virt:
             runner = VirtRunner(
@@ -319,6 +379,7 @@ def _cmd_experiment(
     metrics_out: str | None = None,
     quick: bool = False,
     seed: int = 7,
+    audit: bool = False,
 ) -> int:
     import repro.experiments.runner as runner_mod
     from repro.experiments.run_all import MODULES, main as run_all_main
@@ -328,6 +389,8 @@ def _cmd_experiment(
 
         os.makedirs(metrics_out, exist_ok=True)
         runner_mod.set_metrics_dir(metrics_out)
+    if audit:
+        runner_mod.set_audit(True)
     try:
         if name == "all":
             run_all_main((["--quick"] if quick else []) + ["--seed", str(seed)])
@@ -342,6 +405,7 @@ def _cmd_experiment(
         return 0
     finally:
         runner_mod.set_metrics_dir(None)
+        runner_mod.set_audit(False)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -358,6 +422,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backoff_base_s=args.backoff,
         modules=tuple(args.modules),
         resume=args.resume,
+        audit=args.audit,
     )
     manifest = run_sweep(config, progress=print)
     print()
@@ -381,6 +446,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 3 if failed else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint import ALL_RULES, run_lint
+
+    if args.list_rules:
+        print(f"{'CODE':8s} {'NAME':24s} DESCRIPTION")
+        for rule in ALL_RULES:
+            print(f"{rule.code:8s} {rule.name:24s} {rule.description}")
+        return 0
+    rules = ALL_RULES
+    if args.select:
+        wanted = {code.strip() for code in args.select.split(",") if code.strip()}
+        known = {rule.code for rule in ALL_RULES}
+        unknown = wanted - known
+        if unknown:
+            print(f"error: unknown rule code(s): {', '.join(sorted(unknown))}")
+            return 2
+        rules = tuple(rule for rule in ALL_RULES if rule.code in wanted)
+    try:
+        findings = run_lint(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
 def _cmd_metrics(kind: str | None) -> int:
     from repro.obs import METRIC_CATALOG
 
@@ -400,12 +499,18 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(
-            args.name, args.metrics_out, quick=args.quick, seed=args.seed
+            args.name,
+            args.metrics_out,
+            quick=args.quick,
+            seed=args.seed,
+            audit=args.audit,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "metrics":
         return _cmd_metrics(args.kind)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2
 
 

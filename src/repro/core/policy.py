@@ -75,6 +75,10 @@ class ProcessFrameOwner:
     def remove(self, pfn: int) -> None:
         del self._va_of_pfn[pfn]
 
+    def lookup(self, pfn: int) -> tuple[int, int] | None:
+        """(va, page_size) currently associated with ``pfn``, if any."""
+        return self._va_of_pfn.get(pfn)
+
     def relocate(self, old_pfn: int, new_pfn: int, order: int) -> None:
         va, page_size = self._va_of_pfn.pop(old_pfn)
         self._va_of_pfn[new_pfn] = (va, page_size)

@@ -144,6 +144,9 @@ class SweepConfig:
     modules: tuple = ()
     resume: str | None = None
     manifest_path: str | None = None
+    #: attach sampled invariant auditors (repro.lint.invariants) in every
+    #: worker; audit failures surface as unit failures in the manifest
+    audit: bool = False
 
 
 def _unit_slug(unit_id: str) -> str:
@@ -157,6 +160,7 @@ def build_plan(
     out_dir: str = "report",
     timeout_s: float = 900.0,
     max_retries: int = 1,
+    audit: bool = False,
 ) -> SweepPlan:
     """Register one unit per module, one per workload cell for grids."""
     from repro.experiments.run_all import MODULES, validate_quick_support
@@ -202,6 +206,7 @@ def build_plan(
                             "seed": derive_seed(root_seed, unit_id),
                             "extra_kwargs": quick_kwargs,
                             "unit_slug": _unit_slug(unit_id),
+                            "audit": audit,
                         },
                         seed=derive_seed(root_seed, unit_id),
                         timeout_s=timeout_s,
@@ -221,6 +226,7 @@ def build_plan(
                         "quick": quick,
                         "seed": derive_seed(root_seed, name),
                         "unit_slug": _unit_slug(name),
+                        "audit": audit,
                     },
                     seed=derive_seed(root_seed, name),
                     timeout_s=timeout_s,
@@ -244,7 +250,7 @@ def _jsonable(value):
     return str(value)
 
 
-def _redirect_into(out_dir: str, unit_slug: str):
+def _redirect_into(out_dir: str, unit_slug: str, audit: bool = False):
     """Point the report + obs plumbing of this worker at the sweep dirs."""
     from repro.experiments import report as report_mod
     from repro.experiments import runner as runner_mod
@@ -252,6 +258,7 @@ def _redirect_into(out_dir: str, unit_slug: str):
     report_mod.REPORT_DIR = out_dir
     metrics_dir = os.path.join(out_dir, "metrics", unit_slug)
     runner_mod.METRICS_DIR = metrics_dir
+    runner_mod.set_audit(audit)
     return metrics_dir
 
 
@@ -277,10 +284,11 @@ def run_module_unit(
     quick: bool,
     seed: int,
     unit_slug: str,
+    audit: bool = False,
 ) -> dict:
     """Worker target: run one whole module's ``main`` (non-grid unit)."""
     module = importlib.import_module(f"repro.experiments.{module_name}")
-    metrics_dir = _redirect_into(out_dir, unit_slug)
+    metrics_dir = _redirect_into(out_dir, unit_slug, audit=audit)
     with _open_log(out_dir, unit_slug) as log:
         with contextlib.redirect_stdout(log):
             module.main(quick=quick, seed=seed)
@@ -302,10 +310,11 @@ def run_grid_cell(
     seed: int,
     unit_slug: str,
     extra_kwargs: dict | None = None,
+    audit: bool = False,
 ) -> dict:
     """Worker target: run one (module, workload) cell, dump rows as JSON."""
     module = importlib.import_module(f"repro.experiments.{module_name}")
-    metrics_dir = _redirect_into(out_dir, unit_slug)
+    metrics_dir = _redirect_into(out_dir, unit_slug, audit=audit)
     with _open_log(out_dir, unit_slug) as log:
         with contextlib.redirect_stdout(log):
             rows = module.run(
@@ -629,6 +638,7 @@ def run_sweep(config: SweepConfig, progress=None) -> dict:
         out_dir=config.out_dir,
         timeout_s=config.timeout_s,
         max_retries=config.max_retries,
+        audit=config.audit,
     )
     cached = _cached_results(plan, config.resume) if config.resume else {}
     pending = [s for s in plan.specs if s.unit_id not in cached]
@@ -656,6 +666,7 @@ def run_sweep(config: SweepConfig, progress=None) -> dict:
         "version": MANIFEST_VERSION,
         "root_seed": config.root_seed,
         "quick": config.quick,
+        "audit": config.audit,
         "jobs": config.jobs,
         "timeout_s": config.timeout_s,
         "max_retries": config.max_retries,

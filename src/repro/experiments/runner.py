@@ -58,6 +58,28 @@ def set_metrics_dir(path: str | None) -> None:
     METRICS_DIR = path
 
 
+#: when True (``--audit``, or per worker by the sweep orchestrator), every
+#: runner attaches a sampled invariant auditor (repro.lint.invariants) to
+#: the systems it boots
+AUDIT: bool = False
+
+
+def audit_enabled() -> bool:
+    """Whether runs should attach invariant auditors.
+
+    Module global first (set in-process by the CLI or an orchestrator
+    worker), then the ``REPRO_AUDIT`` environment variable — the same
+    handoff pattern as :func:`metrics_dir`.
+    """
+    return AUDIT or os.environ.get("REPRO_AUDIT") == "1"
+
+
+def set_audit(on: bool) -> None:
+    """Enable/disable invariant auditing for subsequent runners."""
+    global AUDIT
+    AUDIT = bool(on)
+
+
 def _metrics_run_section(metrics: RunMetrics) -> dict:
     """The RunMetrics-derived summary embedded in each metrics.json."""
     return {
@@ -82,11 +104,16 @@ def _metrics_run_section(metrics: RunMetrics) -> dict:
 
 
 def emit_metrics_json(
-    obs: Observability, metrics: RunMetrics, explicit_path: str | None
+    obs: Observability,
+    metrics: RunMetrics,
+    explicit_path: str | None,
+    auditors: tuple = (),
 ) -> str | None:
     """Write one run's metrics.json (explicit path or the METRICS_DIR drop).
 
     Returns the path written, or None when neither destination is set.
+    ``auditors`` (any of which may be None) contribute the ``audit_*``
+    fields that let an audited sweep prove the invariant checks ran.
     """
     path = explicit_path
     drop_dir = metrics_dir()
@@ -98,7 +125,13 @@ def emit_metrics_json(
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
-    return obs.write_metrics_json(path, extra={"run": _metrics_run_section(metrics)})
+    section = _metrics_run_section(metrics)
+    live = [a for a in auditors if a is not None]
+    if live:
+        section["audit_runs"] = sum(a.audits for a in live)
+        section["audit_checks"] = sum(a.checks for a in live)
+        section["audit_violations"] = sum(a.violations for a in live)
+    return obs.write_metrics_json(path, extra={"run": section})
 
 
 def _build_obs(config) -> Observability:
@@ -145,6 +178,11 @@ class RunConfig:
     trace_capacity: int = 65536
     #: write the metrics registry snapshot (plus a RunMetrics summary) here
     metrics_out: str | None = None
+    #: sampled runtime invariant auditing (repro.lint.invariants):
+    #: True/False forces it for this run; None defers to audit_enabled()
+    audit: bool | None = None
+    #: buddy events between sampled audits (smaller = tighter, slower)
+    audit_every: int = 4096
 
 
 class _WorkloadAPI:
@@ -188,6 +226,11 @@ class NativeRunner:
             obs=self.obs,
         )
         self.scanner: MappabilityScanner | None = None
+        want_audit = config.audit if config.audit is not None else audit_enabled()
+        if want_audit:
+            from repro.lint.invariants import attach_auditor
+
+            attach_auditor(self.system, every=config.audit_every)
 
     #: the testbed's per-socket memory: 192GB of 1GB regions (Table 1)
     TESTBED_REGIONS = 192
@@ -236,7 +279,11 @@ class NativeRunner:
             fault_parallelism=self.workload.spec.threads,
         )
         metrics = model.collect(self.system, process, cfg.workload, latencies)
-        emit_metrics_json(self.obs, metrics, cfg.metrics_out)
+        if self.system.auditor is not None:
+            self.system.auditor.audit()  # final audit: every run gets >= 1
+        emit_metrics_json(
+            self.obs, metrics, cfg.metrics_out, auditors=(self.system.auditor,)
+        )
         return metrics
 
     def _settle(self) -> None:
@@ -333,6 +380,10 @@ class VirtRunConfig:
     trace_subsystems: tuple[str, ...] | None = None
     trace_capacity: int = 65536
     metrics_out: str | None = None
+    #: sampled runtime invariant auditing of both guest and host systems,
+    #: plus the post-hypercall pv bijectivity check; None = audit_enabled()
+    audit: bool | None = None
+    audit_every: int = 4096
 
 
 class VirtRunner:
@@ -382,6 +433,21 @@ class VirtRunner:
             guest_daemon_budget_ns=config.guest_daemon_budget_ns,
             guest_obs=self.obs,
         )
+        want_audit = config.audit if config.audit is not None else audit_enabled()
+        if want_audit:
+            from repro.lint.invariants import attach_auditor
+
+            attach_auditor(self.vm.guest, every=config.audit_every)
+            # The host auditor carries the hypervisor so sampled audits
+            # (and every exchange hypercall) verify pv bijectivity.  The
+            # host system runs bare (no obs of its own), so its audit
+            # counters are routed into this run's registry.
+            attach_auditor(
+                self.vm.host,
+                every=config.audit_every,
+                hypervisor=self.vm.hypervisor,
+                obs=self.obs,
+            )
 
     def run(self) -> RunMetrics:
         cfg = self.config
@@ -433,7 +499,15 @@ class VirtRunner:
             host_exposure / metrics.daemon_exposure
         )
         metrics.policy = self._label()
-        emit_metrics_json(self.obs, metrics, cfg.metrics_out)
+        for system in (self.vm.guest, self.vm.host):
+            if system.auditor is not None:
+                system.auditor.audit()  # final audit: every run gets >= 1
+        emit_metrics_json(
+            self.obs,
+            metrics,
+            cfg.metrics_out,
+            auditors=(self.vm.guest.auditor, self.vm.host.auditor),
+        )
         return metrics
 
     def _settle_uncapped(self, total_ns: float) -> None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.config import TLBConfig
+from repro.config import SCALE_FACTOR, PageSize, TLBConfig
 from repro.experiments.report import print_and_save
 from repro.experiments.runner import NativeRunner, RunConfig
 
@@ -46,9 +46,11 @@ def run_fragmentation_sweep(
                 "residual_cache_fraction": residual,
                 "trident_vs_thp": metrics["2MB-THP"].runtime_ns
                 / trident.runtime_ns,
-                "trident_1gb_gb": (trident.mapped_bytes_by_size or {}).get(2, 0)
-                / (1 << 30)
-                * 256,
+                "trident_1gb_gb": (trident.mapped_bytes_by_size or {}).get(
+                    PageSize.LARGE, 0
+                )
+                * SCALE_FACTOR
+                / (1 << 30),
                 "fault_large_fail_pct": (
                     100.0
                     * trident.fault_large_failures
@@ -90,6 +92,7 @@ def run_tlb_capacity_sweep(
 
 
 CSV_NAME = ("sensitivity_fragmentation", "sensitivity_tlb")
+TITLE = "Sensitivity: fragmentation severity and 1GB L2 TLB capacity"
 QUICK_KWARGS = {"n_accesses": 6_000}
 
 

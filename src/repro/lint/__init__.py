@@ -1,0 +1,46 @@
+"""Project-specific static analysis + runtime invariant auditing.
+
+Two halves, one subsystem (see ``docs/linting.md``):
+
+* ``repro lint`` — an AST rule engine (:mod:`repro.lint.engine`) running
+  the TRD rule catalogue (:mod:`repro.lint.rules`) over the source tree.
+* ``--audit`` — sampled runtime invariant checks
+  (:mod:`repro.lint.invariants`) over the live simulator: buddy free
+  lists, region counters, and Trident-pv mapping bijectivity.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    SYNTAX_RULE,
+    Finding,
+    LintContext,
+    Rule,
+    SourceModule,
+    iter_python_files,
+    load_modules,
+    run_lint,
+)
+from repro.lint.rules import (
+    ALL_RULES,
+    ExperimentProtocol,
+    FrameArithmetic,
+    MetricRegistryHygiene,
+    NoGlobalRng,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "SYNTAX_RULE",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "SourceModule",
+    "ExperimentProtocol",
+    "FrameArithmetic",
+    "MetricRegistryHygiene",
+    "NoGlobalRng",
+    "iter_python_files",
+    "load_modules",
+    "run_lint",
+]

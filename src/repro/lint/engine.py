@@ -1,0 +1,208 @@
+"""AST-based rule engine for the project linter (``repro lint``).
+
+The engine is deliberately small: it loads every Python file under the
+given paths, parses each into an :mod:`ast` tree plus a per-line
+suppression table, and hands the whole batch to each registered
+:class:`Rule`.  Rules are cross-file by design — TRD004, for example,
+compares every emitted metric name against the catalog module — which is
+why rules receive a :class:`LintContext` over all modules rather than one
+file at a time.
+
+Suppressions are line-scoped, ``noqa``-style::
+
+    pfn = frames / 2  # trd: ignore[TRD003]
+    anything_goes()   # trd: ignore
+
+A finding is suppressed when a matching comment sits on the finding's
+reported line.  Module-level findings (a missing protocol constant, say)
+report at line 1, so a file-wide waiver is a line-1 comment.
+
+See ``docs/linting.md`` for the rule catalogue and how to add a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+#: rule code reported for files the engine cannot parse at all
+SYNTAX_RULE = "TRD000"
+
+_SUPPRESS_RE = re.compile(r"#\s*trd:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file plus its suppression table."""
+
+    path: str
+    #: path from the last ``repro`` package component on, ``/``-separated
+    #: (``repro/mem/buddy.py``); rules scope themselves by this prefix so
+    #: linting works identically from any working directory
+    package_path: str
+    source: str
+    tree: ast.Module
+    #: line -> suppressed codes, or None for a bare (suppress-all) ignore
+    suppressions: dict[int, frozenset[str] | None]
+
+    @property
+    def name(self) -> str:
+        return os.path.basename(self.path)
+
+
+class LintContext:
+    """Everything a rule gets to look at: the full batch of modules."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+
+    def under(self, prefix: str) -> Iterator[SourceModule]:
+        """Modules whose package path starts with e.g. ``repro/mem/``."""
+        for module in self.modules:
+            if module.package_path.startswith(prefix):
+                yield module
+
+
+class Rule:
+    """Base class for one lint rule; subclasses implement :meth:`check`."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, line: int, message: str) -> Finding:
+        return Finding(rule=self.code, path=module.path, line=line, message=message)
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    table: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None or not codes.strip():
+            table[lineno] = None
+        else:
+            table[lineno] = frozenset(
+                code.strip() for code in codes.split(",") if code.strip()
+            )
+    return table
+
+
+def _package_path(path: str) -> str:
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[index:])
+    return parts[-1]
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d
+                    for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(dirpath, filename))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    seen: set[str] = set()
+    unique: list[str] = []
+    for path in files:
+        key = os.path.abspath(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def load_modules(
+    files: Iterable[str],
+) -> tuple[list[SourceModule], list[Finding]]:
+    """Parse every file; unparsable files become TRD000 findings."""
+    modules: list[SourceModule] = []
+    errors: list[Finding] = []
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            source = f.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule=SYNTAX_RULE,
+                    path=path,
+                    line=exc.lineno or 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        modules.append(
+            SourceModule(
+                path=path,
+                package_path=_package_path(path),
+                source=source,
+                tree=tree,
+                suppressions=_parse_suppressions(source),
+            )
+        )
+    return modules, errors
+
+
+def _suppressed(module: SourceModule, finding: Finding) -> bool:
+    codes = module.suppressions.get(finding.line, frozenset())
+    if codes is None:  # bare "# trd: ignore"
+        return True
+    return finding.rule in codes
+
+
+def run_lint(paths: Iterable[str], rules: Sequence[Rule]) -> list[Finding]:
+    """Lint ``paths`` with ``rules``; returns surviving findings, sorted."""
+    modules, findings = load_modules(iter_python_files(paths))
+    ctx = LintContext(modules)
+    by_path = {module.path: module for module in modules}
+    for rule in rules:
+        for finding in rule.check(ctx):
+            module = by_path.get(finding.path)
+            if module is not None and _suppressed(module, finding):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

@@ -22,8 +22,6 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Protocol
 
-import numpy as np
-
 from repro.mem.frames import FrameState, new_frame_array
 
 
@@ -139,6 +137,10 @@ class BuddyAllocator:
             metrics.gauge("buddy_free_blocks", order=order).value = len(
                 self._free_lists[order]
             )
+
+    def add_listener(self, listener: AllocationListener) -> None:
+        """Register a listener after construction (e.g. an audit hook)."""
+        self._listeners.append(listener)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -309,28 +311,14 @@ class BuddyAllocator:
             self._c_coalesce.inc(merges)
         self._free_lists[order].add(pfn)
 
-    # -- verification (used by tests) ---------------------------------------
+    # -- verification (tests and the --audit layer) -------------------------
     def check_invariants(self) -> None:
-        """Assert internal consistency; O(total_frames)."""
-        seen = np.zeros(self.total_frames, dtype=bool)
-        free_total = 0
-        for order in range(self.max_order + 1):
-            for start in self._free_lists[order].members():
-                n = 1 << order
-                assert start % n == 0, f"misaligned free block {start} order {order}"
-                assert not seen[start : start + n].any(), "overlapping free blocks"
-                seen[start : start + n] = True
-                assert (
-                    self.frame_state[start : start + n] == FrameState.FREE
-                ).all(), "free-list block has non-free frames"
-                free_total += n
-        for start, (order, movable) in self._allocated.items():
-            n = 1 << order
-            assert not seen[start : start + n].any(), "alloc overlaps free block"
-            seen[start : start + n] = True
-            want = FrameState.MOVABLE if movable else FrameState.UNMOVABLE
-            assert (
-                self.frame_state[start : start + n] == want
-            ).all(), "allocated block has wrong frame states"
-        assert seen.all(), "frames covered by neither free lists nor allocations"
-        assert free_total == self._free_frames, "free frame counter drifted"
+        """Assert internal consistency; O(total_frames).
+
+        Delegates to :func:`repro.lint.invariants.check_buddy`, the
+        canonical checker the ``--audit`` runtime layer also uses, so
+        tests and audited runs enforce the identical invariant set.
+        """
+        from repro.lint.invariants import check_buddy
+
+        check_buddy(self)

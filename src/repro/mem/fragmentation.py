@@ -14,7 +14,7 @@ that land in the middle of otherwise-movable regions and defeat compaction.
 
 from __future__ import annotations
 
-import random
+import numpy as np
 
 from repro.mem.buddy import BuddyAllocator, OutOfMemoryError
 
@@ -44,9 +44,11 @@ class FragmentationInjector:
     :meth:`release_unmovable` is called (tests only).
     """
 
-    def __init__(self, buddy: BuddyAllocator, rng: random.Random | None = None):
+    def __init__(
+        self, buddy: BuddyAllocator, rng: np.random.Generator | None = None
+    ) -> None:
         self.buddy = buddy
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self._frames: list[int] = []  # residual cache frames
         self._pos: dict[int, int] = {}  # pfn -> index in _frames
         self._unmovable_frames: list[int] = []
@@ -99,7 +101,9 @@ class FragmentationInjector:
             except OutOfMemoryError:
                 break
             fresh.append(pfn)
-        self.rng.shuffle(fresh)
+        if fresh:
+            order = self.rng.permutation(len(fresh))
+            fresh = [fresh[i] for i in order]
         keep = int(len(fresh) * residual_fraction)
         for pfn in fresh[keep:]:
             self.buddy.free(pfn)
@@ -117,7 +121,7 @@ class FragmentationInjector:
         """
         freed: list[int] = []
         for _ in range(min(n_frames, len(self._frames))):
-            idx = self.rng.randrange(len(self._frames))
+            idx = int(self.rng.integers(len(self._frames)))
             pfn = self._frames[idx]
             self._swap_pop(idx)
             self.buddy.free(pfn)

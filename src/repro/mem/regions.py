@@ -136,20 +136,11 @@ class RegionTracker:
         return candidates
 
     def check_against(self, frame_state: np.ndarray) -> None:
-        """Assert counters match a ground-truth frame-state array (tests)."""
-        from repro.mem.frames import FrameState
+        """Assert counters match a ground-truth frame-state array.
 
-        for region in range(self.n_regions):
-            lo = region * self.frames_per_region
-            hi = lo + self.frames_per_region
-            chunk = frame_state[lo:hi]
-            free = int((chunk == FrameState.FREE).sum())
-            unmovable = int((chunk == FrameState.UNMOVABLE).sum())
-            assert free == int(self.free_frames[region]), (
-                f"region {region}: free counter {self.free_frames[region]} "
-                f"!= ground truth {free}"
-            )
-            assert unmovable == int(self.unmovable_frames[region]), (
-                f"region {region}: unmovable counter "
-                f"{self.unmovable_frames[region]} != ground truth {unmovable}"
-            )
+        Delegates to :func:`repro.lint.invariants.check_regions`, the
+        canonical checker the ``--audit`` runtime layer also uses.
+        """
+        from repro.lint.invariants import check_regions
+
+        check_regions(self, frame_state)

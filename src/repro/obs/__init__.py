@@ -111,4 +111,8 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str], ...] = (
     # system-level (collector-mirrored)
     ("system_fmfi", "gauge", "", "free-memory fragmentation index at large order"),
     ("system_daemon_ns_total", "counter", "", "daemon ns across all ticks"),
+    # invariant audit layer (repro.lint.invariants; --audit runs only)
+    ("audit_runs_total", "counter", "", "sampled invariant audits executed"),
+    ("audit_checks_total", "counter", "", "elementary invariant checks performed"),
+    ("audit_violations_total", "counter", "", "invariant violations detected"),
 )

@@ -15,7 +15,7 @@ computed from.
 
 from __future__ import annotations
 
-import random
+import numpy as np
 
 from repro.config import MachineConfig, PageSize
 from repro.core.compaction import NormalCompactor, SmartCompactor
@@ -44,7 +44,9 @@ class System:
         self.machine = machine
         self.geometry = machine.geometry
         self.cost = machine.cost
-        self.rng = random.Random(seed)
+        #: the machine's only RNG: a seeded generator threaded from the run
+        #: config so every stochastic kernel behaviour replays byte-for-byte
+        self.rng = np.random.default_rng(seed)
         #: per-machine observability (metrics registry + tracer); every
         #: substrate component below instruments itself against it
         self.obs = obs if obs is not None else Observability()
@@ -71,6 +73,9 @@ class System:
         )
         self.processes: list[Process] = []
         self.injector: FragmentationInjector | None = None
+        #: sampled runtime invariant auditing (repro.lint.invariants);
+        #: attached by the runner when --audit is on, None otherwise
+        self.auditor = None
         self._next_pid = 1
         self._accesses_since_daemon = 0
         self.daemon_period_accesses = daemon_period_accesses
@@ -198,6 +203,8 @@ class System:
             process.faults += 1
             mapping = process.pagetable.translate(va)
             assert mapping is not None, f"fault handler left va {va:#x} unmapped"
+            if self.auditor is not None:
+                self.auditor.maybe_audit()
         process.record_touch(va)
         cycles = process.tlb.access(va, mapping)
         self._accesses_since_daemon += 1
@@ -230,6 +237,8 @@ class System:
             self.daemon_budget_ns if budget_ns is None else budget_ns
         )
         self.daemon_ns_total += used
+        if self.auditor is not None:
+            self.auditor.maybe_audit()
         return used
 
     def settle(self, ticks: int = 50, budget_ns: float | None = None) -> None:

@@ -71,6 +71,11 @@ class Hypervisor:
         exchanges = 0
         for gpa_a, gpa_b, nbytes in pairs:
             exchanges += self._exchange_one(gpa_a, gpa_b, nbytes)
+        # --audit: the hypercall's postcondition is mapping bijectivity;
+        # check it immediately rather than waiting for a sampled audit.
+        auditor = self.host.auditor
+        if auditor is not None:
+            auditor.audit_exchange()
         return exchanges
 
     def _exchange_one(self, gpa_a: int, gpa_b: int, nbytes: int) -> int:

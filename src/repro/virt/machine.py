@@ -59,6 +59,8 @@ class GuestSystem(System):
             process.faults += 1
             mapping = process.pagetable.translate(va)
             assert mapping is not None, f"fault handler left va {va:#x} unmapped"
+            if self.auditor is not None:
+                self.auditor.maybe_audit()
         gpa = process.tlb.gpa_of(mapping, va)
         self.hypervisor.ensure_backed(gpa)
         process.record_touch(va)

@@ -1,0 +1,94 @@
+"""Engine mechanics: file discovery, suppressions, scoping, TRD000."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, SYNTAX_RULE, iter_python_files, run_lint
+from repro.lint.engine import _package_path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+class TestDiscovery:
+    def test_iter_python_files_walks_sorted_and_dedups(self, tmp_path):
+        a = _write(tmp_path, "repro/b.py", "")
+        b = _write(tmp_path, "repro/a.py", "")
+        _write(tmp_path, "repro/__pycache__/c.py", "")
+        _write(tmp_path, "repro/.hidden/d.py", "")
+        _write(tmp_path, "repro/notes.txt", "")
+        files = iter_python_files([str(tmp_path), a])
+        assert files == [b, a]  # sorted within the walk, explicit dup dropped
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files(["/no/such/dir"])
+
+    def test_package_path_anchors_at_last_repro_component(self):
+        assert (
+            _package_path("/x/repro/src/repro/mem/buddy.py")
+            == "repro/mem/buddy.py"
+        )
+        assert _package_path("scratch.py").endswith("scratch.py")
+
+
+class TestSuppressions:
+    def test_line_scoped_code_suppression(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/mod.py",
+            "import random  # trd: ignore[TRD001]\n",
+        )
+        assert run_lint([str(tmp_path)], ALL_RULES) == []
+
+    def test_bare_ignore_suppresses_everything(self, tmp_path):
+        _write(tmp_path, "repro/mod.py", "import random  # trd: ignore\n")
+        assert run_lint([str(tmp_path)], ALL_RULES) == []
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/mod.py",
+            "import random  # trd: ignore[TRD003]\n",
+        )
+        findings = run_lint([str(tmp_path)], ALL_RULES)
+        assert [f.rule for f in findings] == ["TRD001"]
+
+
+class TestSyntaxErrors:
+    def test_unparsable_file_becomes_trd000(self, tmp_path):
+        _write(tmp_path, "repro/broken.py", "def f(:\n")
+        findings = run_lint([str(tmp_path)], ALL_RULES)
+        assert len(findings) == 1
+        assert findings[0].rule == SYNTAX_RULE
+
+
+class TestCleanTree:
+    def test_src_tree_lints_clean(self):
+        """The acceptance gate: `repro lint src/` exits 0 on this tree."""
+        findings = run_lint([SRC], ALL_RULES)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestFindingShape:
+    def test_render_and_to_dict(self, tmp_path):
+        _write(tmp_path, "repro/mod.py", "import random\n")
+        (finding,) = run_lint([str(tmp_path)], ALL_RULES)
+        assert finding.render().startswith(finding.path + ":1: TRD001 ")
+        assert finding.to_dict() == {
+            "rule": "TRD001",
+            "path": finding.path,
+            "line": 1,
+            "message": finding.message,
+        }
+        assert os.path.isabs(finding.path) or finding.path.startswith(
+            str(tmp_path)
+        )

@@ -1,0 +1,109 @@
+"""The invariant audit layer accepts every legal state, rejects corruption."""
+
+import numpy as np
+import pytest
+
+from repro.lint.invariants import (
+    InvariantViolation,
+    check_buddy,
+    check_regions,
+)
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.frames import FrameState
+
+TOTAL = 1 << 10
+MAX_ORDER = 6
+
+
+def _random_state(seed: int) -> BuddyAllocator:
+    """Drive a buddy through a seeded random alloc/free sequence."""
+    rng = np.random.default_rng(seed)
+    buddy = BuddyAllocator(TOTAL, MAX_ORDER)
+    live: list[int] = []
+    for _ in range(int(rng.integers(10, 60))):
+        if live and rng.random() < 0.4:
+            buddy.free(live.pop(int(rng.integers(len(live)))))
+        else:
+            pfn = buddy.try_alloc(
+                int(rng.integers(MAX_ORDER + 1)),
+                movable=bool(rng.random() < 0.7),
+            )
+            if pfn is not None:
+                live.append(pfn)
+    return buddy
+
+
+class TestAcceptsLegalStates:
+    def test_fresh_buddy_passes(self):
+        assert check_buddy(BuddyAllocator(TOTAL, MAX_ORDER)) > 0
+
+    @pytest.mark.parametrize("seed", range(200))
+    def test_random_alloc_free_sequences_pass(self, seed):
+        buddy = _random_state(seed)
+        assert check_buddy(buddy) > 0
+
+
+class TestRejectsCorruption:
+    def test_corrupted_free_frame_gauge(self):
+        buddy = _random_state(0)
+        buddy._free_frames += 1
+        with pytest.raises(InvariantViolation, match="gauge"):
+            check_buddy(buddy)
+
+    def test_unmerged_buddy_halves(self):
+        buddy = BuddyAllocator(TOTAL, MAX_ORDER)
+        # Split a max-order block into its two halves by hand: both free at
+        # order k-1 is exactly the state eager coalescing must never leave.
+        k = MAX_ORDER
+        start = buddy.free_block_starts(k)[0]
+        buddy._free_lists[k].discard(start)
+        buddy._free_lists[k - 1].add(start)
+        buddy._free_lists[k - 1].add(start + (1 << (k - 1)))
+        with pytest.raises(InvariantViolation, match="not coalesced"):
+            check_buddy(buddy)
+
+    def test_free_list_entry_overlapping_allocation(self):
+        buddy = _random_state(1)
+        pfn = buddy.alloc(2, movable=True)
+        buddy._free_lists[2].add(pfn)  # same block both allocated and free
+        with pytest.raises(InvariantViolation):
+            check_buddy(buddy)
+
+    def test_frame_state_drift(self):
+        buddy = _random_state(2)
+        pfn = buddy.alloc(0, movable=True)
+        buddy.frame_state[pfn] = FrameState.UNMOVABLE
+        with pytest.raises(InvariantViolation, match="movable"):
+            check_buddy(buddy)
+
+
+class TestRegions:
+    def _tracked(self):
+        from repro.config import SCALED_GEOMETRY
+        from repro.mem.regions import RegionTracker
+
+        geometry = SCALED_GEOMETRY
+        total = 4 * geometry.frames_per_large
+        tracker = RegionTracker(total, geometry)
+        buddy = BuddyAllocator(
+            total, geometry.large_order, listeners=(tracker,)
+        )
+        for _ in range(5):
+            buddy.alloc(3, movable=False)
+        return tracker, buddy
+
+    def test_consistent_counters_pass(self):
+        tracker, buddy = self._tracked()
+        assert check_regions(tracker, buddy.frame_state) == 2 * tracker.n_regions
+
+    def test_corrupted_free_counter_rejected(self):
+        tracker, buddy = self._tracked()
+        tracker.free_frames[0] += 1
+        with pytest.raises(InvariantViolation, match="free counter"):
+            check_regions(tracker, buddy.frame_state)
+
+    def test_corrupted_unmovable_counter_rejected(self):
+        tracker, buddy = self._tracked()
+        tracker.unmovable_frames[-1] -= 1
+        with pytest.raises(InvariantViolation, match="unmovable counter"):
+            check_regions(tracker, buddy.frame_state)

@@ -2,6 +2,7 @@
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.config import CostModel, PageGeometry, PageSize
@@ -109,14 +110,14 @@ class TestFMFI:
 class TestFragmentationInjector:
     def test_fragment_raises_large_order_fmfi(self):
         buddy, _ = make_tracked(n_regions=16)
-        inj = FragmentationInjector(buddy, random.Random(1))
+        inj = FragmentationInjector(buddy, np.random.default_rng(1))
         index = inj.fragment(fill_fraction=0.95, residual_fraction=0.4)
         assert index > 0.8
         assert inj.residual_frames > 0
 
     def test_reclaim_returns_scattered_memory(self):
         buddy, _ = make_tracked(n_regions=16)
-        inj = FragmentationInjector(buddy, random.Random(1))
+        inj = FragmentationInjector(buddy, np.random.default_rng(1))
         inj.fragment(residual_fraction=0.5)
         before = buddy.free_frames
         freed = inj.reclaim(20)
@@ -125,14 +126,14 @@ class TestFragmentationInjector:
 
     def test_reclaim_all_empties_cache(self):
         buddy, _ = make_tracked(n_regions=8)
-        inj = FragmentationInjector(buddy, random.Random(2))
+        inj = FragmentationInjector(buddy, np.random.default_rng(2))
         inj.fragment(residual_fraction=0.5)
         inj.reclaim_all()
         assert inj.residual_frames == 0
 
     def test_release_unmovable(self):
         buddy, tracker = make_tracked(n_regions=8)
-        inj = FragmentationInjector(buddy, random.Random(2))
+        inj = FragmentationInjector(buddy, np.random.default_rng(2))
         inj.fragment(unmovable_prob=0.1)
         assert inj.unmovable_count > 0
         inj.release_unmovable()
@@ -140,7 +141,7 @@ class TestFragmentationInjector:
 
     def test_notice_moved_updates_bookkeeping(self):
         buddy, _ = make_tracked(n_regions=8)
-        inj = FragmentationInjector(buddy, random.Random(2))
+        inj = FragmentationInjector(buddy, np.random.default_rng(2))
         inj.fragment(residual_fraction=1.0, unmovable_prob=0.0)
         old = inj.cache_frames()[0]
         assert inj.notice_moved(old, 9999)

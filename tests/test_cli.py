@@ -77,3 +77,63 @@ class TestSweepCLI:
     def test_sweep_rejects_unknown_module(self, tmp_path):
         with pytest.raises(KeyError):
             main(["sweep", "nope", "--out", str(tmp_path)])
+
+
+class TestLintCLI:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0  # default path: src
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one_text_and_json(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "TRD001" in out and "1 finding(s)" in out
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert findings[0]["rule"] == "TRD001"
+        assert findings[0]["line"] == 1
+
+    def test_select_filters_rules(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n")
+        assert main(["lint", str(tmp_path), "--select", "TRD003"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--select", "TRD001"]) == 1
+
+    def test_unknown_rule_code_exits_two(self, capsys):
+        assert main(["lint", "--select", "TRD999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "/no/such/path"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("TRD001", "TRD002", "TRD003", "TRD004"):
+            assert code in out
+
+
+class TestAuditCLI:
+    def test_run_with_audit(self, capsys, tmp_path):
+        out = str(tmp_path / "m.json")
+        code = main(
+            ["run", "GUPS", "Trident", "--accesses", "1500",
+             "--audit", "--audit-every", "256", "--metrics-out", out]
+        )
+        assert code == 0
+        section = json.load(open(out))["run"]
+        assert section["audit_runs"] >= 1
+        assert section["audit_checks"] > 0
+        assert section["audit_violations"] == 0
+
+    def test_experiment_audit_resets_global(self, capsys):
+        import repro.experiments.runner as runner_mod
+
+        assert main(["experiment", "latency_micro", "--quick", "--audit"]) == 0
+        assert runner_mod.AUDIT is False  # try/finally reset
