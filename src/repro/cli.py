@@ -7,7 +7,8 @@ Commands
 ``experiment`` regenerate a figure/table by name (or ``all``), serially
 ``sweep``      regenerate figures/tables on the parallel orchestrator
 ``list``       show available workloads, policies and experiments
-``metrics``    list every metric the observability registry can export
+``metrics``    list exportable metrics, or summarize a metrics.json file
+``report``     render a metrics.json / sweep manifest into an HTML report
 ``lint``       project-specific static analysis (TRD rules, docs/linting.md)
 
 Examples::
@@ -17,10 +18,14 @@ Examples::
     python -m repro run GUPS --policy trident --trace --metrics-out m.json
     python -m repro run Canneal Trident --virt --host-policy Trident
     python -m repro run GUPS Trident --audit --audit-every 1024
+    python -m repro run GUPS Trident --timeline-out t.json --report-out r.html
     python -m repro experiment figure9 --metrics-out report/metrics
     python -m repro sweep --quick --jobs 4 --seed 7
     python -m repro sweep figure2 table3 --jobs 2 --timeout 600
     python -m repro sweep --resume report/sweep_manifest.json
+    python -m repro sweep --quick --timeline --out report
+    python -m repro report report/sweep_manifest.json -o sweep.html
+    python -m repro metrics m.json
     python -m repro lint src/ --format json
 """
 
@@ -90,6 +95,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="attach sampled invariant auditors to every run",
     )
+    exp.add_argument(
+        "--timeline",
+        action="store_true",
+        help="record the simulated-time timeline in every run",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -152,17 +162,49 @@ def _build_parser() -> argparse.ArgumentParser:
         help="attach sampled invariant auditors in every worker; audit "
         "failures surface as unit failures in the manifest",
     )
+    sweep.add_argument(
+        "--timeline",
+        action="store_true",
+        help="record the simulated-time timeline in every worker and "
+        "aggregate the sections into sweep_report.html",
+    )
 
     sub.add_parser("list", help="list workloads, policies, experiments")
 
     met = sub.add_parser(
-        "metrics", help="list every metric the registry can export"
+        "metrics",
+        help="list exportable metrics, or summarize a metrics.json snapshot",
+    )
+    met.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        metavar="METRICS_JSON",
+        help="exported snapshot to summarize (histograms render as "
+        "p50/p90/p99, not raw buckets); omit to list the catalogue",
     )
     met.add_argument(
         "--kind",
         choices=("counter", "gauge", "histogram"),
         default=None,
         help="only show metrics of this kind",
+    )
+
+    rep = sub.add_parser(
+        "report",
+        help="render a metrics.json or sweep manifest into a single-file "
+        "HTML timeline report",
+    )
+    rep.add_argument(
+        "path",
+        help="a run's metrics.json, or a sweep_manifest.json to aggregate",
+    )
+    rep.add_argument(
+        "-o",
+        "--out",
+        default="repro_report.html",
+        metavar="PATH",
+        help="where to write the HTML report (default: repro_report.html)",
     )
 
     lint = sub.add_parser(
@@ -237,6 +279,24 @@ def _add_obs_arguments(run: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write the metrics registry snapshot to PATH as JSON",
     )
+    run.add_argument(
+        "--timeline",
+        action="store_true",
+        help="advance the simulated clock through spans and samplers "
+        "(implied by --timeline-out / --report-out)",
+    )
+    run.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome Trace Event Format JSON (Perfetto-loadable)",
+    )
+    run.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write a self-contained single-file HTML timeline report",
+    )
 
 
 def _cmd_list() -> int:
@@ -295,6 +355,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             metrics_out=args.metrics_out if first else None,
             audit=args.audit or None,
             audit_every=args.audit_every,
+            timeline=args.timeline or None,
+            timeline_out=args.timeline_out if first else None,
+            report_out=args.report_out if first else None,
         )
         if args.virt:
             runner = VirtRunner(
@@ -327,6 +390,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _print_trace_summary(obs, args.trace_out)
     if args.metrics_out:
         print(f"metrics written:   {args.metrics_out}")
+    if args.timeline_out:
+        print(f"timeline written:  {args.timeline_out}")
+    if args.report_out:
+        print(f"report written:    {args.report_out}")
     if args.baseline:
         base, _ = one(_resolve_policy(args.baseline), first=False)
         print(
@@ -380,6 +447,7 @@ def _cmd_experiment(
     quick: bool = False,
     seed: int = 7,
     audit: bool = False,
+    timeline: bool = False,
 ) -> int:
     import repro.experiments.runner as runner_mod
     from repro.experiments.run_all import MODULES, main as run_all_main
@@ -391,6 +459,8 @@ def _cmd_experiment(
         runner_mod.set_metrics_dir(metrics_out)
     if audit:
         runner_mod.set_audit(True)
+    if timeline:
+        runner_mod.set_timeline(True)
     try:
         if name == "all":
             run_all_main((["--quick"] if quick else []) + ["--seed", str(seed)])
@@ -406,6 +476,7 @@ def _cmd_experiment(
     finally:
         runner_mod.set_metrics_dir(None)
         runner_mod.set_audit(False)
+        runner_mod.set_timeline(False)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -423,6 +494,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         modules=tuple(args.modules),
         resume=args.resume,
         audit=args.audit,
+        timeline=args.timeline,
     )
     manifest = run_sweep(config, progress=print)
     print()
@@ -442,6 +514,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"manifest: {manifest['manifest_path']}")
     if manifest["metrics_summary"]:
         print(f"metrics summary: {manifest['metrics_summary']}")
+    if manifest.get("report"):
+        print(f"timeline report: {manifest['report']}")
     failed = len(manifest["units"]) - counts.get("ok", 0)
     return 3 if failed else 0
 
@@ -480,7 +554,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
-def _cmd_metrics(kind: str | None) -> int:
+def _cmd_metrics(kind: str | None, file: str | None = None) -> int:
+    if file is not None:
+        return _cmd_metrics_file(file, kind)
     from repro.obs import METRIC_CATALOG
 
     print(f"{'NAME':38s} {'KIND':10s} {'LABELS':12s} DESCRIPTION")
@@ -488,6 +564,81 @@ def _cmd_metrics(kind: str | None) -> int:
         if kind is not None and metric_kind != kind:
             continue
         print(f"{name:38s} {metric_kind:10s} {labels or '-':12s} {description}")
+    return 0
+
+
+def _cmd_metrics_file(path: str, kind: str | None) -> int:
+    """Summarize an exported snapshot; histograms as nearest-rank percentiles."""
+    import json
+
+    from repro.obs.metrics import percentile_from_buckets
+
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read metrics file {path}: {exc}")
+        return 2
+    if kind in (None, "counter"):
+        counters = data.get("counters", {})
+        if counters:
+            print("Counters:")
+            for name in sorted(counters):
+                print(f"  {name:44s} {counters[name]:g}")
+    if kind in (None, "gauge"):
+        gauges = data.get("gauges", {})
+        if gauges:
+            print("Gauges:")
+            for name in sorted(gauges):
+                print(f"  {name:44s} {gauges[name]:g}")
+    if kind in (None, "histogram"):
+        histograms = data.get("histograms", {})
+        if histograms:
+            print("Histograms:")
+            print(
+                f"  {'NAME':34s} {'COUNT':>8s} {'MEAN':>12s} "
+                f"{'P50':>12s} {'P90':>12s} {'P99':>12s}"
+            )
+            for name in sorted(histograms):
+                h = histograms[name]
+                count = h.get("count", 0)
+                mean = h["sum"] / count if count else 0.0
+                row = [percentile_from_buckets(h, p) for p in (50.0, 90.0, 99.0)]
+                print(
+                    f"  {name:34s} {count:8d} {mean:12.4g} "
+                    + " ".join(f"{v:12.4g}" for v in row)
+                )
+    return 0
+
+
+def _cmd_report(path: str, out: str) -> int:
+    from repro.obs.report import load_metrics, runs_from_units, write_report
+
+    try:
+        data = load_metrics(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}")
+        return 2
+    if "units" in data:  # a sweep manifest: one section per unit run
+        runs = runs_from_units(data["units"])
+        title = "sweep timeline report"
+    elif "timeline" in data:  # a single run's metrics.json
+        import os
+
+        runs = [(os.path.basename(path), data)]
+        title = "repro timeline report"
+    else:
+        print(
+            f"error: {path} has no timeline section (rerun with --timeline) "
+            "and is not a sweep manifest"
+        )
+        return 2
+    if not runs:
+        print(f"error: no unit in {path} has a readable timeline section")
+        return 2
+    write_report(out, runs, title=title)
+    n = len(runs)
+    print(f"report written: {out} ({n} section{'s' if n != 1 else ''})")
     return 0
 
 
@@ -504,11 +655,14 @@ def main(argv: list[str] | None = None) -> int:
             quick=args.quick,
             seed=args.seed,
             audit=args.audit,
+            timeline=args.timeline,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "metrics":
-        return _cmd_metrics(args.kind)
+        return _cmd_metrics(args.kind, args.file)
+    if args.command == "report":
+        return _cmd_report(args.path, args.out)
     if args.command == "lint":
         return _cmd_lint(args)
     return 2

@@ -140,6 +140,10 @@ SCALED_GEOMETRY = PageGeometry(base_shift=12, mid_order=4, large_order=10)
 #: workload still spans the same *number* of large pages as on real hardware.
 SCALE_FACTOR = X86_GEOMETRY.large_size // SCALED_GEOMETRY.large_size
 
+#: Core clock of the paper's Skylake testbed (Xeon Gold 5118, 2.3 GHz);
+#: converts translation cycles into nanoseconds on the simulated-time axis.
+FREQ_GHZ = 2.3
+
 
 @dataclass(frozen=True)
 class TLBConfig:

@@ -108,11 +108,15 @@ class _CompactorBase:
         self.pv_exchanger = None
         self._metrics = None
         self._tracer = None
+        self._clock = None
+        self._spans = None
         self._c_attempt = None
         if obs is not None:
             m = obs.metrics
             self._metrics = m
             self._tracer = obs.tracer
+            self._clock = getattr(obs, "clock", None)
+            self._spans = getattr(obs, "spans", None)
             kind = self.kind
             self._c_attempt = m.counter("compaction_attempt_total", kind=kind)
             self._c_success = m.counter("compaction_success_total", kind=kind)
@@ -123,6 +127,28 @@ class _CompactorBase:
             self._c_wasted = m.counter("compaction_wasted_bytes_total", kind=kind)
             self._c_moved = m.counter("compaction_blocks_moved_total", kind=kind)
             self._c_freed = m.counter("compaction_regions_freed_total", kind=kind)
+
+    def compact(self, order: int, *args, **kwargs) -> CompactionResult:
+        """Public entry point: run the engine inside a ``compaction`` span.
+
+        The attempt's accrued ``time_ns`` is charged to the simulated
+        clock here, minus whatever leaf sites (pv exchanges) already
+        advanced inside — so nested work is never double counted and the
+        span's duration equals the attempt's accounted cost exactly.
+        """
+        clock = self._clock
+        if clock is None:
+            return self._compact(order, *args, **kwargs)
+        start = clock.now_ns
+        with self._spans.span(
+            "compaction", compactor=self.kind, order=order
+        ) as sp:
+            result = self._compact(order, *args, **kwargs)
+            residual = result.time_ns - (clock.now_ns - start)
+            if residual > 0.0:
+                clock.advance(residual)
+            sp.set(success=result.success)
+        return result
 
     def _record(self, result: CompactionResult) -> None:
         """Fold one attempt into lifetime stats and the metrics registry."""
@@ -245,7 +271,7 @@ class NormalCompactor(_CompactorBase):
         super().__init__(*args, **kwargs)
         self._cursor = 0  # region index where the last attempt stopped
 
-    def compact(
+    def _compact(
         self, order: int, budget_ns: float = float("inf")
     ) -> CompactionResult:
         """Try to create one free block of ``order``; sequential region scan.
@@ -323,7 +349,7 @@ class SmartCompactor(_CompactorBase):
 
     kind = "smart"
 
-    def compact(
+    def _compact(
         self,
         order: int,
         budget_ns: float = float("inf"),

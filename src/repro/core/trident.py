@@ -100,7 +100,8 @@ class TridentPolicy(THPPolicy):
         # before touching the next one (~ writing one large page), is time
         # it spends pre-zeroing the next block for the pool.
         self.kernel.zerofill.background_fill(
-            latency + 0.5 * self.kernel.cost.zero_ns(geometry.large_size)
+            latency + 0.5 * self.kernel.cost.zero_ns(geometry.large_size),
+            concurrent=True,
         )
         return self._record_fault(latency, PageSize.LARGE)
 

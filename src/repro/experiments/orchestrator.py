@@ -147,6 +147,9 @@ class SweepConfig:
     #: attach sampled invariant auditors (repro.lint.invariants) in every
     #: worker; audit failures surface as unit failures in the manifest
     audit: bool = False
+    #: record the simulated-time timeline in every worker's runs and
+    #: aggregate the per-run sections into ``sweep_report.html``
+    timeline: bool = False
 
 
 def _unit_slug(unit_id: str) -> str:
@@ -161,6 +164,7 @@ def build_plan(
     timeout_s: float = 900.0,
     max_retries: int = 1,
     audit: bool = False,
+    timeline: bool = False,
 ) -> SweepPlan:
     """Register one unit per module, one per workload cell for grids."""
     from repro.experiments.run_all import MODULES, validate_quick_support
@@ -207,6 +211,7 @@ def build_plan(
                             "extra_kwargs": quick_kwargs,
                             "unit_slug": _unit_slug(unit_id),
                             "audit": audit,
+                            "timeline": timeline,
                         },
                         seed=derive_seed(root_seed, unit_id),
                         timeout_s=timeout_s,
@@ -227,6 +232,7 @@ def build_plan(
                         "seed": derive_seed(root_seed, name),
                         "unit_slug": _unit_slug(name),
                         "audit": audit,
+                        "timeline": timeline,
                     },
                     seed=derive_seed(root_seed, name),
                     timeout_s=timeout_s,
@@ -250,7 +256,9 @@ def _jsonable(value):
     return str(value)
 
 
-def _redirect_into(out_dir: str, unit_slug: str, audit: bool = False):
+def _redirect_into(
+    out_dir: str, unit_slug: str, audit: bool = False, timeline: bool = False
+):
     """Point the report + obs plumbing of this worker at the sweep dirs."""
     from repro.experiments import report as report_mod
     from repro.experiments import runner as runner_mod
@@ -259,6 +267,7 @@ def _redirect_into(out_dir: str, unit_slug: str, audit: bool = False):
     metrics_dir = os.path.join(out_dir, "metrics", unit_slug)
     runner_mod.METRICS_DIR = metrics_dir
     runner_mod.set_audit(audit)
+    runner_mod.set_timeline(timeline)
     return metrics_dir
 
 
@@ -285,10 +294,13 @@ def run_module_unit(
     seed: int,
     unit_slug: str,
     audit: bool = False,
+    timeline: bool = False,
 ) -> dict:
     """Worker target: run one whole module's ``main`` (non-grid unit)."""
     module = importlib.import_module(f"repro.experiments.{module_name}")
-    metrics_dir = _redirect_into(out_dir, unit_slug, audit=audit)
+    metrics_dir = _redirect_into(
+        out_dir, unit_slug, audit=audit, timeline=timeline
+    )
     with _open_log(out_dir, unit_slug) as log:
         with contextlib.redirect_stdout(log):
             module.main(quick=quick, seed=seed)
@@ -311,10 +323,13 @@ def run_grid_cell(
     unit_slug: str,
     extra_kwargs: dict | None = None,
     audit: bool = False,
+    timeline: bool = False,
 ) -> dict:
     """Worker target: run one (module, workload) cell, dump rows as JSON."""
     module = importlib.import_module(f"repro.experiments.{module_name}")
-    metrics_dir = _redirect_into(out_dir, unit_slug, audit=audit)
+    metrics_dir = _redirect_into(
+        out_dir, unit_slug, audit=audit, timeline=timeline
+    )
     with _open_log(out_dir, unit_slug) as log:
         with contextlib.redirect_stdout(log):
             rows = module.run(
@@ -584,6 +599,25 @@ def merge_metrics(results: dict, out_dir: str) -> str | None:
 # manifest + resume
 
 
+def build_sweep_report(results: dict, out_dir: str) -> str | None:
+    """Aggregate every unit's timeline sections into one HTML report.
+
+    Sections are ordered by unit id and metrics filename (both sorted), so
+    the report is byte-identical regardless of ``--jobs``.
+    """
+    from repro.obs.report import runs_from_units, write_report
+
+    units = [
+        {"unit_id": unit_id, "metrics": results[unit_id].metrics}
+        for unit_id in sorted(results)
+    ]
+    runs = runs_from_units(units)
+    if not runs:
+        return None
+    path = os.path.join(out_dir, "sweep_report.html")
+    return write_report(path, runs, title="sweep timeline report")
+
+
 def write_manifest(manifest: dict, path: str) -> str:
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w") as f:
@@ -639,6 +673,7 @@ def run_sweep(config: SweepConfig, progress=None) -> dict:
         timeout_s=config.timeout_s,
         max_retries=config.max_retries,
         audit=config.audit,
+        timeline=config.timeline,
     )
     cached = _cached_results(plan, config.resume) if config.resume else {}
     pending = [s for s in plan.specs if s.unit_id not in cached]
@@ -657,6 +692,9 @@ def run_sweep(config: SweepConfig, progress=None) -> dict:
     results.update(cached)
     merged = compile_report(plan, results, config.out_dir)
     metrics_summary = merge_metrics(results, config.out_dir)
+    report_path = (
+        build_sweep_report(results, config.out_dir) if config.timeline else None
+    )
     wall_s = time.time() - started
     units = [asdict(results[s.unit_id]) for s in plan.specs]
     counts: dict = {}
@@ -667,6 +705,7 @@ def run_sweep(config: SweepConfig, progress=None) -> dict:
         "root_seed": config.root_seed,
         "quick": config.quick,
         "audit": config.audit,
+        "timeline": config.timeline,
         "jobs": config.jobs,
         "timeout_s": config.timeout_s,
         "max_retries": config.max_retries,
@@ -679,6 +718,7 @@ def run_sweep(config: SweepConfig, progress=None) -> dict:
         "units": units,
         "merged": merged,
         "metrics_summary": metrics_summary,
+        "report": report_path,
     }
     manifest_path = config.manifest_path or os.path.join(
         config.out_dir, "sweep_manifest.json"

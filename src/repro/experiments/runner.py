@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import (
+    FREQ_GHZ,
     SCALED_GEOMETRY,
     MachineConfig,
     PageGeometry,
@@ -78,6 +79,27 @@ def set_audit(on: bool) -> None:
     """Enable/disable invariant auditing for subsequent runners."""
     global AUDIT
     AUDIT = bool(on)
+
+
+#: when True (``--timeline``, or per worker by the sweep orchestrator),
+#: every runner's obs bundle gets a simulated-time sampler + span recorder
+TIMELINE: bool = False
+
+
+def timeline_enabled() -> bool:
+    """Whether runs should record the simulated-time timeline.
+
+    Module global first (set in-process by the CLI or an orchestrator
+    worker), then the ``REPRO_TIMELINE`` environment variable — the same
+    handoff pattern as :func:`metrics_dir`.
+    """
+    return TIMELINE or os.environ.get("REPRO_TIMELINE") == "1"
+
+
+def set_timeline(on: bool) -> None:
+    """Enable/disable timeline recording for subsequent runners."""
+    global TIMELINE
+    TIMELINE = bool(on)
 
 
 def _metrics_run_section(metrics: RunMetrics) -> dict:
@@ -139,8 +161,45 @@ def _build_obs(config) -> Observability:
     if config.trace:
         subsystems = config.trace_subsystems or "all"
     return Observability(
-        trace_subsystems=subsystems, trace_capacity=config.trace_capacity
+        trace_subsystems=subsystems,
+        trace_capacity=config.trace_capacity,
+        timeline=_wants_timeline(config),
+        timeline_interval_ms=config.timeline_interval_ms,
     )
+
+
+def _wants_timeline(config) -> bool:
+    """Explicit per-run flag first; output paths imply it; else the global."""
+    if config.timeline is not None:
+        return config.timeline
+    if config.timeline_out or config.report_out:
+        return True
+    return timeline_enabled()
+
+
+def export_timeline_artifacts(obs: Observability, metrics: RunMetrics, config) -> None:
+    """Write the run's Chrome trace and/or HTML report, when requested."""
+    for path in (config.timeline_out, config.report_out):
+        if path:
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+    if config.timeline_out:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(
+            config.timeline_out,
+            tracer=obs.tracer,
+            timeline=obs.timeline,
+            clock=obs.clock,
+        )
+    if config.report_out:
+        from repro.obs.report import write_report
+
+        data = obs.metrics.snapshot()
+        data["timeline"] = obs.timeline_export()
+        title = f"{metrics.workload} / {metrics.policy}"
+        write_report(config.report_out, [(title, data)], title=title)
 
 
 @dataclass
@@ -183,6 +242,14 @@ class RunConfig:
     audit: bool | None = None
     #: buddy events between sampled audits (smaller = tighter, slower)
     audit_every: int = 4096
+    #: simulated-time timeline (clock + spans + samplers): True/False forces
+    #: it; None defers to the output paths below, then timeline_enabled()
+    timeline: bool | None = None
+    timeline_interval_ms: float = 0.5
+    #: write a Chrome Trace Event Format JSON here (Perfetto-loadable)
+    timeline_out: str | None = None
+    #: write a self-contained single-file HTML report here
+    report_out: str | None = None
 
 
 class _WorkloadAPI:
@@ -206,6 +273,7 @@ class _WorkloadAPI:
 
     def phase(self, label: str) -> None:
         self.phases.append(label)
+        self.system.obs.spans.mark("phase", label=label)
         if self.scanner is not None:
             self.scanner.sample(label)
 
@@ -281,9 +349,12 @@ class NativeRunner:
         metrics = model.collect(self.system, process, cfg.workload, latencies)
         if self.system.auditor is not None:
             self.system.auditor.audit()  # final audit: every run gets >= 1
+        if self.obs.timeline is not None:
+            self.obs.timeline.sample()  # closing sample at end-of-run state
         emit_metrics_json(
             self.obs, metrics, cfg.metrics_out, auditors=(self.system.auditor,)
         )
+        export_timeline_artifacts(self.obs, metrics, cfg)
         return metrics
 
     def _settle(self) -> None:
@@ -330,7 +401,7 @@ class NativeRunner:
         cfg = self.config
         k = cfg.accesses_per_request
         spec = self.workload.spec
-        freq = 2.3
+        freq = FREQ_GHZ
         latencies: list[float] = []
         stats = process.tlb.stats
         policy_stats = self.system.policy.stats
@@ -384,6 +455,12 @@ class VirtRunConfig:
     #: plus the post-hypercall pv bijectivity check; None = audit_enabled()
     audit: bool | None = None
     audit_every: int = 4096
+    #: simulated-time timeline of the guest system (same semantics as
+    #: :class:`RunConfig`)
+    timeline: bool | None = None
+    timeline_interval_ms: float = 0.5
+    timeline_out: str | None = None
+    report_out: str | None = None
 
 
 class VirtRunner:
@@ -418,7 +495,9 @@ class VirtRunner:
 
         if config.pv:
             def guest_factory(kernel):
-                pv = PVExchangeInterface(kernel.hypervisor, kernel.cost)
+                pv = PVExchangeInterface(
+                    kernel.hypervisor, kernel.cost, obs=kernel.obs
+                )
                 return TridentPVPolicy(kernel, pv, batched=config.pv_batched)
         else:
             guest_factory = policy_factory(config.guest_policy)
@@ -502,12 +581,15 @@ class VirtRunner:
         for system in (self.vm.guest, self.vm.host):
             if system.auditor is not None:
                 system.auditor.audit()  # final audit: every run gets >= 1
+        if self.obs.timeline is not None:
+            self.obs.timeline.sample()  # closing sample at end-of-run state
         emit_metrics_json(
             self.obs,
             metrics,
             cfg.metrics_out,
             auditors=(self.vm.guest.auditor, self.vm.host.auditor),
         )
+        export_timeline_artifacts(self.obs, metrics, cfg)
         return metrics
 
     def _settle_uncapped(self, total_ns: float) -> None:

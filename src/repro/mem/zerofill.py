@@ -43,11 +43,15 @@ class ZeroFillEngine:
         self.pool_misses = 0
         self.blocks_released = 0
         self._tracer = None
+        self._clock = None
+        self._spans = None
         self._c_fill = self._c_hit = self._c_miss = None
         self._c_release = self._c_credit_dropped = self._g_pool = None
         if obs is not None:
             m = obs.metrics
             self._tracer = obs.tracer
+            self._clock = getattr(obs, "clock", None)
+            self._spans = getattr(obs, "spans", None)
             self._c_fill = m.counter("zerofill_fill_total")
             self._c_hit = m.counter("zerofill_take_hit_total")
             self._c_miss = m.counter("zerofill_take_miss_total")
@@ -90,13 +94,18 @@ class ZeroFillEngine:
                 tr.emit("zerofill", "take", hit=False)
         return None
 
-    def background_fill(self, budget_ns: float) -> float:
+    def background_fill(self, budget_ns: float, concurrent: bool = False) -> float:
         """Zero free large blocks until the pool is full or budget runs out.
 
         Returns the nanoseconds of CPU actually consumed.  Called from the
         daemon scheduler with its per-tick CPU budget.  Zeroing one block
         usually costs more than one scheduling quantum, so progress carries
         over between calls (the daemon keeps zeroing where it left off).
+
+        ``concurrent=True`` marks a refill running on another core in
+        parallel with the caller (Trident's fault-path kick): its CPU time
+        is real but does not advance the simulated clock, which tracks the
+        *critical path* the caller is on.
         """
         if len(self._pool) >= self.pool_capacity:
             return 0.0
@@ -127,6 +136,13 @@ class ZeroFillEngine:
             self._progress_ns = 0.0
         spent = max(spent, 0.0)
         self.zero_ns_spent += spent
+        if not concurrent and spent > 0.0 and self._clock is not None:
+            self._clock.advance(spent)
+            spans = self._spans
+            if spans is not None and spans.enabled:
+                spans.record_complete(
+                    "zerofill_fill", spent, pool=len(self._pool)
+                )
         return spent
 
     def release_all(self) -> int:

@@ -1,4 +1,4 @@
-"""Observability: metrics registry + structured-event tracer.
+"""Observability: metrics registry + tracer + simulated-time timeline.
 
 One :class:`Observability` instance accompanies one simulated machine
 (:class:`repro.sim.system.System` creates its own by default).  The memory
@@ -7,21 +7,30 @@ TLB hierarchy all accept it optionally and instrument themselves when it is
 present; construction without one keeps every component fully functional
 with zero observability overhead.
 
-See ``docs/observability.md`` for the event schema, metric names and
+The timeline layer adds a shared simulated-time axis: a :class:`SimClock`
+advanced by cost-bearing operations, a :class:`SpanRecorder` for begin/end
+latency attribution, and an optional :class:`TimelineSampler` snapshotting
+gauges at a fixed simulated cadence.  See ``docs/observability.md`` for
+the event schema, metric names, the clock-advancement discipline and
 overhead notes, and ``repro metrics`` for the live catalog.
 """
 
 from __future__ import annotations
 
+from repro.obs.clock import SimClock
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    nearest_rank,
+    percentile_from_buckets,
     render_key,
 )
-from repro.obs.trace import SUBSYSTEMS, Tracer
+from repro.obs.spans import NULL_SPAN, Span, SpanRecorder
+from repro.obs.timeline import TimelineSampler, TimeSeries
+from repro.obs.trace import RESERVED_FIELDS, SUBSYSTEMS, Tracer
 
 __all__ = [
     "Counter",
@@ -30,29 +39,71 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "Observability",
+    "SimClock",
+    "Span",
+    "SpanRecorder",
+    "NULL_SPAN",
+    "TimelineSampler",
+    "TimeSeries",
     "SUBSYSTEMS",
+    "RESERVED_FIELDS",
     "DEFAULT_BUCKETS",
     "METRIC_CATALOG",
     "render_key",
+    "nearest_rank",
+    "percentile_from_buckets",
 ]
 
 
 class Observability:
-    """The per-machine bundle: a metrics registry and a tracer."""
+    """The per-machine bundle: metrics, tracer, clock, spans, timeline."""
 
     def __init__(
         self,
         trace_subsystems: tuple[str, ...] | str = (),
         trace_capacity: int = 65536,
+        timeline: bool = False,
+        timeline_interval_ms: float = 0.5,
+        timeline_max_points: int = 2048,
     ) -> None:
         if trace_subsystems == "all":
             trace_subsystems = SUBSYSTEMS
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(capacity=trace_capacity, subsystems=trace_subsystems)
+        self.clock = SimClock()
+        self.tracer = Tracer(
+            capacity=trace_capacity,
+            subsystems=trace_subsystems,
+            clock=self.clock,
+        )
+        self.spans = SpanRecorder(self.clock, tracer=self.tracer, metrics=self.metrics)
+        self.timeline: TimelineSampler | None = None
+        if timeline:
+            # The timeline implies the span stream: enable both so the
+            # attribution table and the trace's span track are populated.
+            self.spans.enabled = True
+            self.tracer.enable("span")
+            self.timeline = TimelineSampler(
+                self.clock,
+                interval_ms=timeline_interval_ms,
+                max_points=timeline_max_points,
+                metrics=self.metrics,
+            )
+
+    def timeline_export(self) -> dict:
+        """The ``timeline`` section embedded in ``metrics.json``."""
+        out: dict = {
+            "clock_ns": self.clock.now_ns,
+            "spans": self.spans.export(),
+        }
+        if self.timeline is not None:
+            out["sampler"] = self.timeline.export()
+        return out
 
     def write_metrics_json(self, path: str, extra: dict | None = None) -> str:
         """Snapshot the registry (and trace health) into one JSON file."""
         sections = {"trace": self.tracer.summary()}
+        if self.spans.enabled or self.timeline is not None:
+            sections["timeline"] = self.timeline_export()
         if extra:
             sections.update(extra)
         return self.metrics.write_json(path, extra=sections)
@@ -111,6 +162,10 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str], ...] = (
     # system-level (collector-mirrored)
     ("system_fmfi", "gauge", "", "free-memory fragmentation index at large order"),
     ("system_daemon_ns_total", "counter", "", "daemon ns across all ticks"),
+    # simulated-time timeline layer (repro.obs.clock/spans/timeline)
+    ("sim_clock_ns", "gauge", "", "simulated clock position at snapshot"),
+    ("span_duration_ns", "histogram", "kind", "span durations by span kind"),
+    ("timeline_samples_total", "counter", "", "timeline sampling instants taken"),
     # invariant audit layer (repro.lint.invariants; --audit runs only)
     ("audit_runs_total", "counter", "", "sampled invariant audits executed"),
     ("audit_checks_total", "counter", "", "elementary invariant checks performed"),

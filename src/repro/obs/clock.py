@@ -1,0 +1,64 @@
+"""The simulated-time axis: a nanosecond clock owned by one machine.
+
+Every cost-bearing operation in the simulator produces a nanosecond (or
+cycle) figure — fault latencies, zero-fill work, compaction copies, pv
+hypercalls, page-walk charges.  :class:`SimClock` folds those figures into
+one monotonic axis so events, spans and gauge samples can be placed *in
+time* the way ftrace/perfetto timelines are, instead of merely ordered by
+sequence number.
+
+Advancement discipline (who calls :meth:`advance`)
+--------------------------------------------------
+
+Double counting is avoided by advancing directly only at *leaf* cost
+sites, with each aggregation point charging the residual its own
+accounting shows but no leaf beneath it reported
+(``total - (now - start)``, clamped at zero):
+
+* ``TLBHierarchy.access`` — translation cycles (L2 hits + walks),
+* ``ZeroFillEngine.background_fill`` — daemon-context zeroing (the
+  fault-path refill overlaps application time on another core and is
+  *not* charged),
+* ``PVExchangeInterface.exchange`` — guest time inside the hypercall,
+* ``_CompactorBase.compact`` — the attempt's scan + copy time minus
+  whatever the pv exchange leaf already charged,
+* ``System._fault`` — the fault latency minus what the leaves below the
+  handler charged,
+* ``System.run_daemons`` — the tick's consumed budget minus what the
+  zero-fill / compaction work inside it charged.
+
+The axis is therefore *machine time*: concurrent background work is
+folded in sequentially, like per-cpu ftrace buffers merged into one
+stream.  Listeners (the timeline samplers) observe every advancement and
+may read simulator state — advance is only called at points where the
+substrate is consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class SimClock:
+    """Monotonic simulated-nanosecond clock with advancement listeners."""
+
+    __slots__ = ("now_ns", "_listeners")
+
+    def __init__(self) -> None:
+        self.now_ns = 0.0
+        self._listeners: list[Callable[[float], None]] = []
+
+    def advance(self, ns: float) -> float:
+        """Move time forward by ``ns`` (ignored if <= 0); returns now."""
+        if ns > 0.0:
+            self.now_ns += ns
+            for listener in self._listeners:
+                listener(self.now_ns)
+        return self.now_ns
+
+    def add_listener(self, fn: Callable[[float], None]) -> None:
+        """Call ``fn(now_ns)`` after every advancement (sampler hook)."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[float], None]) -> None:
+        self._listeners.remove(fn)

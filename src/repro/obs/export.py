@@ -1,0 +1,195 @@
+"""Exporters: Chrome Trace Event Format JSON for Perfetto / chrome://tracing.
+
+The Trace Event Format is the lingua franca of timeline tooling: duration
+events (``ph: B``/``E``) render as nested slices, counter events
+(``ph: C``) as stacked area tracks, instants (``ph: i``) as markers.
+``chrome_trace`` converts one machine's observability state into that
+schema:
+
+* span begin/end events (tracer subsystem ``span``) become B/E pairs on
+  the ``spans`` track.  Ring overflow can orphan an ``E`` whose ``B``
+  fell off the front — orphans are dropped; spans still open at export
+  (ragged shutdown) are closed at the clock's current instant, so every
+  emitted ``B`` has a matching ``E``;
+* timeline series become one counter track each;
+* every other buffered trace event becomes an instant on its subsystem's
+  track.
+
+Timestamps are microseconds (the format's unit), derived from the
+simulated clock — chronological by construction, so each track is
+monotonic without re-sorting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+#: tid layout: spans on 1, counters on 0, instants from tid 16 upward
+SPAN_TID = 1
+COUNTER_TID = 0
+INSTANT_TID_BASE = 16
+
+
+def chrome_trace(
+    tracer=None,
+    timeline=None,
+    clock=None,
+    include_instants: bool = True,
+) -> dict:
+    """Build a Trace-Event-Format dict from live observability objects."""
+    events: list[dict] = [
+        _thread_meta(SPAN_TID, "spans"),
+        _thread_meta(COUNTER_TID, "counters"),
+    ]
+    if tracer is not None:
+        events.extend(_span_events(tracer, clock))
+        if include_instants:
+            events.extend(_instant_events(tracer))
+    if timeline is not None:
+        events.extend(_counter_events(timeline))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro simulated-time timeline"},
+    }
+
+
+def write_chrome_trace(dest: str | IO[str], **kwargs) -> int:
+    """Serialize :func:`chrome_trace` to ``dest``; returns the event count."""
+    trace = chrome_trace(**kwargs)
+    if isinstance(dest, str):
+        with open(dest, "w") as f:
+            json.dump(trace, f, sort_keys=True)
+            f.write("\n")
+    else:
+        json.dump(trace, dest, sort_keys=True)
+        dest.write("\n")
+    return len(trace["traceEvents"])
+
+
+def _thread_meta(tid: int, name: str) -> dict:
+    return {
+        "ph": "M",
+        "name": "thread_name",
+        "pid": 0,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _span_events(tracer, clock) -> list[dict]:
+    """Pair B/E span events; drop orphan E's, close trailing B's."""
+    out: list[dict] = []
+    open_stack: list[dict] = []
+    for event in tracer.events(subsystem="span"):
+        phase = event.get("phase")
+        ts_us = event["ts_ns"] / 1000.0
+        name = event["event"]
+        args = {
+            k: v
+            for k, v in event.items()
+            if k not in ("seq", "ts_ns", "subsystem", "event", "phase")
+        }
+        if phase == "B":
+            record = {
+                "ph": "B",
+                "name": name,
+                "pid": 0,
+                "tid": SPAN_TID,
+                "ts": ts_us,
+                "args": args,
+            }
+            out.append(record)
+            open_stack.append(record)
+        elif phase == "E":
+            if not open_stack:
+                continue  # its B fell off the ring: unmatchable
+            open_stack.pop()
+            out.append(
+                {
+                    "ph": "E",
+                    "name": name,
+                    "pid": 0,
+                    "tid": SPAN_TID,
+                    "ts": ts_us,
+                    "args": args,
+                }
+            )
+        elif phase == "I":
+            out.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": name,
+                    "pid": 0,
+                    "tid": SPAN_TID,
+                    "ts": ts_us,
+                    "args": args,
+                }
+            )
+    # Spans still open (export mid-run): close innermost-first at "now".
+    end_us = (clock.now_ns if clock is not None else 0.0) / 1000.0
+    for record in reversed(open_stack):
+        end_us = max(end_us, record["ts"])
+        out.append(
+            {
+                "ph": "E",
+                "name": record["name"],
+                "pid": 0,
+                "tid": SPAN_TID,
+                "ts": end_us,
+                "args": {},
+            }
+        )
+    return out
+
+
+def _counter_events(timeline) -> list[dict]:
+    exported = timeline.export()["series"]
+    merged = sorted(
+        (ts_ms, name, value)
+        for name in exported
+        for ts_ms, value in exported[name]["points"]
+    )
+    return [
+        {
+            "ph": "C",
+            "name": name,
+            "pid": 0,
+            "tid": COUNTER_TID,
+            "ts": ts_ms * 1000.0,
+            "args": {"value": value},
+        }
+        for ts_ms, name, value in merged
+    ]
+
+
+def _instant_events(tracer) -> list[dict]:
+    out: list[dict] = []
+    tids: dict[str, int] = {}
+    metas: list[dict] = []
+    for event in tracer.events():
+        sub = event["subsystem"]
+        if sub == "span":
+            continue
+        tid = tids.get(sub)
+        if tid is None:
+            tid = tids[sub] = INSTANT_TID_BASE + len(tids)
+            metas.append(_thread_meta(tid, sub))
+        out.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": f"{sub}:{event['event']}",
+                "pid": 0,
+                "tid": tid,
+                "ts": event["ts_ns"] / 1000.0,
+                "args": {
+                    k: v
+                    for k, v in event.items()
+                    if k not in ("seq", "ts_ns", "subsystem", "event")
+                },
+            }
+        )
+    return metas + out

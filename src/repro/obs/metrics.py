@@ -26,8 +26,49 @@ between per-cpu event counters and fill-on-read ``/proc`` files.
 from __future__ import annotations
 
 import json
+import math
 from bisect import bisect_left
 from typing import Callable, Iterable
+
+
+def nearest_rank(n: int, pct: float) -> int:
+    """Ceil-based nearest-rank index into ``n`` sorted samples.
+
+    The p-th percentile is the smallest sample such that at least p% of
+    the samples are <= it (the same rule
+    :meth:`repro.sim.perfmodel.RunMetrics.percentile_latency_ns` uses for
+    Table 5's tails — ``round``-based indexing under-reports them).
+    """
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    return max(0, math.ceil(pct / 100.0 * n) - 1)
+
+
+def percentile_from_buckets(export: dict, pct: float) -> float:
+    """Nearest-rank percentile from a :meth:`Histogram.export` dict.
+
+    Returns the upper bound of the bucket holding the nearest-rank sample
+    (the resolution a fixed-boundary histogram offers), ``math.inf`` when
+    the rank lands in the overflow bucket, and 0.0 for an empty histogram.
+
+    Buckets are sorted numerically here rather than trusted in dict order:
+    a JSON round-trip through ``sort_keys=True`` reorders the keys
+    lexicographically ("+Inf" before "100").
+    """
+    count = export.get("count", 0)
+    if not count:
+        return 0.0
+    rank = nearest_rank(count, pct) + 1  # 1-based cumulative rank
+    cumulative = 0
+    items = sorted(
+        export["buckets"].items(),
+        key=lambda kv: math.inf if kv[0] == "+Inf" else float(kv[0]),
+    )
+    for bound, n in items:
+        cumulative += n
+        if cumulative >= rank:
+            return math.inf if bound == "+Inf" else float(bound)
+    return math.inf
 
 
 def render_key(name: str, labels: dict) -> str:
@@ -113,6 +154,10 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile at bucket-bound resolution."""
+        return percentile_from_buckets(self.export(), pct)
 
     def export(self) -> dict:
         buckets = {}

@@ -1,0 +1,229 @@
+"""Self-contained single-file HTML reports with inline SVG sparklines.
+
+The report is the human half of the timeline pipeline: the Chrome trace
+is for zooming (Perfetto), the report is for glancing — one file,
+no external assets or scripts, e-mailable and artifact-uploadable.  It is
+rendered from **exported metrics dicts** (the ``metrics.json`` schema),
+not live objects, so ``repro report`` can rebuild it after the fact and
+the sweep orchestrator can aggregate workers' JSON into one page.
+
+Determinism is a hard requirement (byte-identical output for a fixed
+seed, regardless of ``--jobs``): every iteration is over sorted keys,
+floats render through one ``%.6g`` formatter, and nothing touches the
+wall clock.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+import os
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 70rem;
+       color: #1a1a2e; }
+h1 { border-bottom: 2px solid #1a1a2e; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; color: #16213e; }
+h3 { margin-bottom: .3rem; }
+table { border-collapse: collapse; margin: .5rem 0 1rem; }
+th, td { border: 1px solid #cbd5e1; padding: .25rem .6rem; text-align: right; }
+th { background: #e2e8f0; }
+td.l, th.l { text-align: left; }
+.spark { display: inline-block; vertical-align: middle; margin-right: .6rem; }
+.series { margin: .4rem 0; }
+.series .meta { color: #475569; font-size: .85rem; }
+.empty { color: #94a3b8; font-style: italic; }
+svg polyline { fill: none; stroke: #2563eb; stroke-width: 1.5; }
+svg line.axis { stroke: #cbd5e1; stroke-width: 1; }
+"""
+
+
+def fmt(value) -> str:
+    """The one float formatter every cell goes through (determinism)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return "%.6g" % value
+    return str(value)
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def sparkline(points, width: int = 300, height: int = 44) -> str:
+    """Inline SVG polyline over [[ts_ms, value], ...] samples."""
+    if len(points) < 2:
+        return '<span class="empty">not enough samples</span>'
+    ts = [p[0] for p in points]
+    vs = [p[1] for p in points]
+    t0, t1 = min(ts), max(ts)
+    v0, v1 = min(vs), max(vs)
+    tspan = (t1 - t0) or 1.0
+    vspan = (v1 - v0) or 1.0
+    pad = 2.0
+    coords = " ".join(
+        "%.2f,%.2f"
+        % (
+            pad + (t - t0) / tspan * (width - 2 * pad),
+            height - pad - (v - v0) / vspan * (height - 2 * pad),
+        )
+        for t, v in zip(ts, vs)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<line class="axis" x1="0" y1="{height - 1}" x2="{width}" '
+        f'y2="{height - 1}"/>'
+        f'<polyline points="{coords}"/></svg>'
+    )
+
+
+def _attribution_table(rows) -> str:
+    if not rows:
+        return '<p class="empty">no spans recorded</p>'
+    out = [
+        "<table><tr>"
+        '<th class="l">kind</th><th>order</th><th>count</th>'
+        "<th>total ns</th><th>self ns</th><th>child ns</th><th>mean ns</th>"
+        "</tr>"
+    ]
+    for r in rows:
+        out.append(
+            "<tr>"
+            f'<td class="l">{_esc(r["kind"])}</td>'
+            f'<td>{fmt(r.get("order"))}</td>'
+            f'<td>{fmt(r["count"])}</td>'
+            f'<td>{fmt(r["total_ns"])}</td>'
+            f'<td>{fmt(r["self_ns"])}</td>'
+            f'<td>{fmt(r["child_ns"])}</td>'
+            f'<td>{fmt(r["mean_ns"])}</td>'
+            "</tr>"
+        )
+    out.append("</table>")
+    return "".join(out)
+
+
+def _series_section(series: dict) -> str:
+    if not series:
+        return '<p class="empty">no timeline series</p>'
+    out = []
+    for name in sorted(series):
+        s = series[name]
+        points = s.get("points", [])
+        unit = s.get("unit", "")
+        last = points[-1][1] if points else None
+        lo = min((p[1] for p in points), default=None)
+        hi = max((p[1] for p in points), default=None)
+        unit_sfx = f" {_esc(unit)}" if unit else ""
+        out.append(
+            f'<div class="series"><h3>{_esc(name)}</h3>'
+            f"{sparkline(points)}"
+            f'<span class="meta">{len(points)} pts &middot; '
+            f"min {fmt(lo)}{unit_sfx} &middot; max {fmt(hi)}{unit_sfx} "
+            f"&middot; last {fmt(last)}{unit_sfx}</span></div>"
+        )
+    return "".join(out)
+
+
+def _histogram_table(histograms: dict) -> str:
+    from .metrics import percentile_from_buckets
+
+    if not histograms:
+        return '<p class="empty">no histograms</p>'
+    out = [
+        "<table><tr>"
+        '<th class="l">histogram</th><th>count</th><th>mean</th>'
+        "<th>p50</th><th>p90</th><th>p99</th></tr>"
+    ]
+    for key in sorted(histograms):
+        h = histograms[key]
+        count = h.get("count", 0)
+        mean = h["sum"] / count if count else 0.0
+        out.append(
+            "<tr>"
+            f'<td class="l">{_esc(key)}</td>'
+            f"<td>{fmt(count)}</td><td>{fmt(mean)}</td>"
+            f"<td>{fmt(percentile_from_buckets(h, 50.0))}</td>"
+            f"<td>{fmt(percentile_from_buckets(h, 90.0))}</td>"
+            f"<td>{fmt(percentile_from_buckets(h, 99.0))}</td>"
+            "</tr>"
+        )
+    out.append("</table>")
+    return "".join(out)
+
+
+def _run_section(title: str, data: dict, heading: str = "h2") -> str:
+    timeline = data.get("timeline") or {}
+    spans = timeline.get("spans") or {}
+    sampler = timeline.get("sampler") or {}
+    parts = [f"<{heading}>{_esc(title)}</{heading}>"]
+    info = []
+    if "clock_ns" in timeline:
+        info.append(f"simulated time {fmt(timeline['clock_ns'])} ns")
+    if spans:
+        info.append(f"{fmt(spans.get('spans_closed', 0))} spans")
+    if sampler:
+        info.append(f"{fmt(sampler.get('samples', 0))} timeline samples")
+    if info:
+        parts.append(f'<p class="meta">{" &middot; ".join(info)}</p>')
+    parts.append("<h3>Latency attribution</h3>")
+    parts.append(_attribution_table(spans.get("attribution", [])))
+    parts.append("<h3>Time series</h3>")
+    parts.append(_series_section(sampler.get("series", {})))
+    parts.append("<h3>Histogram percentiles</h3>")
+    parts.append(_histogram_table(data.get("histograms", {})))
+    return "".join(parts)
+
+
+def render_report(runs, title: str = "repro timeline report") -> str:
+    """Render ``[(section_title, metrics_dict), ...]`` into one HTML page."""
+    body = [_run_section(name, data) for name, data in runs]
+    return (
+        "<!doctype html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        f"<body><h1>{_esc(title)}</h1>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )
+
+
+def write_report(path: str, runs, title: str = "repro timeline report") -> str:
+    with open(path, "w") as f:
+        f.write(render_report(runs, title=title))
+    return path
+
+
+def load_metrics(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def runs_from_units(units) -> list:
+    """Report sections for a sweep's units (manifest ``units`` schema).
+
+    Iterates units sorted by id and their metrics files in recorded
+    (sorted) order, so the aggregated report is independent of worker
+    scheduling — the determinism contract ``--jobs N`` output rides on.
+    Unreadable or timeline-less files are skipped, mirroring how the
+    sweep compiler degrades gracefully around failed units.
+    """
+    runs = []
+    for unit in sorted(units, key=lambda u: u.get("unit_id") or ""):
+        for path in unit.get("metrics", []) or []:
+            if not os.path.exists(path):
+                continue
+            try:
+                data = load_metrics(path)
+            except (OSError, ValueError):
+                continue
+            if "timeline" not in data:
+                continue
+            title = f"{unit.get('unit_id')}: {os.path.basename(path)}"
+            runs.append((title, data))
+    return runs

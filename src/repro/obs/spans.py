@@ -1,0 +1,213 @@
+"""Begin/end spans over the simulated clock, with latency attribution.
+
+A span brackets one cost-bearing operation on the :class:`SimClock` axis::
+
+    with obs.spans.span("fault") as sp:
+        ...            # clock advances inside
+        sp.set(order=18)
+
+Span begin/end events ride the same gated ring buffer as every other
+trace event (subsystem ``span``, ``phase`` field ``B``/``E``/``I``), so
+they interleave chronologically with instants from the other subsystems
+and export to Chrome Trace Event Format without re-sorting.  Aggregates —
+per-kind duration histograms and the **latency attribution table**
+(count, total, self-vs-child time, keyed by kind and the optional
+``order`` field) — live in the recorder and survive ring overflow, like
+the tracer's lifetime tallies.
+
+Nesting is tracked with an explicit stack (the simulation is
+single-threaded): when a child closes, its duration is charged to the
+parent's child time, so ``self_ns = total_ns - child_ns`` answers "where
+did the nanoseconds actually go" without double counting nested work.
+
+A disabled recorder hands out one shared no-op span; the guarded call
+site costs an attribute read and a bool test, the same budget as the
+tracer's emit guard.
+"""
+
+from __future__ import annotations
+
+
+class _NullSpan:
+    """Shared no-op span for disabled recorders."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **fields) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+#: duration bucket upper bounds in ns: decade ladder from 100ns to ~1s,
+#: wide enough for both ~500us pv promotions and ~400ms sync zero-fills
+SPAN_DURATION_BUCKETS = tuple(
+    b for d in range(2, 9) for b in (10**d, 3 * 10**d)
+)
+
+
+class Span:
+    """One open span; created by :meth:`SpanRecorder.span` only."""
+
+    __slots__ = ("_recorder", "kind", "fields", "begin_ns", "child_ns")
+
+    def __init__(self, recorder: "SpanRecorder", kind: str, fields: dict) -> None:
+        self._recorder = recorder
+        self.kind = kind
+        self.fields = fields
+        self.begin_ns = 0.0
+        self.child_ns = 0.0
+
+    def set(self, **fields) -> None:
+        """Attach/override fields; they land on the end event."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        self.begin_ns = self._recorder.clock.now_ns
+        self._recorder._open(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._recorder._close(self)
+
+
+class SpanRecorder:
+    """Span factory + nesting stack + attribution aggregates."""
+
+    def __init__(self, clock, tracer=None, metrics=None) -> None:
+        self.clock = clock
+        self.tracer = tracer
+        self.metrics = metrics
+        #: master switch: off, ``span`` returns the shared no-op span
+        self.enabled = False
+        self._stack: list[Span] = []
+        #: (kind, order-or-None) -> [count, total_ns, self_ns]
+        self._attribution: dict[tuple, list] = {}
+        self._histograms: dict = {}
+        self.spans_closed = 0
+
+    # -- recording ----------------------------------------------------------
+    def span(self, kind: str, **fields) -> Span | _NullSpan:
+        """Open a span; use as a context manager."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, kind, fields)
+
+    def mark(self, kind: str, **fields) -> None:
+        """Record an instant (phase marker) on the span track."""
+        if not self.enabled:
+            return
+        self._emit(kind, "I", fields)
+
+    def record_complete(self, kind: str, duration_ns: float, **fields) -> None:
+        """Record an already-elapsed span ending *now*.
+
+        For operations whose cost is only known after the fact (a
+        compaction attempt's accrued ``time_ns``): the caller advances the
+        clock by the duration first, so ``now - duration_ns`` is exactly
+        the simulated instant the operation began and chronology in the
+        ring is preserved.
+        """
+        if not self.enabled:
+            return
+        end = self.clock.now_ns
+        self._emit(kind, "B", fields, ts=end - duration_ns)
+        self._emit(kind, "E", fields, ts=end, duration_ns=duration_ns)
+        if self._stack:
+            self._stack[-1].child_ns += duration_ns
+        self._account(kind, fields, duration_ns, 0.0)
+
+    # -- recorder internals --------------------------------------------------
+    def _open(self, span: Span) -> None:
+        self._stack.append(span)
+        self._emit(span.kind, "B", span.fields)
+
+    def _close(self, span: Span) -> None:
+        end = self.clock.now_ns
+        duration = end - span.begin_ns
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1].child_ns += duration
+        self._emit(span.kind, "E", span.fields, duration_ns=duration)
+        self._account(span.kind, span.fields, duration, span.child_ns)
+
+    def _emit(
+        self, kind: str, phase: str, fields: dict, ts: float | None = None,
+        duration_ns: float | None = None,
+    ) -> None:
+        tr = self.tracer
+        if tr is None or not tr.active:
+            return
+        extra = dict(fields)
+        extra["phase"] = phase
+        if duration_ns is not None:
+            extra["duration_ns"] = duration_ns
+        if ts is not None:
+            # Retrospective begin: stamp the computed instant, not "now".
+            tr.emit_at(ts, "span", kind, **extra)
+        else:
+            tr.emit("span", kind, **extra)
+
+    def _account(
+        self, kind: str, fields: dict, duration: float, child_ns: float
+    ) -> None:
+        key = (kind, fields.get("order"))
+        row = self._attribution.get(key)
+        if row is None:
+            row = self._attribution[key] = [0, 0.0, 0.0]
+        row[0] += 1
+        row[1] += duration
+        row[2] += duration - child_ns
+        self.spans_closed += 1
+        if self.metrics is not None:
+            hist = self._histograms.get(kind)
+            if hist is None:
+                hist = self._histograms[kind] = self.metrics.histogram(
+                    "span_duration_ns",
+                    buckets=SPAN_DURATION_BUCKETS,
+                    kind=kind,
+                )
+            hist.observe(duration)
+
+    # -- read side ----------------------------------------------------------
+    def attribution(self) -> list[dict]:
+        """The latency attribution table, one row per (kind, order).
+
+        Sorted by descending total time — "where did the simulated
+        nanoseconds go", most expensive first.
+        """
+        rows = []
+        for (kind, order), (count, total, self_ns) in self._attribution.items():
+            rows.append(
+                {
+                    "kind": kind,
+                    "order": order,
+                    "count": count,
+                    "total_ns": total,
+                    "self_ns": self_ns,
+                    "child_ns": total - self_ns,
+                    "mean_ns": total / count if count else 0.0,
+                }
+            )
+        rows.sort(key=lambda r: (-r["total_ns"], r["kind"], str(r["order"])))
+        return rows
+
+    def total_ns(self, kind: str) -> float:
+        """Total recorded time across every ``kind`` span (all orders)."""
+        return sum(
+            row[1] for key, row in self._attribution.items() if key[0] == kind
+        )
+
+    def export(self) -> dict:
+        """JSON-able summary (embedded in metrics.json under ``timeline``)."""
+        return {
+            "spans_closed": self.spans_closed,
+            "attribution": self.attribution(),
+        }

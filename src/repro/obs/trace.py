@@ -26,8 +26,13 @@ from collections import Counter as TallyCounter
 from collections import deque
 from typing import IO, Iterable, Iterator
 
-#: every subsystem with permanent instrumentation (``enable_all`` scope)
-SUBSYSTEMS = ("buddy", "zerofill", "regions", "compaction", "policy", "tlb")
+#: every subsystem with permanent instrumentation (``enable_all`` scope).
+#: ``span`` is the begin/end pair stream of :mod:`repro.obs.spans`.
+SUBSYSTEMS = ("buddy", "zerofill", "regions", "compaction", "policy", "tlb", "span")
+
+#: envelope keys an event's fields may not shadow: ``{**fields}`` in
+#: :meth:`Tracer.events` would silently overwrite them otherwise
+RESERVED_FIELDS = frozenset({"seq", "ts_ns", "subsystem", "event"})
 
 
 class Tracer:
@@ -37,11 +42,17 @@ class Tracer:
         self,
         capacity: int = 65536,
         subsystems: Iterable[str] = (),
+        clock=None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._events: deque[tuple[int, str, str, dict]] = deque(maxlen=capacity)
+        #: the simulated-time source stamping ``ts_ns``; without one every
+        #: event carries ts_ns 0.0 (ordering still given by ``seq``)
+        self.clock = clock
+        self._events: deque[tuple[int, float, str, str, dict]] = deque(
+            maxlen=capacity
+        )
         self._enabled: set[str] = set(subsystems)
         self.active = bool(self._enabled)
         self.emitted = 0
@@ -73,16 +84,52 @@ class Tracer:
         return frozenset(self._enabled)
 
     # -- emission -----------------------------------------------------------
-    def emit(self, subsystem: str, event: str, **fields) -> None:
-        """Record one event if ``subsystem`` is enabled; else a no-op."""
+    def emit(self, subsystem: str, event: str, /, **fields) -> None:
+        """Record one event if ``subsystem`` is enabled; else a no-op.
+
+        Fields named like envelope keys (``seq``, ``ts_ns``, ``subsystem``,
+        ``event``) are rejected: they would silently overwrite the envelope
+        when :meth:`events` flattens the record.  The envelope parameters
+        are positional-only so the collision always surfaces as this
+        ValueError rather than sometimes as a TypeError.
+        """
         if subsystem not in self._enabled:
             return
+        if RESERVED_FIELDS & fields.keys():
+            bad = sorted(RESERVED_FIELDS & fields.keys())
+            raise ValueError(
+                f"event field(s) {bad} shadow the trace envelope; "
+                "rename them at the emit site"
+            )
+        ts = self.clock.now_ns if self.clock is not None else 0.0
+        self._append(ts, subsystem, event, fields)
+
+    def emit_at(
+        self, ts_ns: float, subsystem: str, event: str, /, **fields
+    ) -> None:
+        """Like :meth:`emit` with an explicit timestamp.
+
+        For retrospective records (a span whose duration is only known at
+        its end): the caller is responsible for ``ts_ns`` not running
+        backwards relative to already-recorded events.
+        """
+        if subsystem not in self._enabled:
+            return
+        if RESERVED_FIELDS & fields.keys():
+            bad = sorted(RESERVED_FIELDS & fields.keys())
+            raise ValueError(
+                f"event field(s) {bad} shadow the trace envelope; "
+                "rename them at the emit site"
+            )
+        self._append(ts_ns, subsystem, event, fields)
+
+    def _append(self, ts: float, subsystem: str, event: str, fields: dict) -> None:
         if len(self._events) == self.capacity:
             self.dropped += 1
         self._seq += 1
         self.emitted += 1
         self.tallies[(subsystem, event)] += 1
-        self._events.append((self._seq, subsystem, event, fields))
+        self._events.append((self._seq, ts, subsystem, event, fields))
 
     def clear(self) -> None:
         self._events.clear()
@@ -98,12 +145,18 @@ class Tracer:
         self, subsystem: str | None = None, event: str | None = None
     ) -> Iterator[dict]:
         """Buffered events, oldest first, as flat dicts."""
-        for seq, sub, name, fields in self._events:
+        for seq, ts, sub, name, fields in self._events:
             if subsystem is not None and sub != subsystem:
                 continue
             if event is not None and name != event:
                 continue
-            yield {"seq": seq, "subsystem": sub, "event": name, **fields}
+            yield {
+                "seq": seq,
+                "ts_ns": ts,
+                "subsystem": sub,
+                "event": name,
+                **fields,
+            }
 
     def summary(self) -> dict:
         """Lifetime emit tallies plus buffer health, for CLI display."""

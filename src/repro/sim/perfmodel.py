@@ -30,8 +30,10 @@ or per-environment calibration constants documented in
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+from repro.config import FREQ_GHZ
+from repro.obs.metrics import nearest_rank
 
 
 @dataclass
@@ -48,7 +50,7 @@ class RunMetrics:
     daemon_ns: float
     represented_accesses: int
     cpi_base: float
-    freq_ghz: float = 2.3
+    freq_ghz: float = FREQ_GHZ
     #: app threads that serve faults concurrently (Table 2): first-touch
     #: zeroing parallelizes across them on the 36-thread testbed
     fault_parallelism: int = 1
@@ -142,8 +144,7 @@ class RunMetrics:
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"pct must be in [0, 100], got {pct}")
         data = sorted(self.request_latencies_ns)
-        rank = math.ceil(pct / 100.0 * len(data))
-        return data[max(0, rank - 1)]
+        return data[nearest_rank(len(data), pct)]
 
 
 class PerfModel:
@@ -153,7 +154,7 @@ class PerfModel:
         self,
         cpi_base: float,
         represented_accesses: int,
-        freq_ghz: float = 2.3,
+        freq_ghz: float = FREQ_GHZ,
         daemon_exposure: float = 0.1,
         walk_exposure: float = 1.0,
         fault_parallelism: int = 1,

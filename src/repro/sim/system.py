@@ -85,10 +85,61 @@ class System:
         self.policy = policy_factory(self)
         self.policy.on_boot()
         self.obs.metrics.add_collector(self._collect_system_metrics)
+        self._register_timeline_series()
+
+    @property
+    def clock(self):
+        """The machine's simulated-time clock (owned by the obs bundle)."""
+        return self.obs.clock
+
+    def _register_timeline_series(self) -> None:
+        """Wire the paper's time-varying quantities into the sampler.
+
+        Only runs when the obs bundle was built with ``timeline=True``; the
+        gauges read authoritative simulator state (the same sources the
+        snapshot collectors mirror), so the series and the end-of-run
+        metrics agree by construction.
+        """
+        sampler = self.obs.timeline
+        if sampler is None:
+            return
+        regions = self.regions
+        fpl = self.geometry.frames_per_large
+        sampler.add_series("fmfi", lambda: self.fmfi, unit="index")
+        sampler.add_series(
+            "free_large_regions",
+            lambda: float(int((regions.free_frames == fpl).sum())),
+            unit="regions",
+        )
+        sampler.add_series(
+            "zerofill_pool",
+            lambda: float(self.zerofill.pool_size),
+            unit="blocks",
+        )
+        sampler.add_series(
+            "buddy_free_frames",
+            lambda: float(self.buddy.free_frames),
+            unit="frames",
+        )
+        for size in PageSize.ALL:
+            sampler.add_series(
+                f"mapped_bytes_{PageSize.X86_NAMES[size]}",
+                self._mapped_bytes_reader(size),
+                unit="bytes",
+            )
+
+    def _mapped_bytes_reader(self, size: int):
+        def read() -> float:
+            return float(
+                sum(p.pagetable.mapped_bytes(size) for p in self.processes)
+            )
+
+        return read
 
     def _collect_system_metrics(self, metrics) -> None:
         """Snapshot-time system-wide gauges and aggregated TLB totals."""
         metrics.gauge("system_fmfi").value = self.fmfi
+        metrics.gauge("sim_clock_ns").set(self.obs.clock.now_ns)
         metrics.counter("system_daemon_ns_total").set(self.daemon_ns_total)
         accesses = l1 = l2 = 0
         walks = {s: 0 for s in PageSize.ALL}
@@ -199,18 +250,44 @@ class System:
         """One application load/store; returns translation cycles incurred."""
         mapping = process.pagetable.translate(va)
         if mapping is None:
-            self.policy.handle_fault(process, va)
-            process.faults += 1
-            mapping = process.pagetable.translate(va)
-            assert mapping is not None, f"fault handler left va {va:#x} unmapped"
-            if self.auditor is not None:
-                self.auditor.maybe_audit()
+            mapping = self._fault(process, va)
         process.record_touch(va)
         cycles = process.tlb.access(va, mapping)
         self._accesses_since_daemon += 1
         if self._accesses_since_daemon >= self.daemon_period_accesses:
             self.run_daemons()
         return cycles
+
+    def _fault(self, process: Process, va: int):
+        """Fault slow path, bracketed by a ``fault`` span.
+
+        The policy records the fault's latency in ``stats.fault_ns``; leaf
+        sites inside the handler (sync compaction, pv exchanges) may have
+        advanced the clock already, so only the *residual* is advanced here
+        — the span's duration then equals the recorded latency exactly,
+        which is what lets the attribution table reconcile with
+        :meth:`total_fault_ns`.
+        """
+        clock = self.obs.clock
+        stats = self.policy.stats
+        fault_ns_before = stats.fault_ns
+        start = clock.now_ns
+        with self.obs.spans.span("fault") as sp:
+            self.policy.handle_fault(process, va)
+            process.faults += 1
+            mapping = process.pagetable.translate(va)
+            assert mapping is not None, f"fault handler left va {va:#x} unmapped"
+            latency = stats.fault_ns - fault_ns_before
+            residual = latency - (clock.now_ns - start)
+            if residual > 0.0:
+                clock.advance(residual)
+            sp.set(
+                order=self.geometry.order_for(mapping.page_size),
+                latency_ns=latency,
+            )
+        if self.auditor is not None:
+            self.auditor.maybe_audit()
+        return mapping
 
     def touch_batch(self, process: Process, vas) -> None:
         """Touch a whole address stream (numpy array or iterable of ints)."""
@@ -233,9 +310,18 @@ class System:
         watermark = int(self.machine.total_frames * self.free_watermark)
         if self.buddy.free_frames < watermark:
             self.reclaim(watermark - self.buddy.free_frames)
-        used = self.policy.background_tick(
-            self.daemon_budget_ns if budget_ns is None else budget_ns
-        )
+        clock = self.obs.clock
+        start = clock.now_ns
+        with self.obs.spans.span("daemon_tick") as sp:
+            used = self.policy.background_tick(
+                self.daemon_budget_ns if budget_ns is None else budget_ns
+            )
+            # Leaf sites (zero-fill, compaction, pv) advanced their share
+            # of ``used`` already; advance only the residual scan/copy ns.
+            residual = used - (clock.now_ns - start)
+            if residual > 0.0:
+                clock.advance(residual)
+            sp.set(used_ns=used)
         self.daemon_ns_total += used
         if self.auditor is not None:
             self.auditor.maybe_audit()

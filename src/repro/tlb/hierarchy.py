@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config import PageGeometry, PageSize, TLBHierarchyConfig, WalkConfig
+from repro.config import FREQ_GHZ, PageGeometry, PageSize, TLBHierarchyConfig, WalkConfig
 from repro.tlb.tlb import SetAssocTLB
 from repro.tlb.walker import PageWalker
 from repro.vm.pagetable import Mapping
@@ -65,9 +65,11 @@ class TLBHierarchy:
         self.geometry = geometry
         self.walk_config = walk
         self._tracer = None
+        self._clock = None
         self._h_walk = None
         if obs is not None:
             self._tracer = obs.tracer
+            self._clock = getattr(obs, "clock", None)
             self._h_walk = {
                 s: obs.metrics.histogram(
                     "tlb_walk_cycles",
@@ -121,12 +123,18 @@ class TLBHierarchy:
             self.l1[size].insert(vpn)
             cycles = float(self.walk_config.l2_tlb_hit_cycles)
             stats.translation_cycles += cycles
+            if self._clock is not None:
+                self._clock.advance(cycles / FREQ_GHZ)
             return cycles
         cycles = self.walker.native_walk(size)
         stats.walks += 1
         stats.walks_by_size[size] += 1
         stats.walk_cycles += cycles
         stats.translation_cycles += cycles + self.walk_config.l2_tlb_hit_cycles
+        if self._clock is not None:
+            self._clock.advance(
+                (cycles + self.walk_config.l2_tlb_hit_cycles) / FREQ_GHZ
+            )
         if self._h_walk is not None:
             self._h_walk[size].observe(cycles)
             tr = self._tracer

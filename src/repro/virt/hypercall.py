@@ -19,12 +19,16 @@ class PVExchangeInterface:
     #: how many (source, target) addresses fit in the two shared 4KB pages
     BATCH_CAPACITY = 512
 
-    def __init__(self, hypervisor: Hypervisor, cost: CostModel) -> None:
+    def __init__(
+        self, hypervisor: Hypervisor, cost: CostModel, obs=None
+    ) -> None:
         self.hypervisor = hypervisor
         self.cost = cost
         self.hypercalls = 0
         self.exchanges = 0
         self.time_ns = 0.0
+        self._clock = getattr(obs, "clock", None) if obs is not None else None
+        self._spans = getattr(obs, "spans", None) if obs is not None else None
 
     def exchange(
         self, pairs: list[tuple[int, int, int]], batched: bool = True
@@ -48,6 +52,16 @@ class PVExchangeInterface:
             spent = count * (self.cost.hypercall_ns + self.cost.exchange_unbatched_ns)
         self.hypercalls += calls
         self.time_ns += spent
+        if self._clock is not None and spent > 0.0:
+            # Leaf site on the simulated-time axis: callers (compaction,
+            # pv promotion) account this ns inside their own totals and
+            # advance only their residual on top.
+            self._clock.advance(spent)
+            spans = self._spans
+            if spans is not None and spans.enabled:
+                spans.record_complete(
+                    "pv_exchange", spent, calls=calls, pairs=count
+                )
         return spent
 
     # -- microbenchmark helpers (Section 6 latency numbers) -----------------

@@ -15,7 +15,7 @@ access pays for the effective page size min(guest, host) and 2D walk costs.
 
 from __future__ import annotations
 
-from repro.config import MachineConfig
+from repro.config import FREQ_GHZ, MachineConfig
 from repro.sim.process import Process
 from repro.sim.system import System
 from repro.tlb.nested import NestedTranslationUnit
@@ -55,16 +55,15 @@ class GuestSystem(System):
         """Guest load/store: guest fault, then EPT fault, then nested TLB."""
         mapping = process.pagetable.translate(va)
         if mapping is None:
-            self.policy.handle_fault(process, va)
-            process.faults += 1
-            mapping = process.pagetable.translate(va)
-            assert mapping is not None, f"fault handler left va {va:#x} unmapped"
-            if self.auditor is not None:
-                self.auditor.maybe_audit()
+            mapping = self._fault(process, va)
         gpa = process.tlb.gpa_of(mapping, va)
-        self.hypervisor.ensure_backed(gpa)
+        self._ensure_backed(gpa)
         process.record_touch(va)
         cycles = process.tlb.access(va, mapping)
+        if cycles > 0.0:
+            # The nested unit has no obs of its own: charge its walk and
+            # L2-hit cycles to the guest's time axis here (leaf site).
+            self.obs.clock.advance(cycles / FREQ_GHZ)
         self._accesses_since_daemon += 1
         if self._accesses_since_daemon >= self.daemon_period_accesses:
             self.run_daemons()
@@ -74,6 +73,24 @@ class GuestSystem(System):
                 self.daemon_budget_ns * self.host_daemon_share
             )
         return cycles
+
+    def _ensure_backed(self, gpa: int) -> None:
+        """EPT-populate ``gpa``, charging host fault time to the guest axis.
+
+        The host system runs on its own (private) clock, so the host-side
+        fault nanoseconds — which stall the guest exactly like a guest
+        fault — are re-charged here as an ``ept_fault`` span on the
+        guest's timeline.
+        """
+        host_stats = self.hypervisor.host.policy.stats
+        before = host_stats.fault_ns
+        self.hypervisor.ensure_backed(gpa)
+        ept_ns = host_stats.fault_ns - before
+        if ept_ns > 0.0:
+            self.obs.clock.advance(ept_ns)
+            spans = self.obs.spans
+            if spans.enabled:
+                spans.record_complete("ept_fault", ept_ns)
 
 
 class VirtualMachine:

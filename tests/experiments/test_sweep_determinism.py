@@ -101,3 +101,33 @@ class TestParallelSerialEquivalence:
         first = self._sweep(tmp_path, "first", jobs=1)
         again = self._sweep(tmp_path, "again", jobs=1)
         assert first == again
+
+
+class TestTimelineReportDeterminism:
+    """Satellite: the aggregated sweep_report.html is part of the
+    determinism contract — jobs=4 must reproduce jobs=1 byte-for-byte."""
+
+    def _sweep(self, tmp_path, label, jobs):
+        out = str(tmp_path / label)
+        manifest = run_sweep(
+            SweepConfig(
+                jobs=jobs,
+                root_seed=7,
+                quick=True,
+                out_dir=out,
+                modules=("figure2",),
+                timeout_s=300.0,
+                timeline=True,
+            )
+        )
+        assert all(u["status"] == "ok" for u in manifest["units"])
+        assert manifest["timeline"] is True
+        assert manifest["report"] is not None
+        with open(manifest["report"], "rb") as f:
+            return f.read()
+
+    def test_report_jobs4_matches_jobs1_byte_for_byte(self, tmp_path):
+        serial = self._sweep(tmp_path, "serial", jobs=1)
+        parallel = self._sweep(tmp_path, "parallel", jobs=4)
+        assert serial == parallel
+        assert b"<svg" in serial  # sparklines actually rendered

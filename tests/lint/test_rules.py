@@ -191,3 +191,48 @@ class TestTRD004MetricRegistry:
             'c = self.counter("anything_goes")\n',
         )
         assert [f.rule for f in run_lint([str(tmp_path)], ALL_RULES)] == []
+
+
+SPAN_CATALOG = '''\
+METRIC_CATALOG = (
+    ("span_duration_ns", "histogram", "kind", "span durations by span kind"),
+    ("timeline_samples_total", "counter", "", "timeline sampling instants"),
+)
+'''
+
+
+class TestTRD004SpanMetrics:
+    """The span recorder's metrics are ordinary emissions: the catalog
+    must cover them, and the rule must see through the labelled-histogram
+    emit pattern the recorder uses."""
+
+    def test_cataloged_span_histogram_accepted(self, tmp_path):
+        _write(tmp_path, "repro/obs/__init__.py", SPAN_CATALOG)
+        _write(
+            tmp_path,
+            "repro/obs/spans.py",
+            'hist = self.metrics.histogram(\n'
+            '    "span_duration_ns", buckets=BUCKETS, kind=kind\n'
+            ')\n',
+        )
+        assert [f.rule for f in run_lint([str(tmp_path)], ALL_RULES)] == []
+
+    def test_uncataloged_span_metric_flagged(self, tmp_path):
+        _write(tmp_path, "repro/obs/__init__.py", SPAN_CATALOG)
+        _write(
+            tmp_path,
+            "repro/obs/spans.py",
+            'h = self.metrics.histogram("span_seconds", kind=kind)\n',
+        )
+        findings = run_lint([str(tmp_path)], ALL_RULES)
+        assert "TRD004" in [f.rule for f in findings]
+        assert any("span_seconds" in f.message for f in findings)
+
+    def test_sampler_counter_accepted(self, tmp_path):
+        _write(tmp_path, "repro/obs/__init__.py", SPAN_CATALOG)
+        _write(
+            tmp_path,
+            "repro/obs/timeline.py",
+            'c = metrics.counter("timeline_samples_total")\n',
+        )
+        assert [f.rule for f in run_lint([str(tmp_path)], ALL_RULES)] == []

@@ -1,0 +1,47 @@
+"""Unit tests for the simulated clock (the timeline's time axis)."""
+
+from repro.obs.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        clock.advance(2.5)
+        assert clock.now_ns == 102.5
+
+    def test_zero_and_negative_are_noops(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(0.0)
+        clock.advance(-5.0)
+        assert clock.now_ns == 10.0
+
+    def test_listeners_see_post_advance_time(self):
+        clock = SimClock()
+        seen = []
+        clock.add_listener(lambda now: seen.append(now))
+        clock.advance(7.0)
+        clock.advance(3.0)
+        assert seen == [7.0, 10.0]
+
+    def test_noop_advance_does_not_notify(self):
+        clock = SimClock()
+        seen = []
+        clock.add_listener(lambda now: seen.append(now))
+        clock.advance(0.0)
+        clock.advance(-1.0)
+        assert seen == []
+
+    def test_remove_listener(self):
+        clock = SimClock()
+        seen = []
+        listener = seen.append
+        clock.add_listener(listener)
+        clock.advance(1.0)
+        clock.remove_listener(listener)
+        clock.advance(1.0)
+        assert seen == [1.0]

@@ -1,0 +1,156 @@
+"""Exporter tests: the Chrome Trace Event Format contract (satellite).
+
+Validity as Perfetto defines it: every ``B`` has a matching ``E``,
+timestamps are monotonic non-decreasing per track (pid, tid), and counter
+events carry numeric args.
+"""
+
+import json
+from collections import defaultdict
+
+from repro.obs.clock import SimClock
+from repro.obs.export import (
+    COUNTER_TID,
+    SPAN_TID,
+    chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import SpanRecorder
+from repro.obs.timeline import TimelineSampler
+from repro.obs.trace import Tracer
+
+
+def _machine():
+    clock = SimClock()
+    tracer = Tracer(clock=clock)
+    tracer.enable_all()
+    spans = SpanRecorder(clock, tracer=tracer)
+    spans.enabled = True
+    return clock, tracer, spans
+
+
+def assert_valid_trace(trace: dict) -> None:
+    """The structural contract every exported trace must satisfy."""
+    last_ts: dict = {}
+    depth: dict = defaultdict(int)
+    for event in trace["traceEvents"]:
+        assert {"ph", "name", "pid", "tid"} <= set(event)
+        if event["ph"] == "M":
+            continue
+        track = (event["pid"], event["tid"])
+        assert event["ts"] >= last_ts.get(track, float("-inf")), (
+            f"timestamps regress on track {track}"
+        )
+        last_ts[track] = event["ts"]
+        if event["ph"] == "B":
+            depth[track] += 1
+        elif event["ph"] == "E":
+            depth[track] -= 1
+            assert depth[track] >= 0, "E without a prior B"
+        elif event["ph"] == "C":
+            for value in event["args"].values():
+                assert isinstance(value, (int, float))
+    assert not any(depth.values()), f"unbalanced B/E: {dict(depth)}"
+
+
+class TestSpanEvents:
+    def test_nested_spans_export_balanced(self):
+        clock, tracer, spans = _machine()
+        with spans.span("daemon_tick"):
+            clock.advance(10.0)
+            with spans.span("compaction", order=9):
+                clock.advance(30.0)
+        trace = chrome_trace(tracer=tracer, clock=clock)
+        assert_valid_trace(trace)
+        names = [
+            e["name"] for e in trace["traceEvents"] if e["ph"] in ("B", "E")
+        ]
+        assert names == ["daemon_tick", "compaction", "compaction", "daemon_tick"]
+
+    def test_orphan_end_is_dropped(self):
+        clock, tracer, spans = _machine()
+        # an E whose B fell off the ring: emit it directly
+        tracer.emit_at(5.0, "span", "fault", phase="E")
+        trace = chrome_trace(tracer=tracer, clock=clock)
+        assert_valid_trace(trace)
+        assert not any(e["ph"] == "E" for e in trace["traceEvents"])
+
+    def test_trailing_open_spans_closed_at_now(self):
+        clock, tracer, spans = _machine()
+        span = spans.span("fault")
+        span.__enter__()  # never exited: export mid-run
+        clock.advance(100.0)
+        trace = chrome_trace(tracer=tracer, clock=clock)
+        assert_valid_trace(trace)
+        ends = [e for e in trace["traceEvents"] if e["ph"] == "E"]
+        assert len(ends) == 1
+        assert ends[0]["ts"] == 100.0 / 1000.0  # closed at now, in us
+
+    def test_args_exclude_envelope_keys(self):
+        clock, tracer, spans = _machine()
+        with spans.span("fault") as sp:
+            clock.advance(1.0)
+            sp.set(order=18)
+        trace = chrome_trace(tracer=tracer, clock=clock)
+        end = [e for e in trace["traceEvents"] if e["ph"] == "E"][0]
+        assert end["args"]["order"] == 18
+        assert "phase" not in end["args"]
+        assert "seq" not in end["args"]
+
+
+class TestCounterEvents:
+    def test_multiple_series_stay_monotonic_on_the_counter_track(self):
+        clock = SimClock()
+        sampler = TimelineSampler(clock, interval_ms=1.0)
+        sampler.add_series("zeta", lambda: 1.0)
+        sampler.add_series("alpha", lambda: 2.0)
+        for _ in range(4):
+            clock.advance(2e6)
+        trace = chrome_trace(timeline=sampler)
+        assert_valid_trace(trace)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 8
+        assert all(e["tid"] == COUNTER_TID for e in counters)
+
+    def test_counter_values_numeric(self):
+        clock = SimClock()
+        sampler = TimelineSampler(clock, interval_ms=1.0)
+        sampler.add_series("pool", lambda: 3)
+        clock.advance(2e6)
+        trace = chrome_trace(timeline=sampler)
+        (counter,) = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counter["args"] == {"value": 3.0}
+
+
+class TestInstantEvents:
+    def test_other_subsystems_get_their_own_tracks(self):
+        clock, tracer, spans = _machine()
+        clock.advance(10.0)
+        tracer.emit("buddy", "split", order=5)
+        tracer.emit("tlb", "walk", cycles=40)
+        trace = chrome_trace(tracer=tracer, clock=clock)
+        assert_valid_trace(trace)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {"buddy:split", "tlb:walk"}
+        assert len({e["tid"] for e in instants}) == 2
+        assert all(e["tid"] != SPAN_TID for e in instants)
+
+    def test_instants_can_be_suppressed(self):
+        clock, tracer, spans = _machine()
+        tracer.emit("buddy", "split", order=5)
+        trace = chrome_trace(tracer=tracer, clock=clock, include_instants=False)
+        assert not any(e["ph"] == "i" for e in trace["traceEvents"])
+
+
+class TestWriteChromeTrace:
+    def test_file_is_loadable_json(self, tmp_path):
+        clock, tracer, spans = _machine()
+        with spans.span("fault"):
+            clock.advance(5.0)
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), tracer=tracer, clock=clock)
+        with open(path) as f:
+            loaded = json.load(f)
+        assert len(loaded["traceEvents"]) == count
+        assert loaded["displayTimeUnit"] == "ms"
+        assert_valid_trace(loaded)

@@ -120,3 +120,65 @@ class TestRegistrySnapshot:
         reg.counter("z")
         reg.counter("a")
         assert reg.names() == ["a", "z"]
+
+
+class TestNearestRank:
+    def test_ceil_based_indexing(self):
+        from repro.obs.metrics import nearest_rank
+
+        # 10 samples: p50 is the 5th (index 4), p99 the 10th (index 9)
+        assert nearest_rank(10, 50.0) == 4
+        assert nearest_rank(10, 90.0) == 8
+        assert nearest_rank(10, 99.0) == 9
+        assert nearest_rank(10, 0.0) == 0
+        assert nearest_rank(10, 100.0) == 9
+        assert nearest_rank(1, 50.0) == 0
+
+    def test_out_of_range_pct_rejected(self):
+        from repro.obs.metrics import nearest_rank
+
+        with pytest.raises(ValueError):
+            nearest_rank(10, -1.0)
+        with pytest.raises(ValueError):
+            nearest_rank(10, 101.0)
+
+
+class TestPercentileFromBuckets:
+    def test_returns_bucket_upper_bound(self):
+        h = Histogram("h", {}, bounds=(10, 100, 1000))
+        for v in (5, 5, 50, 50, 50, 500):  # 6 samples
+            h.observe(v)
+        assert h.percentile(50.0) == 100.0  # rank 3 lands in (10, 100]
+        assert h.percentile(90.0) == 1000.0
+        assert h.percentile(0.0) == 10.0
+
+    def test_overflow_bucket_is_inf(self):
+        import math
+
+        h = Histogram("h", {}, bounds=(10,))
+        h.observe(99)
+        assert h.percentile(50.0) == math.inf
+
+    def test_empty_histogram_is_zero(self):
+        h = Histogram("h", {}, bounds=(10,))
+        assert h.percentile(99.0) == 0.0
+
+    def test_survives_json_sort_keys_roundtrip(self):
+        """Regression: sort_keys=True reorders bucket keys
+        lexicographically ("+Inf" first); percentiles must sort
+        numerically, not trust dict order."""
+        import json
+
+        from repro.obs.metrics import percentile_from_buckets
+
+        h = Histogram("h", {}, bounds=(100, 1000, 30, 300))
+        for v in (20, 200, 200, 2000):
+            h.observe(v)
+        direct = [h.percentile(p) for p in (50.0, 90.0, 99.0)]
+        roundtripped = json.loads(json.dumps(h.export(), sort_keys=True))
+        via_json = [
+            percentile_from_buckets(roundtripped, p) for p in (50.0, 90.0, 99.0)
+        ]
+        assert via_json == direct
+        # and the tails never decrease
+        assert via_json == sorted(via_json)

@@ -1,0 +1,135 @@
+"""HTML report tests: structure, determinism, sweep aggregation."""
+
+import json
+
+from repro.obs.report import (
+    fmt,
+    load_metrics,
+    render_report,
+    runs_from_units,
+    sparkline,
+    write_report,
+)
+
+SAMPLE = {
+    "counters": {},
+    "gauges": {},
+    "histograms": {
+        "span_duration_ns{kind=fault}": {
+            "count": 3,
+            "sum": 3_000_000.0,
+            "buckets": {"1000000": 3, "+Inf": 0},
+        }
+    },
+    "timeline": {
+        "clock_ns": 4.2e9,
+        "spans": {
+            "spans_closed": 3,
+            "attribution": [
+                {
+                    "kind": "fault",
+                    "order": 18,
+                    "count": 3,
+                    "total_ns": 3e6,
+                    "self_ns": 3e6,
+                    "child_ns": 0.0,
+                    "mean_ns": 1e6,
+                }
+            ],
+        },
+        "sampler": {
+            "interval_ms": 0.5,
+            "samples": 4,
+            "series": {
+                "fmfi": {
+                    "unit": "index",
+                    "points": [[0.0, 0.9], [1.0, 0.7], [2.0, 0.4]],
+                }
+            },
+        },
+    },
+}
+
+
+class TestFormatting:
+    def test_fmt_is_the_single_float_gate(self):
+        assert fmt(None) == "-"
+        assert fmt(0.123456789) == "0.123457"
+        assert fmt(float("inf")) == "+Inf"
+        assert fmt(float("-inf")) == "-Inf"
+        assert fmt(18) == "18"
+
+    def test_sparkline_needs_two_points(self):
+        assert "not enough samples" in sparkline([])
+        assert "not enough samples" in sparkline([[0.0, 1.0]])
+        svg = sparkline([[0.0, 1.0], [1.0, 2.0]])
+        assert svg.startswith("<svg") and "polyline" in svg
+
+    def test_sparkline_handles_flat_series(self):
+        # zero value span must not divide by zero
+        svg = sparkline([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0]])
+        assert "<svg" in svg
+
+
+class TestRenderReport:
+    def test_sections_and_content(self):
+        page = render_report([("GUPS / Trident", SAMPLE)])
+        assert "<!doctype html>" in page
+        assert "GUPS / Trident" in page
+        assert "fmfi" in page
+        assert "fault" in page
+        assert "<svg" in page
+        assert "3 spans" in page
+
+    def test_byte_deterministic(self):
+        one = render_report([("run", SAMPLE)])
+        two = render_report([("run", json.loads(json.dumps(SAMPLE)))])
+        assert one == two
+
+    def test_titles_escaped(self):
+        page = render_report([("<script>", SAMPLE)], title="a & b")
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+        assert "a &amp; b" in page
+
+    def test_empty_timeline_degrades_gracefully(self):
+        page = render_report([("bare", {"histograms": {}})])
+        assert "no spans recorded" in page
+        assert "no timeline series" in page
+
+    def test_write_report(self, tmp_path):
+        path = str(tmp_path / "r.html")
+        assert write_report(path, [("run", SAMPLE)]) == path
+        assert load_metrics  # imported symbol stays exported
+        with open(path) as f:
+            assert "</html>" in f.read()
+
+
+class TestRunsFromUnits:
+    def _unit(self, tmp_path, unit_id, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return {"unit_id": unit_id, "metrics": [str(path)]}
+
+    def test_sections_sorted_by_unit_id(self, tmp_path):
+        units = [
+            self._unit(tmp_path, "zz", "z.json", SAMPLE),
+            self._unit(tmp_path, "aa", "a.json", SAMPLE),
+        ]
+        runs = runs_from_units(units)
+        assert [title for title, _ in runs] == ["aa: a.json", "zz: z.json"]
+
+    def test_skips_missing_unreadable_and_timeline_less(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        units = [
+            {"unit_id": "gone", "metrics": [str(tmp_path / "nope.json")]},
+            {"unit_id": "bad", "metrics": [str(bad)]},
+            self._unit(tmp_path, "plain", "plain.json", {"counters": {}}),
+            self._unit(tmp_path, "ok", "ok.json", SAMPLE),
+        ]
+        runs = runs_from_units(units)
+        assert [title for title, _ in runs] == ["ok: ok.json"]
+
+    def test_empty_units(self):
+        assert runs_from_units([]) == []

@@ -1,0 +1,139 @@
+"""Unit tests for spans: nesting, attribution, retrospective records."""
+
+from repro.obs.clock import SimClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_SPAN, SpanRecorder
+from repro.obs.trace import Tracer
+
+
+def _recorder(with_tracer=False, with_metrics=False):
+    clock = SimClock()
+    tracer = None
+    if with_tracer:
+        tracer = Tracer(subsystems=("span",), clock=clock)
+        tracer.enable("span")
+    metrics = MetricsRegistry() if with_metrics else None
+    rec = SpanRecorder(clock, tracer=tracer, metrics=metrics)
+    rec.enabled = True
+    return clock, rec
+
+
+class TestDisabled:
+    def test_disabled_recorder_hands_out_null_span(self):
+        clock = SimClock()
+        rec = SpanRecorder(clock)
+        assert rec.span("fault") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as sp:
+            sp.set(order=18)  # must not raise
+
+    def test_disabled_record_complete_and_mark_are_noops(self):
+        clock = SimClock()
+        rec = SpanRecorder(clock)
+        rec.record_complete("zerofill_fill", 100.0)
+        rec.mark("phase", label="warmup")
+        assert rec.spans_closed == 0
+        assert rec.attribution() == []
+
+
+class TestAttribution:
+    def test_duration_is_clock_delta(self):
+        clock, rec = _recorder()
+        with rec.span("fault"):
+            clock.advance(250.0)
+        (row,) = rec.attribution()
+        assert row["kind"] == "fault"
+        assert row["count"] == 1
+        assert row["total_ns"] == 250.0
+        assert row["self_ns"] == 250.0
+        assert row["child_ns"] == 0.0
+
+    def test_nested_child_time_charged_to_parent(self):
+        clock, rec = _recorder()
+        with rec.span("daemon_tick"):
+            clock.advance(10.0)
+            with rec.span("compaction"):
+                clock.advance(30.0)
+            clock.advance(5.0)
+        rows = {r["kind"]: r for r in rec.attribution()}
+        assert rows["daemon_tick"]["total_ns"] == 45.0
+        assert rows["daemon_tick"]["child_ns"] == 30.0
+        assert rows["daemon_tick"]["self_ns"] == 15.0
+        assert rows["compaction"]["total_ns"] == 30.0
+
+    def test_record_complete_charges_open_parent(self):
+        clock, rec = _recorder()
+        with rec.span("daemon_tick"):
+            clock.advance(100.0)  # caller advances, then records
+            rec.record_complete("zerofill_fill", 100.0)
+        rows = {r["kind"]: r for r in rec.attribution()}
+        assert rows["daemon_tick"]["child_ns"] == 100.0
+        assert rows["daemon_tick"]["self_ns"] == 0.0
+        assert rows["zerofill_fill"]["total_ns"] == 100.0
+
+    def test_attribution_keyed_by_order_and_sorted_by_total(self):
+        clock, rec = _recorder()
+        with rec.span("fault") as sp:
+            clock.advance(10.0)
+            sp.set(order=0)
+        with rec.span("fault") as sp:
+            clock.advance(500.0)
+            sp.set(order=18)
+        rows = rec.attribution()
+        assert [(r["kind"], r["order"]) for r in rows] == [
+            ("fault", 18),
+            ("fault", 0),
+        ]
+        assert rec.total_ns("fault") == 510.0
+
+    def test_export_shape(self):
+        clock, rec = _recorder()
+        with rec.span("fault"):
+            clock.advance(1.0)
+        out = rec.export()
+        assert out["spans_closed"] == 1
+        assert out["attribution"][0]["mean_ns"] == 1.0
+
+
+class TestTraceStream:
+    def test_begin_end_events_interleave_chronologically(self):
+        clock, rec = _recorder(with_tracer=True)
+        with rec.span("fault") as sp:
+            clock.advance(40.0)
+            sp.set(order=9)
+        events = list(rec.tracer.events(subsystem="span"))
+        assert [e["phase"] for e in events] == ["B", "E"]
+        begin, end = events
+        assert begin["ts_ns"] == 0.0
+        assert end["ts_ns"] == 40.0
+        assert end["duration_ns"] == 40.0
+        assert end["order"] == 9
+
+    def test_record_complete_backdates_begin(self):
+        clock, rec = _recorder(with_tracer=True)
+        clock.advance(500.0)
+        rec.record_complete("pv_exchange", 120.0, calls=1)
+        begin, end = list(rec.tracer.events(subsystem="span"))
+        assert begin["phase"] == "B" and begin["ts_ns"] == 380.0
+        assert end["phase"] == "E" and end["ts_ns"] == 500.0
+
+    def test_mark_emits_instant(self):
+        clock, rec = _recorder(with_tracer=True)
+        clock.advance(3.0)
+        rec.mark("phase", label="steady")
+        (event,) = list(rec.tracer.events(subsystem="span"))
+        assert event["phase"] == "I"
+        assert event["label"] == "steady"
+        assert event["ts_ns"] == 3.0
+
+
+class TestHistograms:
+    def test_durations_feed_per_kind_histogram(self):
+        clock, rec = _recorder(with_metrics=True)
+        with rec.span("fault"):
+            clock.advance(150.0)
+        export = rec.metrics.snapshot()["histograms"]
+        hist = export["span_duration_ns{kind=fault}"]
+        assert hist["count"] == 1
+        assert hist["sum"] == 150.0

@@ -1,0 +1,89 @@
+"""Unit tests for bounded time-series samplers on the simulated clock."""
+
+import pytest
+
+from repro.obs.clock import SimClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import TimelineSampler, TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_export(self):
+        s = TimeSeries("fmfi", unit="index")
+        assert s.append(0.5, 0.9) is False
+        assert s.export() == {"unit": "index", "points": [[0.5, 0.9]]}
+
+    def test_decimation_halves_and_keeps_newest(self):
+        s = TimeSeries("x", max_points=8)
+        flags = [s.append(float(i), float(i)) for i in range(8)]
+        assert flags == [False] * 7 + [True]
+        # every second point survives, newest included, coverage intact
+        assert [p[0] for p in s.points] == [1.0, 3.0, 5.0, 7.0]
+
+    def test_max_points_bounds_memory(self):
+        s = TimeSeries("x", max_points=8)
+        for i in range(10_000):
+            s.append(float(i), 0.0)
+        assert len(s.points) < 8
+
+    def test_tiny_max_points_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", max_points=1)
+
+
+class TestTimelineSampler:
+    def test_samples_on_interval_not_every_advance(self):
+        clock = SimClock()
+        sampler = TimelineSampler(clock, interval_ms=1.0)  # 1e6 ns
+        sampler.add_series("const", lambda: 42.0)
+        for _ in range(10):
+            clock.advance(0.3e6)  # 0.3 ms steps
+        # due at 0, then every >=1ms after a taken sample
+        assert 3 <= sampler.samples <= 4
+        pts = sampler.export()["series"]["const"]["points"]
+        assert all(v == 42.0 for _, v in pts)
+
+    def test_no_series_means_no_samples(self):
+        clock = SimClock()
+        sampler = TimelineSampler(clock, interval_ms=1.0)
+        clock.advance(50e6)
+        assert sampler.samples == 0
+
+    def test_decimation_doubles_cadence_for_all_series(self):
+        clock = SimClock()
+        sampler = TimelineSampler(clock, interval_ms=1.0, max_points=8)
+        sampler.add_series("a", lambda: 1.0)
+        sampler.add_series("b", lambda: 2.0)
+        before = sampler.interval_ns
+        for _ in range(8):
+            sampler.sample()
+            clock.now_ns += 1e6  # move time without triggering the listener
+        assert sampler.interval_ns == before * 2.0
+        exported = sampler.export()["series"]
+        assert len(exported["a"]["points"]) == len(exported["b"]["points"])
+
+    def test_explicit_sample_counts_in_metrics(self):
+        clock = SimClock()
+        metrics = MetricsRegistry()
+        sampler = TimelineSampler(clock, interval_ms=1.0, metrics=metrics)
+        sampler.add_series("a", lambda: 0.0)
+        sampler.sample()
+        assert metrics.counter("timeline_samples_total").value == 1
+
+    def test_export_sorted_and_deterministic(self):
+        def build():
+            clock = SimClock()
+            sampler = TimelineSampler(clock, interval_ms=1.0)
+            sampler.add_series("zeta", lambda: 1.0)
+            sampler.add_series("alpha", lambda: 2.0)
+            for _ in range(5):
+                clock.advance(2e6)
+            return sampler.export()
+
+        one, two = build(), build()
+        assert one == two
+        assert list(one["series"]) == ["alpha", "zeta"]
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(SimClock(), interval_ms=0.0)

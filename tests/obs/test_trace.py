@@ -108,3 +108,65 @@ class TestObservabilityBundle:
         obs.write_metrics_json(path)
         data = json.loads(open(path).read())
         assert data["trace"]["emitted"] == 1
+
+
+class TestReservedFields:
+    """Regression: fields named like the envelope used to silently
+    overwrite ``seq``/``ts_ns``/``subsystem``/``event`` in ``events()``."""
+
+    def test_emit_rejects_envelope_shadowing(self):
+        tr = Tracer(subsystems=("buddy",))
+        for bad in ("seq", "ts_ns", "subsystem", "event"):
+            with pytest.raises(ValueError, match="shadow the trace envelope"):
+                tr.emit("buddy", "alloc", **{bad: 1})
+
+    def test_emit_at_rejects_envelope_shadowing(self):
+        tr = Tracer(subsystems=("span",))
+        with pytest.raises(ValueError, match="shadow the trace envelope"):
+            tr.emit_at(5.0, "span", "fault", event="shadowed")
+
+    def test_gated_off_emit_stays_cheap_noop(self):
+        # the disabled path keeps its near-zero cost: no validation runs
+        tr = Tracer(subsystems=("buddy",))
+        tr.emit("tlb", "walk", seq=9)
+        assert tr.emitted == 0
+
+    def test_envelope_survives_ordinary_fields(self):
+        tr = Tracer(subsystems=("buddy",))
+        tr.emit("buddy", "alloc", order=4)
+        (event,) = list(tr.events())
+        assert event["subsystem"] == "buddy"
+        assert event["event"] == "alloc"
+        assert event["order"] == 4
+
+
+class TestClockStamping:
+    def test_events_stamped_with_simulated_time(self):
+        from repro.obs.clock import SimClock
+
+        clock = SimClock()
+        tr = Tracer(subsystems=("buddy",), clock=clock)
+        tr.emit("buddy", "alloc")
+        clock.advance(123.0)
+        tr.emit("buddy", "free")
+        first, second = list(tr.events())
+        assert first["ts_ns"] == 0.0
+        assert second["ts_ns"] == 123.0
+
+    def test_clockless_tracer_stamps_zero(self):
+        tr = Tracer(subsystems=("buddy",))
+        tr.emit("buddy", "alloc")
+        (event,) = list(tr.events())
+        assert event["ts_ns"] == 0.0
+
+    def test_emit_at_backdates(self):
+        from repro.obs.clock import SimClock
+
+        clock = SimClock()
+        clock.advance(1000.0)
+        tr = Tracer(subsystems=("span",), clock=clock)
+        tr.emit_at(400.0, "span", "fault", phase="B")
+        tr.emit("span", "fault", phase="E")
+        begin, end = list(tr.events())
+        assert begin["ts_ns"] == 400.0
+        assert end["ts_ns"] == 1000.0

@@ -137,3 +137,85 @@ class TestAuditCLI:
 
         assert main(["experiment", "latency_micro", "--quick", "--audit"]) == 0
         assert runner_mod.AUDIT is False  # try/finally reset
+
+
+class TestTimelineCLI:
+    def test_run_with_timeline_outputs(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        report = str(tmp_path / "report.html")
+        metrics = str(tmp_path / "m.json")
+        code = main(
+            ["run", "GUPS", "Trident", "--accesses", "1500",
+             "--timeline-out", trace, "--report-out", report,
+             "--metrics-out", metrics]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline written" in out and "report written" in out
+        loaded = json.load(open(trace))
+        assert loaded["traceEvents"]
+        assert "</html>" in open(report).read()
+        # --timeline-out implies timeline recording
+        assert json.load(open(metrics))["timeline"]["spans"]["spans_closed"] > 0
+
+    def test_experiment_timeline_resets_global(self, capsys):
+        import repro.experiments.runner as runner_mod
+
+        code = main(
+            ["experiment", "latency_micro", "--quick", "--timeline"]
+        )
+        assert code == 0
+        assert runner_mod.TIMELINE is False  # try/finally reset
+
+    def test_report_from_metrics_json(self, capsys, tmp_path):
+        metrics = str(tmp_path / "m.json")
+        assert main(
+            ["run", "GUPS", "Trident", "--accesses", "1500",
+             "--timeline", "--metrics-out", metrics]
+        ) == 0
+        capsys.readouterr()
+        out = str(tmp_path / "r.html")
+        assert main(["report", metrics, "-o", out]) == 0
+        assert "report written" in capsys.readouterr().out
+        assert "m.json" in open(out).read()
+
+    def test_report_rejects_timeline_less_input(self, capsys, tmp_path):
+        path = tmp_path / "plain.json"
+        path.write_text('{"counters": {}}')
+        assert main(["report", str(path)]) == 2
+        assert "no timeline section" in capsys.readouterr().out
+
+    def test_report_rejects_missing_file(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_metrics_file_renders_percentiles(self, capsys, tmp_path):
+        metrics = str(tmp_path / "m.json")
+        assert main(
+            ["run", "GUPS", "Trident", "--accesses", "1500",
+             "--timeline", "--metrics-out", metrics]
+        ) == 0
+        capsys.readouterr()
+        assert main(["metrics", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "P50" in out and "P99" in out
+        assert "buckets" not in out  # percentiles, not raw bucket dumps
+        assert "span_duration_ns{kind=fault}" in out
+
+    def test_metrics_file_kind_filter(self, capsys, tmp_path):
+        metrics = str(tmp_path / "m.json")
+        assert main(
+            ["run", "GUPS", "Trident", "--accesses", "1500",
+             "--metrics-out", metrics]
+        ) == 0
+        capsys.readouterr()
+        assert main(["metrics", metrics, "--kind", "counter"]) == 0
+        out = capsys.readouterr().out
+        assert "Counters:" in out and "Histograms:" not in out
+
+    def test_metrics_without_file_lists_catalogue(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "span_duration_ns" in out
+        assert "timeline_samples_total" in out
+        assert "sim_clock_ns" in out
