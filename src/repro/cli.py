@@ -9,6 +9,7 @@ Commands
 ``list``       show available workloads, policies and experiments
 ``metrics``    list exportable metrics, or summarize a metrics.json file
 ``report``     render a metrics.json / sweep manifest into an HTML report
+``bench``      hot-path microbenchmark (batched vs scalar, BENCH_hotpath.json)
 ``lint``       project-specific static analysis (TRD rules, docs/linting.md)
 
 Examples::
@@ -26,6 +27,7 @@ Examples::
     python -m repro sweep --quick --timeline --out report
     python -m repro report report/sweep_manifest.json -o sweep.html
     python -m repro metrics m.json
+    python -m repro bench --accesses 200000 --min-speedup 2
     python -m repro lint src/ --format json
 """
 
@@ -35,6 +37,7 @@ import argparse
 import sys
 
 from repro.config import SCALE_FACTOR, PageSize
+from repro.obs.options import add_obs_args, obs_options_from_args
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -67,14 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also run this policy and report relative numbers",
     )
-    _add_audit_arguments(run)
-    _add_obs_arguments(run)
-    run.add_argument(
-        "--trace-out",
-        default=None,
-        metavar="PATH",
-        help="write traced events as JSON lines to PATH (implies --trace)",
-    )
+    add_obs_args(run, scope="run")
 
     exp = sub.add_parser("experiment", help="regenerate a figure/table")
     exp.add_argument("name", help="e.g. figure9, table3, latency_micro, all")
@@ -90,16 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reduced-size pass (the module's QUICK_KWARGS)",
     )
     exp.add_argument("--seed", type=int, default=7)
-    exp.add_argument(
-        "--audit",
-        action="store_true",
-        help="attach sampled invariant auditors to every run",
-    )
-    exp.add_argument(
-        "--timeline",
-        action="store_true",
-        help="record the simulated-time timeline in every run",
-    )
+    add_obs_args(exp, scope="experiment")
 
     sweep = sub.add_parser(
         "sweep",
@@ -156,18 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="MANIFEST",
         help="skip units already 'ok' in this prior sweep manifest",
     )
-    sweep.add_argument(
-        "--audit",
-        action="store_true",
-        help="attach sampled invariant auditors in every worker; audit "
-        "failures surface as unit failures in the manifest",
-    )
-    sweep.add_argument(
-        "--timeline",
-        action="store_true",
-        help="record the simulated-time timeline in every worker and "
-        "aggregate the sections into sweep_report.html",
-    )
+    add_obs_args(sweep, scope="sweep")
 
     sub.add_parser("list", help="list workloads, policies, experiments")
 
@@ -207,6 +183,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="where to write the HTML report (default: repro_report.html)",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path microbenchmark: batched touch_batch vs scalar loop",
+    )
+    bench.add_argument(
+        "--accesses",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="zipf stream length per run (default: 1000000)",
+    )
+    bench.add_argument(
+        "--policy",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated policy configs to bench "
+        "(default: Trident,2MB-THP,4KB)",
+    )
+    bench.add_argument(
+        "--seed",
+        type=int,
+        default=5,
+        help="system seed (stream seed stays fixed for comparability)",
+    )
+    bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="exit nonzero if batched/scalar falls below X (default: 1.0)",
+    )
+    bench.add_argument(
+        "-o",
+        "--out",
+        default="BENCH_hotpath.json",
+        metavar="PATH",
+        help="JSON report path (default: BENCH_hotpath.json)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="project-specific static analysis (see docs/linting.md)",
@@ -235,68 +250,6 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     return parser
-
-
-def _add_audit_arguments(run: argparse.ArgumentParser) -> None:
-    run.add_argument(
-        "--audit",
-        action="store_true",
-        help="attach a sampled invariant auditor (repro.lint.invariants)",
-    )
-    run.add_argument(
-        "--audit-every",
-        type=int,
-        default=4096,
-        metavar="N",
-        help="audit at the next checkpoint after every N buddy events",
-    )
-
-
-def _add_obs_arguments(run: argparse.ArgumentParser) -> None:
-    from repro.obs.trace import SUBSYSTEMS
-
-    run.add_argument(
-        "--trace",
-        action="store_true",
-        help="record structured events in a bounded ring buffer",
-    )
-    run.add_argument(
-        "--trace-subsystems",
-        default=None,
-        metavar="NAMES",
-        help=f"comma-separated subset of {','.join(SUBSYSTEMS)} (default: all)",
-    )
-    run.add_argument(
-        "--trace-capacity",
-        type=int,
-        default=65536,
-        metavar="N",
-        help="ring-buffer size in events (oldest dropped first)",
-    )
-    run.add_argument(
-        "--metrics-out",
-        default=None,
-        metavar="PATH",
-        help="write the metrics registry snapshot to PATH as JSON",
-    )
-    run.add_argument(
-        "--timeline",
-        action="store_true",
-        help="advance the simulated clock through spans and samplers "
-        "(implied by --timeline-out / --report-out)",
-    )
-    run.add_argument(
-        "--timeline-out",
-        default=None,
-        metavar="PATH",
-        help="write a Chrome Trace Event Format JSON (Perfetto-loadable)",
-    )
-    run.add_argument(
-        "--report-out",
-        default=None,
-        metavar="PATH",
-        help="write a self-contained single-file HTML timeline report",
-    )
 
 
 def _cmd_list() -> int:
@@ -340,25 +293,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if policy_name is None:
         print("error: no policy given (positional or --policy)")
         return 2
-    trace = args.trace or args.trace_out is not None
-    subsystems = (
-        tuple(s for s in args.trace_subsystems.split(",") if s)
-        if args.trace_subsystems
-        else None
-    )
+    obs_options = obs_options_from_args(args)
 
     def one(policy: str, first: bool):
-        obs_kwargs = dict(
-            trace=trace and first,
-            trace_subsystems=subsystems,
-            trace_capacity=args.trace_capacity,
-            metrics_out=args.metrics_out if first else None,
-            audit=args.audit or None,
-            audit_every=args.audit_every,
-            timeline=args.timeline or None,
-            timeline_out=args.timeline_out if first else None,
-            report_out=args.report_out if first else None,
-        )
+        obs_kwargs = obs_options.run_kwargs(primary=first)
         if args.virt:
             runner = VirtRunner(
                 VirtRunConfig(
@@ -386,14 +324,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     metrics, obs = one(_resolve_policy(policy_name), first=True)
     _print_metrics(metrics)
-    if trace:
-        _print_trace_summary(obs, args.trace_out)
-    if args.metrics_out:
-        print(f"metrics written:   {args.metrics_out}")
-    if args.timeline_out:
-        print(f"timeline written:  {args.timeline_out}")
-    if args.report_out:
-        print(f"report written:    {args.report_out}")
+    if obs_options.trace_enabled:
+        _print_trace_summary(obs, obs_options.trace_out)
+    if obs_options.metrics_out:
+        print(f"metrics written:   {obs_options.metrics_out}")
+    if obs_options.timeline_out:
+        print(f"timeline written:  {obs_options.timeline_out}")
+    if obs_options.report_out:
+        print(f"report written:    {obs_options.report_out}")
     if args.baseline:
         base, _ = one(_resolve_policy(args.baseline), first=False)
         print(
@@ -483,6 +421,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.orchestrator import SweepConfig, run_sweep
     from repro.experiments.report import sweep_status_table
 
+    obs = obs_options_from_args(args)
     config = SweepConfig(
         jobs=args.jobs,
         timeout_s=args.timeout,
@@ -493,8 +432,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backoff_base_s=args.backoff,
         modules=tuple(args.modules),
         resume=args.resume,
-        audit=args.audit,
-        timeline=args.timeline,
+        audit=obs.audit,
+        timeline=obs.timeline,
     )
     manifest = run_sweep(config, progress=print)
     print()
@@ -518,6 +457,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"timeline report: {manifest['report']}")
     failed = len(manifest["units"]) - counts.get("ok", 0)
     return 3 if failed else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sim.bench import DEFAULT_POLICIES, run_bench
+
+    policies = (
+        tuple(p for p in args.policy.split(",") if p)
+        if args.policy
+        else DEFAULT_POLICIES
+    )
+    _, ok = run_bench(
+        policies,
+        accesses=args.accesses,
+        seed=args.seed,
+        min_speedup=args.min_speedup,
+        out=args.out,
+    )
+    return 0 if ok else 4
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -649,13 +606,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "experiment":
+        exp_obs = obs_options_from_args(args)
         return _cmd_experiment(
             args.name,
             args.metrics_out,
             quick=args.quick,
             seed=args.seed,
-            audit=args.audit,
-            timeline=args.timeline,
+            audit=exp_obs.audit,
+            timeline=exp_obs.timeline,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)
@@ -663,6 +621,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args.kind, args.file)
     if args.command == "report":
         return _cmd_report(args.path, args.out)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "lint":
         return _cmd_lint(args)
     return 2

@@ -146,14 +146,17 @@ class THPPolicy(MemoryPolicy):
         mapping, and must have at least one present page.
         """
         geometry = self.kernel.geometry
-        vma = process.aspace.extent_of(va)
-        if vma is None or not region_fits_vma(va, page_size, vma, geometry):
-            return None
         table = process.pagetable
-        nbytes = geometry.bytes_for(page_size)
+        # Cheapest rejection first: in steady state most candidates are
+        # already promoted, and translate() is one dict probe vs the VMA
+        # walk below.
         covering = table.translate(va)
         if covering is not None and covering.page_size >= page_size:
             return None
+        vma = process.aspace.extent_of(va)
+        if vma is None or not region_fits_vma(va, page_size, vma, geometry):
+            return None
+        nbytes = geometry.bytes_for(page_size)
         present: list[Mapping] = []
         for size in range(page_size):
             present.extend(table.mappings_in_range(va, nbytes, size))

@@ -334,12 +334,13 @@ class NativeRunner:
         self.workload.setup(api)
         self._settle()
         process.tlb.reset_stats()
-        stream = self.workload.access_stream(api, cfg.n_accesses)
-        latencies = (
-            self._run_requests(process, stream)
-            if cfg.record_requests
-            else self._run_stream(process, stream)
-        )
+        if cfg.record_requests:
+            # Requests mode samples per-request latency and needs the
+            # materialized stream to slice it into request windows.
+            stream = self.workload.access_stream(api, cfg.n_accesses)
+            latencies = self._run_requests(process, stream)
+        else:
+            latencies = self._run_stream(process, api)
         model = PerfModel(
             cpi_base=self.workload.spec.cpi_base,
             represented_accesses=self.workload.represented_accesses,
@@ -386,8 +387,10 @@ class NativeRunner:
             if quiet >= 5:
                 break
 
-    def _run_stream(self, process, stream: np.ndarray) -> None:
-        self.system.touch_batch(process, stream)
+    def _run_stream(self, process, api) -> None:
+        """Play the workload's batches through the vectorized hot path."""
+        for chunk in self.workload.iter_batches(api, self.config.n_accesses):
+            self.system.touch_batch(process, chunk)
         return None
 
     def _run_requests(self, process, stream: np.ndarray) -> list[float]:  # noqa: C901
@@ -536,7 +539,6 @@ class VirtRunner:
         rng = np.random.default_rng(cfg.seed)
         api = _WorkloadAPI(self.vm.guest, process, rng)
         self.workload.setup(api)
-        stream = self.workload.access_stream(api, cfg.n_accesses)
         if cfg.guest_daemon_total_s is None:
             runtime_est_ns = (
                 self.workload.represented_accesses
@@ -546,12 +548,16 @@ class VirtRunner:
             )
             self._settle_uncapped(0.5 * runtime_est_ns)
             process.tlb.stats = type(process.tlb.stats)()
-            self.vm.guest.touch_batch(process, stream)
+            for chunk in self.workload.iter_batches(api, cfg.n_accesses):
+                self.vm.guest.touch_batch(process, chunk)
         else:
             # Capped mode measures the whole run: the capped daemons make
             # progress *while* the application executes, so the counters
             # reflect each policy's page-size coverage ramp, not just its
-            # final state - the effect Figure 13 isolates.
+            # final state - the effect Figure 13 isolates.  Interleaving
+            # slices the stream by daemon quanta itself, so it keeps the
+            # materialized form.
+            stream = self.workload.access_stream(api, cfg.n_accesses)
             process.tlb.stats = type(process.tlb.stats)()
             self._run_capped_interleaved(
                 process, stream, cfg.guest_daemon_total_s * 1e9

@@ -1,4 +1,4 @@
-"""The project rule catalogue: TRD001 — TRD004.
+"""The project rule catalogue: TRD001 — TRD005.
 
 Each rule encodes one load-bearing convention of this reproduction (see
 ``docs/linting.md`` for the rationale and examples):
@@ -9,6 +9,8 @@ Each rule encodes one load-bearing convention of this reproduction (see
   integral and uses the named geometry constants from ``config.py``.
 * **TRD004** — every emitted metric name is declared in the obs catalog,
   and the catalog stays free of near-duplicate names.
+* **TRD005** — ``touch()`` results are consumed through the typed
+  ``TouchResult`` fields, not as bare floats via the deprecation shim.
 """
 
 from __future__ import annotations
@@ -660,9 +662,79 @@ class MetricRegistryHygiene(Rule):
         return "<catalog>", catalog.get(name, 1)
 
 
+class TouchResultContract(Rule):
+    """TRD005: typed touch results are consumed through their fields.
+
+    ``System.touch`` returns a :class:`repro.sim.batch.TouchResult` —
+    a ``float`` subclass carrying ``cycles``, ``faulted`` and
+    ``page_size``.  The float inheritance is a deprecation shim: bare
+    arithmetic on the result keeps working today but silently reads
+    "translation cycles" with no record of which field the call site
+    meant, and breaks outright when the shim is dropped.  New code reads
+    the named fields; this rule flags raw-float consumption of a
+    ``.touch(...)`` call (arithmetic, comparisons, numeric coercion).
+    """
+
+    code = "TRD005"
+    name = "touch-result-contract"
+    description = (
+        "touch() results are read via .cycles/.faulted/.page_size, "
+        "not as bare floats"
+    )
+
+    _COERCIONS = frozenset({"float", "int", "round", "sum", "min", "max"})
+
+    def check(self, ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in ctx.modules:
+            for node in ast.walk(module.tree):
+                findings.extend(self._check_node(module, node))
+        return findings
+
+    @staticmethod
+    def _is_touch_call(node: ast.AST) -> bool:
+        # ``<obj>.touch(process, va)`` — two-plus positional arguments
+        # distinguishes the System/GuestSystem access API from the
+        # single-argument ``WorkloadAPI.touch(addresses)`` batch helper,
+        # which returns None and has no cycles to misread.
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "touch"
+            and len(node.args) >= 2
+        )
+
+    def _check_node(
+        self, module: SourceModule, node: ast.AST
+    ) -> Iterator[Finding]:
+        operands: list[ast.AST] = []
+        if isinstance(node, ast.BinOp):
+            operands = [node.left, node.right]
+        elif isinstance(node, ast.AugAssign):
+            operands = [node.value]
+        elif isinstance(node, ast.UnaryOp):
+            operands = [node.operand]
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in self._COERCIONS:
+                operands = list(node.args)
+        for operand in operands:
+            if self._is_touch_call(operand):
+                yield self.finding(
+                    module,
+                    operand.lineno,
+                    "raw-float use of a touch() result; TouchResult is "
+                    "typed — read .cycles (or .faulted / .page_size) "
+                    "instead of relying on the float deprecation shim",
+                )
+
+
 ALL_RULES: tuple[Rule, ...] = (
     NoGlobalRng(),
     ExperimentProtocol(),
     FrameArithmetic(),
     MetricRegistryHygiene(),
+    TouchResultContract(),
 )

@@ -1,0 +1,247 @@
+"""Hot-path microbenchmark: ``touch_batch`` vectorized vs the scalar loop.
+
+``repro bench`` replays the same warm zipf address stream through two
+otherwise-identical systems — one with :attr:`System.batch_hot_path`
+enabled (the vectorized engine in :mod:`repro.sim.batch`) and one with
+it disabled (the per-access scalar loop) — and reports throughput for
+each plus the speedup.  Because the batched engine must be
+counter-for-counter identical to the scalar path, the bench also
+fingerprints the complete simulation state after both runs and fails
+if any counter, TLB set ordering, histogram, or accessed bit differs.
+
+The JSON report (``BENCH_hotpath.json`` by default) is the artifact CI
+uploads; the exit status gates on both the counter match and
+``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.config import PageSize, default_machine
+from repro.experiments.configs import policy_factory, resolve_policy
+from repro.sim.system import System
+from repro.workloads.access import zipf
+
+#: policies benched by default: the paper's headline mechanism plus the
+#: two ends of the page-size spectrum it is compared against.
+DEFAULT_POLICIES = ("Trident", "2MB-THP", "4KB")
+
+
+def state_fingerprint(system: System, process) -> dict[str, Any]:
+    """Every piece of simulation state the batched path must reproduce.
+
+    Used both by the bench's equivalence gate and by the committed
+    equivalence test suite.  Includes per-set TLB dict *ordering* (LRU
+    recency), walk-latency histograms, and page-table accessed bits —
+    not just the aggregate counters — so "close enough" cannot pass.
+    """
+    tlb = process.tlb
+    st = tlb.stats
+    d: dict[str, Any] = {
+        "accesses": st.accesses,
+        "l1_hits": st.l1_hits,
+        "l2_hits": st.l2_hits,
+        "walks": st.walks,
+        "walks_by_size": dict(st.walks_by_size),
+        "translation_cycles": st.translation_cycles,
+        "walk_cycles": st.walk_cycles,
+        "walker": (tlb.walker.walks, tlb.walker.walk_cycles),
+        "clock_ns": system.obs.clock.now_ns,
+        "faults": process.faults,
+        "fault_ns": system.policy.stats.fault_ns,
+        "touched_pages": len(process.touched_pages),
+        "since_daemon": system._accesses_since_daemon,
+    }
+    structs = {f"l1:{size}": t for size, t in tlb.l1.items()}
+    structs["l2_shared"] = tlb.l2_shared
+    structs["l2_large"] = tlb.l2_large
+    if tlb.l2_mid is not None:
+        structs["l2_mid"] = tlb.l2_mid
+    for name, t in structs.items():
+        d[f"tlb:{name}"] = (t.hits, t.misses, [list(s.keys()) for s in t._sets])
+    for size, h in tlb._h_walk.items():
+        d[f"hist:{size}"] = (h.count, h.sum, list(h.bucket_counts))
+    for size in PageSize.ALL:
+        level = process.pagetable._levels[size]
+        d[f"accessed:{size}"] = sorted(
+            vpn for vpn, m in level.items() if m.accessed
+        )
+    return d
+
+
+def _counters_digest(fp: dict[str, Any]) -> dict[str, Any]:
+    """The headline counters recorded in the JSON report."""
+    return {
+        key: fp[key]
+        for key in (
+            "accesses",
+            "l1_hits",
+            "l2_hits",
+            "walks",
+            "translation_cycles",
+            "walk_cycles",
+            "faults",
+            "clock_ns",
+            "touched_pages",
+        )
+    }
+
+
+def _timed_run(
+    policy_name: str,
+    *,
+    batched: bool,
+    accesses: int,
+    warmup: int,
+    footprint: int,
+    regions: int,
+    seed: int,
+    stream_seed: int,
+) -> tuple[float, dict[str, Any]]:
+    """One warm run; returns (measured M accesses/s, state fingerprint)."""
+    factory = policy_factory(resolve_policy(policy_name))
+    system = System(default_machine(regions), factory, seed=seed)
+    system.batch_hot_path = batched
+    process = system.create_process()
+    base = system.sys_mmap(process, footprint)
+    rng = np.random.default_rng(stream_seed)
+    stream = zipf(rng, base, footprint, accesses)
+    # Warm: first-touch every base page so the timed region is fault-free,
+    # then replay a stream prefix to settle promotions and heat the TLBs.
+    system.touch_batch(
+        process, base + np.arange(0, footprint, 4096, dtype=np.int64)
+    )
+    system.touch_batch(process, stream[:warmup])
+    t0 = time.perf_counter()
+    system.touch_batch(process, stream[warmup:])
+    elapsed = time.perf_counter() - t0
+    mps = (accesses - warmup) / elapsed / 1e6
+    return mps, state_fingerprint(system, process)
+
+
+def bench_policy(
+    policy_name: str,
+    *,
+    accesses: int = 1_000_000,
+    footprint: int = 32 * 1024 * 1024,
+    regions: int = 64,
+    seed: int = 5,
+    stream_seed: int = 42,
+) -> dict[str, Any]:
+    """Bench one policy batched vs scalar on the same stream."""
+    warmup = min(200_000, accesses // 5)
+    batch_mps, batch_fp = _timed_run(
+        policy_name,
+        batched=True,
+        accesses=accesses,
+        warmup=warmup,
+        footprint=footprint,
+        regions=regions,
+        seed=seed,
+        stream_seed=stream_seed,
+    )
+    scalar_mps, scalar_fp = _timed_run(
+        policy_name,
+        batched=False,
+        accesses=accesses,
+        warmup=warmup,
+        footprint=footprint,
+        regions=regions,
+        seed=seed,
+        stream_seed=stream_seed,
+    )
+    counters_match = batch_fp == scalar_fp
+    mismatched = (
+        []
+        if counters_match
+        else sorted(k for k in batch_fp if batch_fp[k] != scalar_fp[k])
+    )
+    return {
+        "policy": resolve_policy(policy_name),
+        "warmup_accesses": warmup,
+        "timed_accesses": accesses - warmup,
+        "batch_mps": round(batch_mps, 3),
+        "scalar_mps": round(scalar_mps, 3),
+        "speedup": round(batch_mps / scalar_mps, 2),
+        "counters_match": counters_match,
+        "mismatched_keys": mismatched,
+        "counters": _counters_digest(batch_fp),
+    }
+
+
+def run_bench(
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    *,
+    accesses: int = 1_000_000,
+    footprint: int = 32 * 1024 * 1024,
+    regions: int = 64,
+    seed: int = 5,
+    stream_seed: int = 42,
+    min_speedup: float = 1.0,
+    out: str | None = None,
+) -> tuple[dict[str, Any], bool]:
+    """Run the hot-path bench; returns (report, ok).
+
+    ``ok`` is False when any policy's counters diverge between the two
+    paths or its speedup falls below ``min_speedup``.
+    """
+    results = []
+    for name in policies:
+        result = bench_policy(
+            name,
+            accesses=accesses,
+            footprint=footprint,
+            regions=regions,
+            seed=seed,
+            stream_seed=stream_seed,
+        )
+        results.append(result)
+        status = "ok" if result["counters_match"] else "COUNTER MISMATCH"
+        print(
+            f"{result['policy']:16s} batch {result['batch_mps']:8.2f} M/s  "
+            f"scalar {result['scalar_mps']:7.2f} M/s  "
+            f"speedup {result['speedup']:5.2f}x  [{status}]"
+        )
+    ok = all(
+        r["counters_match"] and r["speedup"] >= min_speedup for r in results
+    )
+    report = {
+        "benchmark": "hotpath",
+        "workload": "zipf",
+        "config": {
+            "accesses": accesses,
+            "footprint_bytes": footprint,
+            "machine_regions": regions,
+            "seed": seed,
+            "stream_seed": stream_seed,
+            "min_speedup": min_speedup,
+        },
+        "results": results,
+        "ok": ok,
+    }
+    if out:
+        with open(out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"wrote {out}")
+    if not ok:
+        for r in results:
+            if not r["counters_match"]:
+                print(
+                    f"FAIL {r['policy']}: batched path diverged from scalar "
+                    f"on {', '.join(r['mismatched_keys'])}",
+                    file=sys.stderr,
+                )
+            elif r["speedup"] < min_speedup:
+                print(
+                    f"FAIL {r['policy']}: speedup {r['speedup']}x below "
+                    f"required {min_speedup}x",
+                    file=sys.stderr,
+                )
+    return report, ok

@@ -25,6 +25,7 @@ from repro.mem.fragmentation import FragmentationInjector, fmfi
 from repro.mem.regions import RegionTracker
 from repro.mem.zerofill import ZeroFillEngine
 from repro.obs import Observability
+from repro.sim.batch import BatchEngine, BatchResult, TouchResult
 from repro.sim.process import Process
 from repro.tlb.hierarchy import TLBHierarchy
 
@@ -78,6 +79,7 @@ class System:
         self.auditor = None
         self._next_pid = 1
         self._accesses_since_daemon = 0
+        self._batch_engine: BatchEngine | None = None
         self.daemon_period_accesses = daemon_period_accesses
         self.daemon_budget_ns = daemon_budget_ns
         self.daemon_ns_total = 0.0
@@ -246,17 +248,28 @@ class System:
         self.policy.unmap_range(process, vma.start, vma.length)
 
     # -- the hot path ------------------------------------------------------------
-    def touch(self, process: Process, va: int) -> float:
-        """One application load/store; returns translation cycles incurred."""
+    #: whether ``touch_batch`` may use the vectorized engine; subclasses
+    #: whose ``touch`` does per-access work beyond the native contract
+    #: (e.g. the guest's EPT backing) opt out and fall back to the loop
+    batch_hot_path = True
+
+    def touch(self, process: Process, va: int) -> TouchResult:
+        """One application load/store; returns a typed :class:`TouchResult`.
+
+        The result subclasses ``float`` (translation cycles) for backward
+        compatibility; new code reads ``.cycles`` / ``.faulted`` /
+        ``.page_size``.  Bulk callers should use :meth:`touch_batch`.
+        """
         mapping = process.pagetable.translate(va)
-        if mapping is None:
+        faulted = mapping is None
+        if faulted:
             mapping = self._fault(process, va)
         process.record_touch(va)
         cycles = process.tlb.access(va, mapping)
         self._accesses_since_daemon += 1
         if self._accesses_since_daemon >= self.daemon_period_accesses:
             self.run_daemons()
-        return cycles
+        return TouchResult(cycles, faulted=faulted, page_size=mapping.page_size)
 
     def _fault(self, process: Process, va: int):
         """Fault slow path, bracketed by a ``fault`` span.
@@ -289,10 +302,48 @@ class System:
             self.auditor.maybe_audit()
         return mapping
 
-    def touch_batch(self, process: Process, vas) -> None:
-        """Touch a whole address stream (numpy array or iterable of ints)."""
-        for va in vas:
-            self.touch(process, int(va))
+    def touch_batch(self, process: Process, vas) -> BatchResult:
+        """Touch a whole address stream; returns aggregate :class:`BatchResult`.
+
+        This is the primary hot-path API.  When the process translates
+        through a native :class:`TLBHierarchy` the stream runs on the
+        vectorized batch engine (:mod:`repro.sim.batch`), which is
+        counter-for-counter identical to the scalar loop; otherwise (and
+        for subclasses that opt out via ``batch_hot_path``) it falls back
+        to per-access ``touch``.
+        """
+        vas = np.ascontiguousarray(np.asarray(vas, dtype=np.int64))
+        stats = process.tlb.stats
+        policy_stats = self.policy.stats
+        before = (
+            stats.accesses,
+            stats.translation_cycles,
+            stats.l1_hits,
+            stats.l2_hits,
+            stats.walks,
+            dict(stats.walks_by_size),
+            process.faults,
+            policy_stats.fault_ns,
+        )
+        if self.batch_hot_path and isinstance(process.tlb, TLBHierarchy):
+            if self._batch_engine is None:
+                self._batch_engine = BatchEngine(self)
+            self._batch_engine.run(process, vas)
+        else:
+            for va in vas:
+                self.touch(process, int(va))
+        return BatchResult(
+            accesses=stats.accesses - before[0],
+            translation_cycles=stats.translation_cycles - before[1],
+            l1_hits=stats.l1_hits - before[2],
+            l2_hits=stats.l2_hits - before[3],
+            walks=stats.walks - before[4],
+            faults=process.faults - before[6],
+            fault_ns=policy_stats.fault_ns - before[7],
+            walks_by_size={
+                s: stats.walks_by_size[s] - before[5][s] for s in PageSize.ALL
+            },
+        )
 
     #: kswapd low watermark: background reclaim keeps this fraction of
     #: memory free so compaction always has slots to move pages into

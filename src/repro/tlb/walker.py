@@ -43,15 +43,23 @@ class PageWalker:
         full = 1.0 + (accesses - 1) * miss
         return (1.0 - leaf_cached) * full
 
-    def native_walk(self, page_size: int) -> float:
-        """Cycles for one native walk to a leaf of ``page_size``."""
+    def native_walk_cycles(self, page_size: int) -> float:
+        """Cycles one native walk to a ``page_size`` leaf costs (pure).
+
+        Shared by the scalar path and the batch engine so both compute the
+        identical float; the model is deterministic per page size.
+        """
         accesses = self.config.native_walk_accesses(page_size)
-        cycles = (
+        return (
             self.expected_accesses(
                 accesses, self.config.leaf_cached_prob(page_size)
             )
             * self.config.mem_access_cycles
         )
+
+    def native_walk(self, page_size: int) -> float:
+        """Cycles for one native walk to a leaf of ``page_size``."""
+        cycles = self.native_walk_cycles(page_size)
         self.walks += 1
         self.walk_cycles += cycles
         return cycles

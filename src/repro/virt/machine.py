@@ -16,6 +16,7 @@ access pays for the effective page size min(guest, host) and 2D walk costs.
 from __future__ import annotations
 
 from repro.config import FREQ_GHZ, MachineConfig
+from repro.sim.batch import TouchResult
 from repro.sim.process import Process
 from repro.sim.system import System
 from repro.tlb.nested import NestedTranslationUnit
@@ -24,6 +25,11 @@ from repro.virt.hypervisor import Hypervisor
 
 class GuestSystem(System):
     """A System whose physical memory is the VM's guest-physical range."""
+
+    #: every guest access does per-access work outside the native contract
+    #: (EPT backing, nested-walk clock charging), so ``touch_batch`` stays
+    #: on the scalar loop — the BatchResult contract is unchanged
+    batch_hot_path = False
 
     def __init__(
         self,
@@ -51,10 +57,11 @@ class GuestSystem(System):
         self.processes.append(process)
         return process
 
-    def touch(self, process: Process, va: int) -> float:
+    def touch(self, process: Process, va: int) -> TouchResult:
         """Guest load/store: guest fault, then EPT fault, then nested TLB."""
         mapping = process.pagetable.translate(va)
-        if mapping is None:
+        faulted = mapping is None
+        if faulted:
             mapping = self._fault(process, va)
         gpa = process.tlb.gpa_of(mapping, va)
         self._ensure_backed(gpa)
@@ -72,7 +79,7 @@ class GuestSystem(System):
             self.hypervisor.host.run_daemons(
                 self.daemon_budget_ns * self.host_daemon_share
             )
-        return cycles
+        return TouchResult(cycles, faulted=faulted, page_size=mapping.page_size)
 
     def _ensure_backed(self, gpa: int) -> None:
         """EPT-populate ``gpa``, charging host fault time to the guest axis.

@@ -96,6 +96,24 @@ class Workload:
         """The steady-state address stream (n accesses)."""
         raise NotImplementedError
 
+    def iter_batches(
+        self, api: WorkloadAPI, n: int, batch: int = 65536
+    ):
+        """Yield the steady-state stream as contiguous int64 batches.
+
+        The single streaming protocol the runner consumes: every batch
+        is an ``np.int64`` array ready for ``System.touch_batch``.  The
+        default adapter chunks :meth:`access_stream`; workloads whose
+        streams are generated (rather than materialized) can override it
+        to produce batches lazily without holding ``n`` addresses at
+        once.
+        """
+        stream = np.ascontiguousarray(
+            np.asarray(self.access_stream(api, n), dtype=np.int64)
+        )
+        for i in range(0, len(stream), batch):
+            yield stream[i : i + batch]
+
     # -- helpers -----------------------------------------------------------
     def _alloc(self, api: WorkloadAPI, label: str, nbytes: int, kind: str = "heap") -> int:
         addr = api.mmap(nbytes, kind)

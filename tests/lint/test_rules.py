@@ -236,3 +236,38 @@ class TestTRD004SpanMetrics:
             'c = metrics.counter("timeline_samples_total")\n',
         )
         assert [f.rule for f in run_lint([str(tmp_path)], ALL_RULES)] == []
+
+
+class TestTRD005TouchResultContract:
+    """touch() results are typed (TouchResult); raw-float use is flagged."""
+
+    def test_accepts_typed_field_reads(self, tmp_path):
+        src = (
+            "res = system.touch(process, va)\n"
+            "total += res.cycles\n"
+            "if res.faulted:\n"
+            "    sizes.append(res.page_size)\n"
+        )
+        assert _rules(tmp_path, "repro/sim/m.py", src) == []
+
+    def test_flags_arithmetic_on_result(self, tmp_path):
+        src = "total = system.touch(process, va) + 1.0\n"
+        assert _rules(tmp_path, "repro/sim/m.py", src) == ["TRD005"]
+
+    def test_flags_augmented_accumulation(self, tmp_path):
+        src = "total += system.touch(process, va)\n"
+        assert _rules(tmp_path, "repro/sim/m.py", src) == ["TRD005"]
+
+    def test_flags_float_coercion(self, tmp_path):
+        src = "cycles = float(system.touch(process, va))\n"
+        assert _rules(tmp_path, "repro/sim/m.py", src) == ["TRD005"]
+
+    def test_flags_comparison(self, tmp_path):
+        src = "slow = system.touch(process, va) > 100\n"
+        assert _rules(tmp_path, "repro/sim/m.py", src) == ["TRD005"]
+
+    def test_single_arg_touch_is_not_the_system_api(self, tmp_path):
+        # WorkloadAPI.touch(addresses) returns None; one positional arg
+        # means it is not the System.touch(process, va) surface.
+        src = "api.touch(addresses)\n"
+        assert _rules(tmp_path, "repro/sim/m.py", src) == []

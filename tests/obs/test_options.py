@@ -1,0 +1,109 @@
+"""ObsOptions: the one source of truth for observability flags."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.obs.options import ObsOptions, add_obs_args, obs_options_from_args
+
+
+def _parse(scope: str, argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser()
+    add_obs_args(parser, scope=scope)
+    return parser.parse_args(argv)
+
+
+def test_run_scope_registers_full_surface():
+    args = _parse(
+        "run",
+        [
+            "--trace",
+            "--trace-subsystems",
+            "tlb,policy",
+            "--trace-capacity",
+            "128",
+            "--trace-out",
+            "t.jsonl",
+            "--metrics-out",
+            "m.json",
+            "--audit",
+            "--audit-every",
+            "512",
+            "--timeline",
+            "--timeline-out",
+            "tl.json",
+            "--report-out",
+            "r.html",
+        ],
+    )
+    opts = obs_options_from_args(args)
+    assert opts == ObsOptions(
+        trace=True,
+        trace_subsystems=("tlb", "policy"),
+        trace_capacity=128,
+        trace_out="t.jsonl",
+        metrics_out="m.json",
+        audit=True,
+        audit_every=512,
+        timeline=True,
+        timeline_out="tl.json",
+        report_out="r.html",
+    )
+
+
+@pytest.mark.parametrize("scope", ["experiment", "sweep"])
+def test_ambient_scopes_register_only_toggles(scope):
+    args = _parse(scope, ["--audit", "--timeline"])
+    opts = obs_options_from_args(args)
+    assert opts.audit and opts.timeline
+    # flags the scope did not register fall back to dataclass defaults
+    assert opts == ObsOptions(audit=True, timeline=True)
+    with pytest.raises(SystemExit):
+        _parse(scope, ["--trace"])
+
+
+def test_unknown_scope_rejected():
+    with pytest.raises(ValueError):
+        add_obs_args(argparse.ArgumentParser(), scope="nonsense")
+
+
+def test_trace_out_implies_trace():
+    opts = ObsOptions(trace_out="t.jsonl")
+    assert not opts.trace
+    assert opts.trace_enabled
+    assert opts.run_kwargs()["trace"] is True
+
+
+def test_run_kwargs_primary_vs_companion():
+    opts = ObsOptions(
+        trace=True,
+        metrics_out="m.json",
+        audit=True,
+        timeline=True,
+        timeline_out="tl.json",
+        report_out="r.html",
+    )
+    primary = opts.run_kwargs(primary=True)
+    assert primary["trace"] is True
+    assert primary["metrics_out"] == "m.json"
+    assert primary["timeline_out"] == "tl.json"
+    assert primary["report_out"] == "r.html"
+    companion = opts.run_kwargs(primary=False)
+    # ambient toggles still apply to companion (e.g. --baseline) runs...
+    assert companion["audit"] is True
+    assert companion["timeline"] is True
+    # ...but per-run artifacts belong to the primary run only
+    assert companion["trace"] is False
+    assert companion["metrics_out"] is None
+    assert companion["timeline_out"] is None
+    assert companion["report_out"] is None
+
+
+def test_off_toggles_defer_to_ambient_defaults():
+    """audit/timeline map to None when off so the runner's ambient
+    audit_enabled()/timeline_enabled() defaults still get a say."""
+    kwargs = ObsOptions().run_kwargs()
+    assert kwargs["audit"] is None
+    assert kwargs["timeline"] is None

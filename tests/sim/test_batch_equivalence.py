@@ -1,0 +1,128 @@
+"""``touch_batch`` is counter-for-counter identical to the scalar loop.
+
+The batch-first API contract: running a stream through the vectorized
+engine must leave the simulation in *exactly* the state the per-access
+scalar loop produces — every counter, every TLB set's LRU ordering,
+every walk-latency histogram bucket, the simulated clock, and the
+page-table accessed bits.  :func:`repro.sim.bench.state_fingerprint`
+captures all of it; these tests compare fingerprints across policies,
+daemon cadences, and fault-heavy streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PageSize, default_machine
+from repro.core import Baseline4KPolicy, HawkEyePolicy, THPPolicy, TridentPolicy
+from repro.sim.batch import BatchResult, TouchResult
+from repro.sim.bench import state_fingerprint
+from repro.sim.system import System
+from repro.workloads.access import zipf
+
+FOOTPRINT = 16 * 1024 * 1024
+
+
+def _run(policy, period: int, batched: bool, n: int = 60_000):
+    system = System(default_machine(16), policy, seed=5)
+    system.daemon_period_accesses = period
+    system.batch_hot_path = batched
+    process = system.create_process()
+    base = system.sys_mmap(process, FOOTPRINT)
+    rng = np.random.default_rng(42)
+    stream = zipf(rng, base, FOOTPRINT, n)
+    result = system.touch_batch(process, stream)
+    return state_fingerprint(system, process), result
+
+
+def assert_fingerprints_equal(batch_fp, scalar_fp) -> None:
+    assert batch_fp.keys() == scalar_fp.keys()
+    mismatched = [k for k in batch_fp if batch_fp[k] != scalar_fp[k]]
+    assert not mismatched, f"batched path diverged on: {mismatched}"
+
+
+@pytest.mark.parametrize(
+    "policy", [TridentPolicy, THPPolicy, Baseline4KPolicy, HawkEyePolicy]
+)
+def test_cold_stream_equivalence(policy):
+    """Cold start: faults, promotions and shootdowns all happen mid-batch."""
+    batch_fp, batch_res = _run(policy, period=20_000, batched=True)
+    scalar_fp, scalar_res = _run(policy, period=20_000, batched=False)
+    assert_fingerprints_equal(batch_fp, scalar_fp)
+    assert batch_res == scalar_res
+
+
+@pytest.mark.parametrize("policy", [TridentPolicy, THPPolicy])
+def test_aggressive_daemon_cadence_equivalence(policy):
+    """A 333-access daemon period forces many daemon runs inside one batch,
+    so promotions (and their TLB shootdowns) repeatedly truncate segments."""
+    batch_fp, _ = _run(policy, period=333, batched=True)
+    scalar_fp, _ = _run(policy, period=333, batched=False)
+    assert_fingerprints_equal(batch_fp, scalar_fp)
+
+
+def test_batch_result_matches_stats_delta():
+    """BatchResult is the delta of the stats the run accumulated."""
+    system = System(default_machine(16), TridentPolicy, seed=5)
+    process = system.create_process()
+    base = system.sys_mmap(process, FOOTPRINT)
+    rng = np.random.default_rng(42)
+    stream = zipf(rng, base, FOOTPRINT, 20_000)
+    first = system.touch_batch(process, stream[:10_000])
+    second = system.touch_batch(process, stream[10_000:])
+    stats = process.tlb.stats
+    assert first.accesses == second.accesses == 10_000
+    assert first.accesses + second.accesses == stats.accesses
+    assert first.translation_cycles + second.translation_cycles == pytest.approx(
+        stats.translation_cycles
+    )
+    assert first.l1_hits + second.l1_hits == stats.l1_hits
+    assert first.walks + second.walks == stats.walks
+    assert first.faults + second.faults == process.faults
+    for size in PageSize.ALL:
+        assert (
+            first.walks_by_size[size] + second.walks_by_size[size]
+            == stats.walks_by_size[size]
+        )
+    assert first.cycles == first.translation_cycles  # TouchResult-style alias
+
+
+def test_scalar_touch_returns_typed_result():
+    """touch() is now a one-access view of the same contract."""
+    system = System(default_machine(4), Baseline4KPolicy, seed=1)
+    process = system.create_process()
+    base = system.sys_mmap(process, 1 << 20)
+    first = system.touch(process, base)
+    again = system.touch(process, base)
+    assert isinstance(first, TouchResult)
+    assert first.faulted and not again.faulted
+    assert first.page_size == PageSize.BASE
+    # deprecation shim: the result still behaves as the bare cycle count
+    assert float(first) == first.cycles
+    assert first + 0.0 == first.cycles
+    assert isinstance(system.touch_batch(process, [base]), BatchResult)
+
+
+def test_touch_batch_accepts_plain_lists_and_empty():
+    system = System(default_machine(4), Baseline4KPolicy, seed=1)
+    process = system.create_process()
+    base = system.sys_mmap(process, 1 << 20)
+    res = system.touch_batch(process, [base, base + 4096, base])
+    assert res.accesses == 3
+    empty = system.touch_batch(process, np.empty(0, dtype=np.int64))
+    assert empty.accesses == 0 and empty.cycles == 0.0
+
+
+def test_opt_out_subclass_uses_scalar_loop():
+    """batch_hot_path=False (e.g. GuestSystem's EPT backing) must still
+    produce the identical BatchResult through the per-access fallback."""
+    system = System(default_machine(16), TridentPolicy, seed=5)
+    system.batch_hot_path = False
+    process = system.create_process()
+    base = system.sys_mmap(process, 1 << 22)
+    rng = np.random.default_rng(7)
+    stream = zipf(rng, base, 1 << 22, 5_000)
+    res = system.touch_batch(process, stream)
+    assert res.accesses == 5_000
+    assert res.accesses == process.tlb.stats.accesses

@@ -1,0 +1,52 @@
+"""The ``repro bench`` harness: equivalence gate, report shape, CLI exit."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.sim.bench import bench_policy, run_bench
+
+# Tiny but real: enough accesses to exercise faults, promotion and the
+# warm timed region.  No throughput assertions here — wall-clock speed
+# is the bench *output*, not a unit-test invariant (CI machines vary);
+# the counter-equivalence gate is what must always hold.
+TINY = dict(accesses=20_000, footprint=4 * 1024 * 1024, regions=8)
+
+
+def test_bench_policy_counters_match():
+    result = bench_policy("Trident", **TINY)
+    assert result["counters_match"], result["mismatched_keys"]
+    assert result["policy"] == "Trident"
+    assert result["timed_accesses"] == 16_000
+    assert result["counters"]["accesses"] > 0
+    assert result["batch_mps"] > 0 and result["scalar_mps"] > 0
+
+
+def test_run_bench_writes_report(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    report, ok = run_bench(("4KB",), out=str(out), min_speedup=0.0, **TINY)
+    assert ok
+    on_disk = json.loads(out.read_text())
+    assert on_disk["ok"] and on_disk == report
+    assert on_disk["benchmark"] == "hotpath"
+    assert on_disk["config"]["accesses"] == TINY["accesses"]
+    (result,) = on_disk["results"]
+    assert result["counters_match"] and result["mismatched_keys"] == []
+    assert "speedup" in result
+    assert "4KB" in capsys.readouterr().out
+
+
+def test_run_bench_fails_below_min_speedup(tmp_path):
+    _, ok = run_bench(
+        ("4KB",), out=str(tmp_path / "b.json"), min_speedup=1e9, **TINY
+    )
+    assert not ok
+
+
+def test_cli_bench_exit_codes(tmp_path):
+    out = tmp_path / "cli_bench.json"
+    argv = ["bench", "--accesses", "20000", "--policy", "4KB", "-o", str(out)]
+    assert main(argv + ["--min-speedup", "0"]) == 0
+    assert out.exists()
+    assert main(argv + ["--min-speedup", "1000000"]) == 4

@@ -226,3 +226,37 @@ class TestAllocationCharacter:
 
         large_mapped = system.policy.stats.fault_mapped[PageSize.LARGE]
         assert large_mapped * G.large_size < 0.1 * w.footprint_bytes
+
+
+class TestIterBatches:
+    """iter_batches is the single streaming protocol the runner consumes."""
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_batches_reassemble_the_stream(self, name):
+        def stream_of(seed):
+            w = get_workload(name)
+            api = _FakeAPI(seed)
+            w.setup(api)
+            return w, api
+
+        w1, api1 = stream_of(3)
+        w2, api2 = stream_of(3)
+        whole = np.asarray(w1.access_stream(api1, 700), dtype=np.int64)
+        batches = list(w2.iter_batches(api2, 700, batch=256))
+        assert [len(b) for b in batches] == [256, 256, 188]
+        np.testing.assert_array_equal(np.concatenate(batches), whole)
+
+    def test_batches_are_contiguous_int64(self):
+        w = get_workload(ALL_WORKLOADS[0])
+        api = _FakeAPI(1)
+        w.setup(api)
+        for chunk in w.iter_batches(api, 1000, batch=300):
+            assert chunk.dtype == np.int64
+            assert chunk.flags["C_CONTIGUOUS"]
+
+    def test_default_batch_covers_short_streams_whole(self):
+        w = get_workload(ALL_WORKLOADS[0])
+        api = _FakeAPI(1)
+        w.setup(api)
+        batches = list(w.iter_batches(api, 500))
+        assert len(batches) == 1 and len(batches[0]) == 500
