@@ -11,6 +11,8 @@ Commands
 ``report``     render a metrics.json / sweep manifest into an HTML report
 ``bench``      hot-path microbenchmark (batched vs scalar, BENCH_hotpath.json)
 ``lint``       project-specific static analysis (TRD rules, docs/linting.md)
+``loadgen``    open-loop service traffic against a homogeneous tenant fleet
+``serve``      heterogeneous service fleet from a JSON config (docs/service.md)
 
 Examples::
 
@@ -29,6 +31,9 @@ Examples::
     python -m repro metrics m.json
     python -m repro bench --accesses 200000 --min-speedup 2
     python -m repro lint src/ --format json
+    python -m repro loadgen --workloads GUPS --rate 5000,20000,80000 --tenants 2
+    python -m repro loadgen --workloads GUPS --rate 20000 --closed-loop
+    python -m repro serve --config fleet.json --jobs 4 --out report/service
 """
 
 from __future__ import annotations
@@ -248,6 +253,114 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop service traffic against a simulated tenant fleet",
+    )
+    loadgen.add_argument(
+        "--workloads",
+        default="GUPS",
+        metavar="NAMES",
+        help="comma-separated Table 2 workloads (default: GUPS)",
+    )
+    loadgen.add_argument(
+        "--policies",
+        default="Trident,2MB-THP,4KB",
+        metavar="NAMES",
+        help="comma-separated policy configs to compare",
+    )
+    loadgen.add_argument(
+        "--rate",
+        default="20000",
+        metavar="RPS",
+        help="offered load per tenant; a comma list sweeps a saturation curve",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=0.02,
+        metavar="S",
+        help="simulated seconds of traffic per cell",
+    )
+    loadgen.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        help="tenant replicas per (workload, policy, rate) group",
+    )
+    loadgen.add_argument(
+        "--accesses-per-request",
+        type=int,
+        default=16,
+        metavar="K",
+        help="workload accesses replayed per request",
+    )
+    loadgen.add_argument(
+        "--slo-ms",
+        type=float,
+        default=1.0,
+        help="latency SLO bound in milliseconds",
+    )
+    loadgen.add_argument(
+        "--closed-loop",
+        action="store_true",
+        help="closed-loop baseline: next request issues on completion",
+    )
+    loadgen.add_argument(
+        "--arrivals",
+        default=None,
+        metavar="FILE",
+        help="trace-driven arrivals (seconds offsets, one per line) "
+        "instead of Poisson",
+    )
+    loadgen.add_argument("--seed", type=int, default=7, help="root seed")
+    loadgen.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, same report bit-for-bit)",
+    )
+    loadgen.add_argument(
+        "--out",
+        "-o",
+        default="report/service",
+        metavar="DIR",
+        help="output directory (cells/, service_report.json, saturation.csv)",
+    )
+    loadgen.add_argument(
+        "--timeline",
+        action="store_true",
+        help="record spans + timeline; one Chrome trace per cell "
+        "under OUT/traces",
+    )
+    loadgen.add_argument(
+        "--scale-factor",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"footprint divisor (default: project-wide {SCALE_FACTOR})",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="heterogeneous service fleet from a JSON config (docs/service.md)",
+    )
+    serve.add_argument(
+        "--config",
+        required=True,
+        metavar="FILE",
+        help='fleet spec: {"tenants": [{workload, policy, rate_rps}, ...], '
+        "duration_s, slo_ms, ...}",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="override seed")
+    serve.add_argument(
+        "--jobs", "-j", type=int, default=1, help="worker processes"
+    )
+    serve.add_argument(
+        "--out", "-o", default=None, metavar="DIR", help="override out_dir"
     )
     return parser
 
@@ -528,31 +641,51 @@ def _cmd_metrics_file(path: str, kind: str | None) -> int:
     """Summarize an exported snapshot; histograms as nearest-rank percentiles."""
     import json
 
-    from repro.obs.metrics import percentile_from_buckets
-
     try:
         with open(path) as f:
             data = json.load(f)
     except (OSError, ValueError) as exc:
         print(f"error: cannot read metrics file {path}: {exc}")
         return 2
+    if not isinstance(data, dict):
+        print(
+            f"error: {path} is not a metrics snapshot "
+            f"(expected a JSON object, got {type(data).__name__})"
+        )
+        return 2
+    # Render into a buffer first: a malformed section must produce one
+    # clean error line, not a partial table followed by a traceback.
+    try:
+        lines = _render_metrics_file(data, kind)
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: {path} is not a valid metrics snapshot: {exc!r}")
+        return 2
+    for line in lines:
+        print(line)
+    return 0
+
+
+def _render_metrics_file(data: dict, kind: str | None) -> list[str]:
+    from repro.obs.metrics import percentile_from_buckets
+
+    lines: list[str] = []
     if kind in (None, "counter"):
         counters = data.get("counters", {})
         if counters:
-            print("Counters:")
+            lines.append("Counters:")
             for name in sorted(counters):
-                print(f"  {name:44s} {counters[name]:g}")
+                lines.append(f"  {name:44s} {counters[name]:g}")
     if kind in (None, "gauge"):
         gauges = data.get("gauges", {})
         if gauges:
-            print("Gauges:")
+            lines.append("Gauges:")
             for name in sorted(gauges):
-                print(f"  {name:44s} {gauges[name]:g}")
+                lines.append(f"  {name:44s} {gauges[name]:g}")
     if kind in (None, "histogram"):
         histograms = data.get("histograms", {})
         if histograms:
-            print("Histograms:")
-            print(
+            lines.append("Histograms:")
+            lines.append(
                 f"  {'NAME':34s} {'COUNT':>8s} {'MEAN':>12s} "
                 f"{'P50':>12s} {'P90':>12s} {'P99':>12s}"
             )
@@ -561,11 +694,11 @@ def _cmd_metrics_file(path: str, kind: str | None) -> int:
                 count = h.get("count", 0)
                 mean = h["sum"] / count if count else 0.0
                 row = [percentile_from_buckets(h, p) for p in (50.0, 90.0, 99.0)]
-                print(
+                lines.append(
                     f"  {name:34s} {count:8d} {mean:12.4g} "
                     + " ".join(f"{v:12.4g}" for v in row)
                 )
-    return 0
+    return lines
 
 
 def _cmd_report(path: str, out: str) -> int:
@@ -576,8 +709,18 @@ def _cmd_report(path: str, out: str) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: cannot read {path}: {exc}")
         return 2
+    if not isinstance(data, dict):
+        print(
+            f"error: {path} is not a metrics snapshot or sweep manifest "
+            f"(expected a JSON object, got {type(data).__name__})"
+        )
+        return 2
     if "units" in data:  # a sweep manifest: one section per unit run
-        runs = runs_from_units(data["units"])
+        try:
+            runs = runs_from_units(data["units"])
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            print(f"error: {path} is not a valid sweep manifest: {exc!r}")
+            return 2
         title = "sweep timeline report"
     elif "timeline" in data:  # a single run's metrics.json
         import os
@@ -593,10 +736,126 @@ def _cmd_report(path: str, out: str) -> int:
     if not runs:
         print(f"error: no unit in {path} has a readable timeline section")
         return 2
-    write_report(out, runs, title=title)
+    try:
+        write_report(out, runs, title=title)
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: {path} has a corrupt timeline/metrics section: {exc!r}")
+        return 2
     n = len(runs)
     print(f"report written: {out} ({n} section{'s' if n != 1 else ''})")
     return 0
+
+
+def _run_fleet_and_print(config) -> int:
+    import os
+
+    from repro.service.fleet import run_fleet
+    from repro.service.report import render_service_table
+
+    try:
+        report = run_fleet(config, progress=print)
+    except (RuntimeError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    print()
+    for line in render_service_table(report):
+        print(line)
+    print()
+    print(f"report: {os.path.join(config.out_dir, 'service_report.json')}")
+    print(f"saturation: {os.path.join(config.out_dir, 'saturation.csv')}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.fleet import ServiceConfig, TenantSpec
+
+    workloads = [w for w in args.workloads.split(",") if w]
+    policies = [p for p in args.policies.split(",") if p]
+    try:
+        rates = [float(r) for r in args.rate.split(",") if r]
+    except ValueError:
+        print(f"error: --rate must be a comma list of numbers: {args.rate!r}")
+        return 2
+    if not workloads or not policies or not rates:
+        print("error: need at least one workload, policy and rate")
+        return 2
+    tenants = tuple(
+        TenantSpec(workload=w, policy=p, rate_rps=r)
+        for w in workloads
+        for p in policies
+        for r in rates
+        for _ in range(args.tenants)
+    )
+    config = ServiceConfig(
+        tenants=tenants,
+        duration_s=args.duration,
+        accesses_per_request=args.accesses_per_request,
+        slo_ms=args.slo_ms,
+        mode="closed" if args.closed_loop else "open",
+        arrivals_path=args.arrivals,
+        seed=args.seed,
+        jobs=args.jobs,
+        out_dir=args.out,
+        timeline=args.timeline,
+        scale_factor=args.scale_factor,
+    )
+    return _run_fleet_and_print(config)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.fleet import ServiceConfig, TenantSpec
+
+    try:
+        with open(args.config) as f:
+            spec = json.load(f)
+    except OSError as exc:
+        print(f"error: cannot read {args.config}: {exc.strerror}")
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.config} is not valid JSON: {exc}")
+        return 2
+    if not isinstance(spec, dict) or not isinstance(spec.get("tenants"), list):
+        print(f'error: {args.config} must be an object with a "tenants" list')
+        return 2
+    try:
+        tenants = tuple(
+            TenantSpec(
+                workload=t["workload"],
+                policy=t["policy"],
+                rate_rps=float(t["rate_rps"]),
+            )
+            for t in spec["tenants"]
+        )
+        fields = {
+            k: spec[k]
+            for k in (
+                "duration_s",
+                "accesses_per_request",
+                "request_base_service_ns",
+                "slo_ms",
+                "mode",
+                "arrivals_path",
+                "seed",
+                "out_dir",
+                "timeline",
+                "scale_factor",
+                "settle_ticks",
+                "timeout_s",
+            )
+            if k in spec
+        }
+        config = ServiceConfig(tenants=tenants, **fields)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: {args.config} is not a valid fleet spec: {exc!r}")
+        return 2
+    config.jobs = args.jobs
+    if args.seed is not None:
+        config.seed = args.seed
+    if args.out is not None:
+        config.out_dir = args.out
+    return _run_fleet_and_print(config)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -625,6 +884,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2
 
 

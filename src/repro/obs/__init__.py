@@ -170,4 +170,9 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str], ...] = (
     ("audit_runs_total", "counter", "", "sampled invariant audits executed"),
     ("audit_checks_total", "counter", "", "elementary invariant checks performed"),
     ("audit_violations_total", "counter", "", "invariant violations detected"),
+    # service layer (repro.service; loadgen/serve runs only)
+    ("service_requests_total", "counter", "", "service requests completed"),
+    ("service_slo_violations_total", "counter", "", "requests over the SLO bound"),
+    ("service_request_latency_ns", "histogram", "", "request latency incl. queueing"),
+    ("service_queue_delay_ns", "histogram", "", "open-loop queueing delay"),
 )

@@ -48,8 +48,11 @@ def percentile_from_buckets(export: dict, pct: float) -> float:
     """Nearest-rank percentile from a :meth:`Histogram.export` dict.
 
     Returns the upper bound of the bucket holding the nearest-rank sample
-    (the resolution a fixed-boundary histogram offers), ``math.inf`` when
-    the rank lands in the overflow bucket, and 0.0 for an empty histogram.
+    (the resolution a fixed-boundary histogram offers).  A rank landing in
+    the open-ended overflow bucket yields the maximum observed sample when
+    the export carries one (the ``max`` key) instead of ``math.inf``, so
+    p99/p100 stay finite in reports; exports written before ``max`` was
+    recorded keep the old behaviour (``inf``).  Empty histograms are 0.0.
 
     Buckets are sorted numerically here rather than trusted in dict order:
     a JSON round-trip through ``sort_keys=True`` reorders the keys
@@ -58,6 +61,7 @@ def percentile_from_buckets(export: dict, pct: float) -> float:
     count = export.get("count", 0)
     if not count:
         return 0.0
+    observed_max = export.get("max")
     rank = nearest_rank(count, pct) + 1  # 1-based cumulative rank
     cumulative = 0
     items = sorted(
@@ -67,8 +71,11 @@ def percentile_from_buckets(export: dict, pct: float) -> float:
     for bound, n in items:
         cumulative += n
         if cumulative >= rank:
-            return math.inf if bound == "+Inf" else float(bound)
-    return math.inf
+            if bound != "+Inf":
+                return float(bound)
+            break
+    # Overflow bucket: clamp the open upper bound to the observed max.
+    return math.inf if observed_max is None else float(observed_max)
 
 
 def render_key(name: str, labels: dict) -> str:
@@ -131,7 +138,9 @@ class Histogram:
     overflow bucket catches everything above the last bound.
     """
 
-    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum")
+    __slots__ = (
+        "name", "labels", "bounds", "bucket_counts", "count", "sum", "max"
+    )
     kind = "histogram"
 
     def __init__(
@@ -145,11 +154,16 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        #: largest observed sample; lets percentile readers clamp the
+        #: open-ended overflow bucket to a finite value
+        self.max: float | None = None
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.sum += value
+        if self.max is None or value > self.max:
+            self.max = value
 
     @property
     def mean(self) -> float:
@@ -164,7 +178,10 @@ class Histogram:
         for bound, n in zip(self.bounds, self.bucket_counts):
             buckets[str(bound)] = n
         buckets["+Inf"] = self.bucket_counts[-1]
-        return {"count": self.count, "sum": self.sum, "buckets": buckets}
+        out = {"count": self.count, "sum": self.sum, "buckets": buckets}
+        if self.max is not None:
+            out["max"] = self.max
+        return out
 
 
 class MetricsRegistry:

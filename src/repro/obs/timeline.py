@@ -38,9 +38,13 @@ class TimeSeries:
         """Add one sample; returns True when this append decimated."""
         self.points.append((ts_ms, value))
         if len(self.points) >= self.max_points:
-            # Keep every second point (newest included) — halves density,
-            # preserves full time coverage.
-            self.points = self.points[1::2]
+            # Keep every second point plus both buffer boundaries — the
+            # run's first and newest samples always survive, so decimation
+            # halves density without shrinking time coverage at either end.
+            kept = self.points[::2]
+            if kept[-1] is not self.points[-1]:
+                kept.append(self.points[-1])
+            self.points = kept
             return True
         return False
 

@@ -1,0 +1,52 @@
+"""Service mode: open-loop traffic against the simulated memory fleet.
+
+Closed-loop measurement (the ``repro run`` / ``repro experiment`` path)
+issues the next request only after the previous one completes, so a slow
+policy quietly sheds load and its tail latency looks flatter than any
+real service would see.  This package drives the opposite discipline:
+arrivals are fixed in advance — Poisson at an offered rate, or a recorded
+trace — and queueing delay compounds against the simulated clock when the
+tenant cannot keep up, which is the regime where Trident's translation
+savings actually move SLOs.
+
+Layout:
+
+* :mod:`repro.service.arrivals` — seeded arrival processes.
+* :mod:`repro.service.fleet` — tenant cells, request replay, the fleet
+  runner on the sweep orchestrator's process pool.
+* :mod:`repro.service.report` — histogram merging, percentile tables,
+  saturation curves.
+
+Entry points: ``repro loadgen`` (homogeneous fleet from flags) and
+``repro serve --config`` (heterogeneous fleet from a JSON spec).
+"""
+
+from repro.service.arrivals import (
+    closed_loop_count,
+    poisson_arrivals,
+    trace_arrivals,
+)
+from repro.service.fleet import (
+    ServiceConfig,
+    TenantSpec,
+    run_fleet,
+    run_service_cell,
+)
+from repro.service.report import (
+    build_service_report,
+    merge_histogram_exports,
+    render_service_table,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "TenantSpec",
+    "build_service_report",
+    "closed_loop_count",
+    "merge_histogram_exports",
+    "poisson_arrivals",
+    "render_service_table",
+    "run_fleet",
+    "run_service_cell",
+    "trace_arrivals",
+]

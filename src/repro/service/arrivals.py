@@ -1,0 +1,94 @@
+"""Arrival processes for the service layer: when requests hit a tenant.
+
+Open-loop load generation is the whole point of the service mode: the
+arrival process is fixed *a priori* (a Poisson process at the offered
+rate, or a recorded trace), so a slow server cannot push back on the
+client — requests keep arriving and queueing delay compounds, which is
+exactly the saturation behaviour closed-loop harnesses hide (see
+docs/service.md).  Arrivals are generated before the replay starts, from
+a seeded generator (TRD001), so a cell's schedule is a pure function of
+its derived seed and never of simulation progress.
+
+All offsets are simulated nanoseconds relative to the cell's epoch (the
+clock position when the measured phase starts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def poisson_arrivals(
+    seed: int, rate_rps: float, duration_s: float
+) -> np.ndarray:
+    """Open-loop Poisson arrival offsets (ns, sorted) over ``duration_s``.
+
+    Inter-arrival gaps are exponential with mean ``1/rate_rps`` seconds;
+    the schedule is truncated at the duration.  Drawing happens in chunks
+    whose sizes depend only on (rate, duration), so the resulting stream
+    is byte-deterministic for a given seed.
+    """
+    if rate_rps <= 0.0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    if duration_s <= 0.0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    rng = np.random.default_rng(seed)
+    duration_ns = duration_s * 1e9
+    mean_gap_ns = 1e9 / rate_rps
+    chunk = max(64, int(rate_rps * duration_s * 1.2) + 1)
+    offsets = np.cumsum(rng.exponential(mean_gap_ns, size=chunk))
+    # Rarely the first chunk undershoots the window; extend until the
+    # schedule crosses the end so truncation below is exact.
+    while offsets[-1] < duration_ns:
+        more = np.cumsum(rng.exponential(mean_gap_ns, size=chunk))
+        offsets = np.concatenate([offsets, offsets[-1] + more])
+    return offsets[offsets < duration_ns]
+
+
+def trace_arrivals(path: str, duration_s: float | None = None) -> np.ndarray:
+    """Trace-driven arrival offsets (ns, sorted) from a text file.
+
+    One arrival per line, as a simulated-seconds offset from the start of
+    the trace (floats; blank lines and ``#`` comments ignored).  Offsets
+    must be non-negative; the stream is sorted so recorded traces do not
+    need to be.  ``duration_s`` truncates the tail when given.
+    """
+    seconds: list[float] = []
+    with open(path) as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                value = float(line)
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: not a number: {line!r}"
+                ) from None
+            if value < 0.0:
+                raise ValueError(
+                    f"{path}:{lineno}: negative arrival offset {value}"
+                )
+            seconds.append(value)
+    if not seconds:
+        raise ValueError(f"{path}: arrival trace is empty")
+    offsets = np.sort(np.asarray(seconds, dtype=np.float64)) * 1e9
+    if duration_s is not None:
+        offsets = offsets[offsets < duration_s * 1e9]
+        if len(offsets) == 0:
+            raise ValueError(
+                f"{path}: no arrivals inside the {duration_s}s window"
+            )
+    return offsets
+
+
+def closed_loop_count(rate_rps: float, duration_s: float) -> int:
+    """Request count a closed-loop run issues for a fair comparison.
+
+    Closed-loop mode has no arrival schedule (the next request is issued
+    the instant the previous one completes), so the open-loop *expected*
+    count at the same offered load keeps the two modes comparable.
+    """
+    if rate_rps <= 0.0 or duration_s <= 0.0:
+        raise ValueError("rate_rps and duration_s must be positive")
+    return max(1, int(round(rate_rps * duration_s)))

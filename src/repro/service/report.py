@@ -1,0 +1,180 @@
+"""Service report: merge tenant cells into per-policy latency tables.
+
+The fleet's cells each carry their own latency and queue-delay histogram
+exports; this module merges them (bucket-wise sums, max-of-max) into one
+distribution per (workload, policy, rate) group, reads percentiles off
+the merged buckets with :func:`percentile_from_buckets` (finite at the
+tail thanks to the recorded ``max``), and lays out the saturation curve —
+latency vs offered load — that open-loop generation exists to measure.
+
+Byte-determinism contract: the report JSON is a pure function of the
+cell records and the run parameters.  Environment-dependent facts
+(out_dir, jobs, wall-clock durations) are deliberately excluded so the
+same seed produces the same bytes at any parallelism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.metrics import percentile_from_buckets
+
+PERCENTILES = (50.0, 90.0, 99.0, 100.0)
+
+
+def merge_histogram_exports(exports: list) -> dict:
+    """Merge :meth:`Histogram.export` dicts observed over identical bounds.
+
+    Bucket counts, ``count`` and ``sum`` add; ``max`` takes the largest
+    recorded value.  Mismatched bucket ladders are a programming error
+    (cells of one fleet always share ``LATENCY_BUCKETS_NS``) and raise.
+    """
+    if not exports:
+        return {"count": 0, "sum": 0.0, "buckets": {}}
+    bounds = set(exports[0]["buckets"])
+    merged = {
+        "count": 0,
+        "sum": 0.0,
+        "buckets": {bound: 0 for bound in exports[0]["buckets"]},
+    }
+    observed_max = None
+    for export in exports:
+        if set(export["buckets"]) != bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        merged["count"] += export["count"]
+        merged["sum"] += export["sum"]
+        for bound, n in export["buckets"].items():
+            merged["buckets"][bound] += n
+        cell_max = export.get("max")
+        if cell_max is not None and (
+            observed_max is None or cell_max > observed_max
+        ):
+            observed_max = cell_max
+    if observed_max is not None:
+        merged["max"] = observed_max
+    return merged
+
+
+def _percentile_block(export: dict) -> dict:
+    return {
+        f"p{pct:g}": percentile_from_buckets(export, pct)
+        for pct in PERCENTILES
+    }
+
+
+def _group_key(record: dict) -> tuple:
+    return (record["workload"], record["policy"], record["rate_rps"])
+
+
+def build_service_report(config, records: list) -> dict:
+    """Compile cell records into the service report dict.
+
+    Groups cells by (workload, policy, rate) — the tenants of one group
+    are replicas of the same service tier, so their distributions merge —
+    and emits per-group percentiles, throughput, SLO accounting, and the
+    rate-ordered saturation curve per (workload, policy).
+    """
+    groups: dict[tuple, list] = {}
+    for record in records:
+        groups.setdefault(_group_key(record), []).append(record)
+    rows = []
+    for key in sorted(groups):
+        workload, policy, rate = key
+        cells = groups[key]
+        latency = merge_histogram_exports([c["latency"] for c in cells])
+        queue = merge_histogram_exports([c["queue_delay"] for c in cells])
+        requests = sum(c["requests"] for c in cells)
+        violations = sum(c["slo_violations"] for c in cells)
+        rows.append(
+            {
+                "workload": workload,
+                "policy": policy,
+                "rate_rps": rate,
+                "tenants": len(cells),
+                "requests": requests,
+                "offered_rps": rate * len(cells),
+                "completed_rps": sum(c["completed_rps"] for c in cells),
+                "slo_violations": violations,
+                "slo_violation_pct": (
+                    100.0 * violations / requests if requests else 0.0
+                ),
+                "latency_ns": _percentile_block(latency),
+                "latency_mean_ns": (
+                    latency["sum"] / latency["count"]
+                    if latency["count"]
+                    else 0.0
+                ),
+                "queue_delay_ns": _percentile_block(queue),
+                "latency_hist": latency,
+                "queue_delay_hist": queue,
+            }
+        )
+    saturation: dict[str, list] = {}
+    for row in rows:
+        series_key = f"{row['workload']}/{row['policy']}"
+        saturation.setdefault(series_key, []).append(
+            {
+                "offered_rps": row["offered_rps"],
+                "p50_ns": row["latency_ns"]["p50"],
+                "p99_ns": row["latency_ns"]["p99"],
+                "slo_violation_pct": row["slo_violation_pct"],
+            }
+        )
+    for points in saturation.values():
+        points.sort(key=lambda p: p["offered_rps"])
+    return {
+        "kind": "service_report",
+        "mode": config.mode,
+        "duration_s": config.duration_s,
+        "seed": config.seed,
+        "slo_ms": config.slo_ms,
+        "accesses_per_request": config.accesses_per_request,
+        "request_base_service_ns": config.request_base_service_ns,
+        "groups": rows,
+        "saturation": saturation,
+    }
+
+
+def write_service_report(out_dir: str, report: dict) -> str:
+    """Persist the report JSON plus the saturation CSV; returns JSON path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "service_report.json")
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    csv_path = os.path.join(out_dir, "saturation.csv")
+    with open(csv_path, "w") as f:
+        f.write("workload_policy,offered_rps,p50_ns,p99_ns,slo_violation_pct\n")
+        for series_key in sorted(report["saturation"]):
+            for p in report["saturation"][series_key]:
+                f.write(
+                    f"{series_key},{p['offered_rps']:g},{p['p50_ns']:g},"
+                    f"{p['p99_ns']:g},{p['slo_violation_pct']:g}\n"
+                )
+    return path
+
+
+def render_service_table(report: dict) -> list[str]:
+    """Human-readable per-group table (printed by ``repro loadgen``)."""
+    lines = [
+        f"Service report — mode={report['mode']}  "
+        f"duration={report['duration_s']:g}s  slo={report['slo_ms']:g}ms  "
+        f"seed={report['seed']}",
+        "",
+        f"{'workload':<14} {'policy':<9} {'rate/ten':>9} {'tenants':>7} "
+        f"{'requests':>8} {'p50':>10} {'p99':>10} {'p100':>10} {'SLO viol':>9}",
+    ]
+    for row in report["groups"]:
+        lat = row["latency_ns"]
+        lines.append(
+            f"{row['workload']:<14} {row['policy']:<9} "
+            f"{row['rate_rps']:>9g} {row['tenants']:>7} "
+            f"{row['requests']:>8} "
+            f"{lat['p50'] / 1e6:>8.2f}ms {lat['p99'] / 1e6:>8.2f}ms "
+            f"{lat['p100'] / 1e6:>8.2f}ms "
+            f"{row['slo_violation_pct']:>8.2f}%"
+        )
+    return lines

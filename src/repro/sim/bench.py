@@ -17,6 +17,7 @@ uploads; the exit status gates on both the counter match and
 from __future__ import annotations
 
 import json
+import math
 import sys
 import time
 from typing import Any
@@ -31,6 +32,12 @@ from repro.workloads.access import zipf
 #: policies benched by default: the paper's headline mechanism plus the
 #: two ends of the page-size spectrum it is compared against.
 DEFAULT_POLICIES = ("Trident", "2MB-THP", "4KB")
+
+#: floor below which a speedup ratio is timer noise rather than signal:
+#: the timed region must cover this many accesses AND this much scalar
+#: wall time before ``--min-speedup`` may gate on it.
+MIN_GATE_ACCESSES = 1_000
+MIN_GATE_SECONDS = 1e-3
 
 
 def state_fingerprint(system: System, process) -> dict[str, Any]:
@@ -103,8 +110,8 @@ def _timed_run(
     regions: int,
     seed: int,
     stream_seed: int,
-) -> tuple[float, dict[str, Any]]:
-    """One warm run; returns (measured M accesses/s, state fingerprint)."""
+) -> tuple[float, float, dict[str, Any]]:
+    """One warm run; returns (M accesses/s, elapsed s, state fingerprint)."""
     factory = policy_factory(resolve_policy(policy_name))
     system = System(default_machine(regions), factory, seed=seed)
     system.batch_hot_path = batched
@@ -121,8 +128,11 @@ def _timed_run(
     t0 = time.perf_counter()
     system.touch_batch(process, stream[warmup:])
     elapsed = time.perf_counter() - t0
-    mps = (accesses - warmup) / elapsed / 1e6
-    return mps, state_fingerprint(system, process)
+    # A tiny timed region can finish inside the timer's resolution;
+    # report infinite throughput rather than dividing by zero and let
+    # the gate-eligibility check downstream reject the run.
+    mps = (accesses - warmup) / elapsed / 1e6 if elapsed > 0.0 else math.inf
+    return mps, elapsed, state_fingerprint(system, process)
 
 
 def bench_policy(
@@ -136,7 +146,7 @@ def bench_policy(
 ) -> dict[str, Any]:
     """Bench one policy batched vs scalar on the same stream."""
     warmup = min(200_000, accesses // 5)
-    batch_mps, batch_fp = _timed_run(
+    batch_mps, batch_s, batch_fp = _timed_run(
         policy_name,
         batched=True,
         accesses=accesses,
@@ -146,7 +156,7 @@ def bench_policy(
         seed=seed,
         stream_seed=stream_seed,
     )
-    scalar_mps, scalar_fp = _timed_run(
+    scalar_mps, scalar_s, scalar_fp = _timed_run(
         policy_name,
         batched=False,
         accesses=accesses,
@@ -162,13 +172,29 @@ def bench_policy(
         if counters_match
         else sorted(k for k in batch_fp if batch_fp[k] != scalar_fp[k])
     )
+    timed = accesses - warmup
+    # A speedup ratio is only meaningful when both wall times are well
+    # above the timer floor; ``None`` marks an un-gateable measurement.
+    gateable = (
+        timed >= MIN_GATE_ACCESSES
+        and scalar_s >= MIN_GATE_SECONDS
+        and batch_s > 0.0
+    )
+    speedup = (
+        round(batch_mps / scalar_mps, 2)
+        if batch_s > 0.0 and scalar_s > 0.0
+        else None
+    )
     return {
         "policy": resolve_policy(policy_name),
         "warmup_accesses": warmup,
-        "timed_accesses": accesses - warmup,
-        "batch_mps": round(batch_mps, 3),
-        "scalar_mps": round(scalar_mps, 3),
-        "speedup": round(batch_mps / scalar_mps, 2),
+        "timed_accesses": timed,
+        "batch_mps": round(batch_mps, 3) if math.isfinite(batch_mps) else None,
+        "scalar_mps": (
+            round(scalar_mps, 3) if math.isfinite(scalar_mps) else None
+        ),
+        "speedup": speedup,
+        "gateable": gateable,
         "counters_match": counters_match,
         "mismatched_keys": mismatched,
         "counters": _counters_digest(batch_fp),
@@ -203,14 +229,25 @@ def run_bench(
         )
         results.append(result)
         status = "ok" if result["counters_match"] else "COUNTER MISMATCH"
+        batch_mps = result["batch_mps"]
+        scalar_mps = result["scalar_mps"]
+        speedup = result["speedup"]
         print(
-            f"{result['policy']:16s} batch {result['batch_mps']:8.2f} M/s  "
-            f"scalar {result['scalar_mps']:7.2f} M/s  "
-            f"speedup {result['speedup']:5.2f}x  [{status}]"
+            f"{result['policy']:16s} batch "
+            f"{'   inf' if batch_mps is None else format(batch_mps, '8.2f')}"
+            f" M/s  scalar "
+            f"{'  inf' if scalar_mps is None else format(scalar_mps, '7.2f')}"
+            f" M/s  speedup "
+            f"{'  n/a' if speedup is None else format(speedup, '5.2f') + 'x'}"
+            f"  [{status}]"
         )
-    ok = all(
-        r["counters_match"] and r["speedup"] >= min_speedup for r in results
-    )
+
+    def _speedup_ok(r: dict[str, Any]) -> bool:
+        if min_speedup <= 0.0:
+            return True
+        return r["gateable"] and r["speedup"] >= min_speedup
+
+    ok = all(r["counters_match"] and _speedup_ok(r) for r in results)
     report = {
         "benchmark": "hotpath",
         "workload": "zipf",
@@ -236,6 +273,14 @@ def run_bench(
                 print(
                     f"FAIL {r['policy']}: batched path diverged from scalar "
                     f"on {', '.join(r['mismatched_keys'])}",
+                    file=sys.stderr,
+                )
+            elif min_speedup > 0.0 and not r["gateable"]:
+                print(
+                    f"FAIL {r['policy']}: run too short to gate "
+                    f"--min-speedup ({r['timed_accesses']} timed accesses; "
+                    f"need >= {MIN_GATE_ACCESSES} and >= {MIN_GATE_SECONDS}s "
+                    f"of scalar wall time) — rerun with more --accesses",
                     file=sys.stderr,
                 )
             elif r["speedup"] < min_speedup:

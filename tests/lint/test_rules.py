@@ -271,3 +271,23 @@ class TestTRD005TouchResultContract:
         # means it is not the System.touch(process, va) surface.
         src = "api.touch(addresses)\n"
         assert _rules(tmp_path, "repro/sim/m.py", src) == []
+
+    def test_runtime_shim_warns_once_per_site(self):
+        """The runtime side of the same contract: raw-float use the rule
+        flags statically also emits exactly one DeprecationWarning per
+        call site, however many times that site executes."""
+        import warnings
+
+        from repro.sim.batch import TouchResult
+
+        TouchResult.reset_warned_sites()
+        try:
+            res = TouchResult(3.0)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                for _ in range(50):
+                    _ = float(res)  # the fixture TRD005 flags, at runtime
+            assert len(caught) == 1
+            assert issubclass(caught[0].category, DeprecationWarning)
+        finally:
+            TouchResult.reset_warned_sites()

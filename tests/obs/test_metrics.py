@@ -68,7 +68,11 @@ class TestHistogram:
         export = h.export()
         assert export["count"] == 4
         assert export["buckets"] == {"10": 2, "100": 1, "+Inf": 1}
+        assert export["max"] == 5000
         assert h.mean == pytest.approx((3 + 10 + 50 + 5000) / 4)
+
+    def test_export_omits_max_when_empty(self):
+        assert "max" not in Histogram("h", {}, bounds=(10,)).export()
 
     def test_default_buckets_are_sorted_powers_of_four(self):
         assert DEFAULT_BUCKETS[0] == 1
@@ -152,12 +156,31 @@ class TestPercentileFromBuckets:
         assert h.percentile(90.0) == 1000.0
         assert h.percentile(0.0) == 10.0
 
-    def test_overflow_bucket_is_inf(self):
-        import math
-
+    def test_overflow_bucket_clamps_to_observed_max(self):
+        """Regression: a nearest-rank sample in the open-ended overflow
+        bucket used to report ``inf``; it must clamp to the largest
+        observed sample so p99/p100 stay finite in service reports."""
         h = Histogram("h", {}, bounds=(10,))
         h.observe(99)
-        assert h.percentile(50.0) == math.inf
+        assert h.percentile(50.0) == 99.0
+        assert h.percentile(100.0) == 99.0
+
+    def test_observed_max_never_inflates_lower_buckets(self):
+        h = Histogram("h", {}, bounds=(10, 100))
+        for v in (5, 5, 5, 250):
+            h.observe(v)
+        assert h.percentile(50.0) == 10.0  # finite bound untouched by max
+        assert h.percentile(99.0) == 250.0  # overflow clamped to max
+
+    def test_overflow_without_max_falls_back_to_inf(self):
+        """Exports written before ``max`` was recorded keep the old
+        (infinite) overflow behaviour rather than guessing a bound."""
+        import math
+
+        from repro.obs.metrics import percentile_from_buckets
+
+        legacy = {"count": 1, "sum": 99.0, "buckets": {"10": 0, "+Inf": 1}}
+        assert percentile_from_buckets(legacy, 50.0) == math.inf
 
     def test_empty_histogram_is_zero(self):
         h = Histogram("h", {}, bounds=(10,))

@@ -17,14 +17,37 @@ class TestTimeSeries:
         s = TimeSeries("x", max_points=8)
         flags = [s.append(float(i), float(i)) for i in range(8)]
         assert flags == [False] * 7 + [True]
-        # every second point survives, newest included, coverage intact
-        assert [p[0] for p in s.points] == [1.0, 3.0, 5.0, 7.0]
+        # every second point survives, plus both boundaries: coverage
+        # still spans the full [first, newest] window after decimating
+        assert [p[0] for p in s.points] == [0.0, 2.0, 4.0, 6.0, 7.0]
+
+    def test_decimation_keeps_first_and_last_samples(self):
+        """Flight-recorder boundary: the run's first and newest samples
+        must survive every decimation round, not just mid-buffer ones."""
+        s = TimeSeries("x", max_points=16)
+        for i in range(1000):
+            s.append(float(i), float(i))
+        assert s.points[0] == (0.0, 0.0)
+        assert s.points[-1] == (999.0, 999.0)
+        # and between the boundaries timestamps stay strictly ordered
+        ts = [p[0] for p in s.points]
+        assert ts == sorted(ts) and len(set(ts)) == len(ts)
+
+    def test_decimation_boundary_without_duplicating_newest(self):
+        """When the every-second-point slice already ends on the newest
+        sample (odd buffer length at overflow), no duplicate is appended."""
+        s = TimeSeries("x", max_points=7)
+        for i in range(7):  # overflow at append #7 -> points [0..6]
+            s.append(float(i), 0.0)
+        ts = [p[0] for p in s.points]
+        assert ts == [0.0, 2.0, 4.0, 6.0]  # 6.0 kept once, not twice
+        assert len(ts) == len(set(ts))
 
     def test_max_points_bounds_memory(self):
         s = TimeSeries("x", max_points=8)
         for i in range(10_000):
             s.append(float(i), 0.0)
-        assert len(s.points) < 8
+        assert len(s.points) <= 8
 
     def test_tiny_max_points_rejected(self):
         with pytest.raises(ValueError):

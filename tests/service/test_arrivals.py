@@ -1,0 +1,95 @@
+"""Arrival-process tests: determinism, statistics, trace validation."""
+
+import numpy as np
+import pytest
+
+from repro.service.arrivals import (
+    closed_loop_count,
+    poisson_arrivals,
+    trace_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_seed(self):
+        a = poisson_arrivals(42, rate_rps=10_000, duration_s=0.01)
+        b = poisson_arrivals(42, rate_rps=10_000, duration_s=0.01)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = poisson_arrivals(1, rate_rps=10_000, duration_s=0.01)
+        b = poisson_arrivals(2, rate_rps=10_000, duration_s=0.01)
+        assert not np.array_equal(a, b)
+
+    def test_sorted_positive_and_bounded(self):
+        offsets = poisson_arrivals(7, rate_rps=50_000, duration_s=0.002)
+        assert np.all(np.diff(offsets) > 0)
+        assert offsets[0] > 0.0
+        assert offsets[-1] < 0.002 * 1e9
+
+    def test_count_tracks_offered_rate(self):
+        # 20k rps over 50ms => ~1000 arrivals; Poisson sd is ~32, so a
+        # +-20% window is a ~6-sigma determinism-safe check.
+        offsets = poisson_arrivals(3, rate_rps=20_000, duration_s=0.05)
+        assert 800 <= len(offsets) <= 1200
+
+    def test_short_window_extends_until_covered(self):
+        # rate*duration < 1 forces the chunked draw to extend repeatedly.
+        offsets = poisson_arrivals(5, rate_rps=10.0, duration_s=0.01)
+        assert np.all(offsets < 0.01 * 1e9)
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            poisson_arrivals(1, rate_rps=0.0, duration_s=1.0)
+        with pytest.raises(ValueError, match="duration_s"):
+            poisson_arrivals(1, rate_rps=10.0, duration_s=-1.0)
+
+
+class TestTraceArrivals:
+    def test_parses_sorts_and_scales(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# warmup done\n0.002\n0.001\n\n0.0035  # tail\n")
+        offsets = trace_arrivals(str(path))
+        np.testing.assert_allclose(offsets, [1e6, 2e6, 3.5e6])
+
+    def test_duration_truncates(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0.001\n0.002\n0.009\n")
+        offsets = trace_arrivals(str(path), duration_s=0.005)
+        assert len(offsets) == 2
+
+    def test_bad_line_reports_path_and_lineno(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0.001\nbanana\n")
+        with pytest.raises(ValueError, match=r"trace\.txt:2"):
+            trace_arrivals(str(path))
+
+    def test_negative_offset_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("-0.5\n")
+        with pytest.raises(ValueError, match="negative"):
+            trace_arrivals(str(path))
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError, match="empty"):
+            trace_arrivals(str(path))
+
+    def test_window_excluding_all_arrivals_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("5.0\n")
+        with pytest.raises(ValueError, match="window"):
+            trace_arrivals(str(path), duration_s=0.001)
+
+
+class TestClosedLoopCount:
+    def test_expected_count(self):
+        assert closed_loop_count(20_000, 0.01) == 200
+
+    def test_floors_at_one(self):
+        assert closed_loop_count(1.0, 0.001) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            closed_loop_count(0.0, 1.0)

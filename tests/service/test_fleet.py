@@ -1,0 +1,160 @@
+"""Cell and fleet tests: latency composition, determinism, jobs parity."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import percentile_from_buckets
+from repro.service.fleet import (
+    LATENCY_BUCKETS_NS,
+    ServiceConfig,
+    TenantSpec,
+    build_cell_specs,
+    cell_id,
+    run_fleet,
+    run_service_cell,
+)
+
+# Small-but-real cell: 16MB GUPS footprint, tens of requests.
+CELL_KWARGS = dict(
+    workload="GUPS",
+    policy="Trident",
+    tenant=0,
+    rate_rps=20_000.0,
+    duration_s=0.003,
+    seed=99,
+    scale_factor=2048,
+    settle_ticks=40,
+)
+
+
+def run_cell(**overrides):
+    kwargs = {**CELL_KWARGS, **overrides}
+    return run_service_cell(**kwargs)
+
+
+class TestServiceCell:
+    def test_record_shape_and_counts(self):
+        record = run_cell()
+        assert record["requests"] > 0
+        assert record["latency"]["count"] == record["requests"]
+        assert record["queue_delay"]["count"] == record["requests"]
+        assert record["mode"] == "open"
+        # Every latency includes at least the base service time.
+        assert record["latency"]["sum"] / record["requests"] >= 20_000.0
+
+    def test_byte_deterministic_across_runs(self):
+        a = json.dumps(run_cell(), sort_keys=True)
+        b = json.dumps(run_cell(), sort_keys=True)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        a = run_cell()
+        b = run_cell(seed=100)
+        assert a["requests"] != b["requests"] or a["latency"] != b["latency"]
+
+    def test_slo_violations_counted(self):
+        # An SLO below the base service time flags every request.
+        record = run_cell(slo_ms=20_000.0 / 1e6 / 2)
+        assert record["slo_violations"] == record["requests"]
+        relaxed = run_cell(slo_ms=1e6)  # absurdly generous: none flagged
+        assert relaxed["slo_violations"] == 0
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_cell(mode="semi-open")
+
+    def test_trace_driven_arrivals(self, tmp_path):
+        trace = tmp_path / "arrivals.txt"
+        trace.write_text("".join(f"{i * 0.0001}\n" for i in range(1, 21)))
+        record = run_cell(arrivals_path=str(trace))
+        assert record["requests"] == 20
+
+    def test_closed_loop_has_no_queueing(self):
+        record = run_cell(mode="closed")
+        assert record["queue_delay_mean_ns"] == 0.0
+        assert record["queue_delay"]["buckets"]["+Inf"] == 0
+
+
+class TestOpenVsClosedLoopSaturation:
+    """The acceptance-criteria integration test: under saturation the
+    open-loop generator keeps arrivals coming while the closed-loop one
+    waits for completions, so open-loop latency must blow up with
+    queueing delay while closed-loop latency stays near service time."""
+
+    RATE = 200_000.0  # >> tenant capacity (~1/20us base service time)
+
+    def test_open_loop_queueing_dominates(self):
+        open_r = run_cell(rate_rps=self.RATE)
+        closed_r = run_cell(rate_rps=self.RATE, mode="closed")
+        open_p50 = percentile_from_buckets(open_r["latency"], 50)
+        closed_p50 = percentile_from_buckets(closed_r["latency"], 50)
+        assert open_p50 > 10 * closed_p50
+        assert open_r["queue_delay_mean_ns"] > 0.0
+        assert closed_r["queue_delay_mean_ns"] == 0.0
+        # The open-loop cell finishes late (queue drains after the last
+        # arrival); the closed-loop cell never outruns its own server.
+        assert open_r["span_clock_ns"] > self.RATE and open_r["requests"] > 0
+
+
+class TestFleet:
+    def _config(self, tmp_path, jobs=1, tenants=2):
+        return ServiceConfig(
+            tenants=tuple(
+                TenantSpec("GUPS", policy, 20_000.0)
+                for policy in ("Trident", "4KB")
+                for _ in range(tenants // 2 or 1)
+            ),
+            duration_s=0.002,
+            seed=13,
+            jobs=jobs,
+            out_dir=str(tmp_path / f"svc-j{jobs}"),
+            scale_factor=2048,
+            settle_ticks=40,
+        )
+
+    def test_cell_ids_and_seeds_are_stable(self, tmp_path):
+        config = self._config(tmp_path)
+        specs = build_cell_specs(config)
+        assert [s.unit_id for s in specs] == [
+            cell_id(t, i) for i, t in enumerate(config.tenants)
+        ]
+        assert len({s.seed for s in specs}) == len(specs)
+        again = build_cell_specs(config)
+        assert [s.seed for s in specs] == [s.seed for s in again]
+
+    def test_fleet_report_written_and_grouped(self, tmp_path):
+        config = self._config(tmp_path)
+        report = run_fleet(config)
+        assert report["kind"] == "service_report"
+        assert {g["policy"] for g in report["groups"]} == {"Trident", "4KB"}
+        on_disk = json.load(
+            open(tmp_path / "svc-j1" / "service_report.json")
+        )
+        assert on_disk == json.loads(json.dumps(report))
+        csv = open(tmp_path / "svc-j1" / "saturation.csv").read()
+        assert "GUPS/Trident" in csv and "GUPS/4KB" in csv
+
+    def test_jobs_parity_byte_identical_report(self, tmp_path):
+        run_fleet(self._config(tmp_path, jobs=1))
+        run_fleet(self._config(tmp_path, jobs=2))
+        serial = open(tmp_path / "svc-j1" / "service_report.json").read()
+        parallel = open(tmp_path / "svc-j2" / "service_report.json").read()
+        assert serial == parallel
+
+    def test_empty_fleet_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="tenants"):
+            run_fleet(ServiceConfig(out_dir=str(tmp_path)))
+
+    def test_failed_cell_names_the_tenant(self, tmp_path):
+        config = self._config(tmp_path)
+        config.tenants = (TenantSpec("GUPS", "no-such-policy", 1000.0),)
+        with pytest.raises(RuntimeError, match="no-such-policy"):
+            run_fleet(config)
+
+
+class TestLatencyBuckets:
+    def test_ladder_is_sorted_and_spans_us_to_s(self):
+        assert list(LATENCY_BUCKETS_NS) == sorted(LATENCY_BUCKETS_NS)
+        assert LATENCY_BUCKETS_NS[0] == 1_000  # 1us
+        assert LATENCY_BUCKETS_NS[-1] == 5 * 10**9  # 5s

@@ -1,0 +1,119 @@
+"""Report-layer tests: histogram merging, percentiles, saturation order."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Histogram, percentile_from_buckets
+from repro.service.fleet import ServiceConfig
+from repro.service.report import (
+    build_service_report,
+    merge_histogram_exports,
+    render_service_table,
+)
+
+
+def _export(values, bounds=(100, 1000, 10_000)):
+    h = Histogram("h", {}, bounds=bounds)
+    for v in values:
+        h.observe(v)
+    return h.export()
+
+
+def _record(policy="Trident", rate=1000.0, tenant=0, values=(50, 200)):
+    return {
+        "workload": "GUPS",
+        "policy": policy,
+        "tenant": tenant,
+        "mode": "open",
+        "rate_rps": rate,
+        "duration_s": 0.01,
+        "accesses_per_request": 16,
+        "requests": len(values),
+        "slo_ms": 1.0,
+        "slo_violations": 1,
+        "queue_delay_mean_ns": 10.0,
+        "completed_rps": 900.0,
+        "span_clock_ns": 1e7,
+        "latency": _export(values),
+        "queue_delay": _export([0] * len(values)),
+    }
+
+
+class TestMergeHistogramExports:
+    def test_counts_sums_and_max_merge(self):
+        merged = merge_histogram_exports(
+            [_export([50, 200]), _export([5000, 20_000])]
+        )
+        assert merged["count"] == 4
+        assert merged["sum"] == 25_250.0
+        assert merged["max"] == 20_000
+        assert merged["buckets"]["+Inf"] == 1
+
+    def test_merged_overflow_percentile_is_finite(self):
+        merged = merge_histogram_exports(
+            [_export([50]), _export([99_000])]  # second lands in overflow
+        )
+        assert percentile_from_buckets(merged, 100) == 99_000.0
+        assert not math.isinf(percentile_from_buckets(merged, 100))
+
+    def test_empty_input(self):
+        assert merge_histogram_exports([])["count"] == 0
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(ValueError, match="bounds"):
+            merge_histogram_exports(
+                [_export([1]), _export([1], bounds=(7, 8))]
+            )
+
+    def test_max_absent_when_all_inputs_empty(self):
+        merged = merge_histogram_exports([_export([]), _export([])])
+        assert "max" not in merged
+
+
+class TestBuildServiceReport:
+    def _config(self):
+        return ServiceConfig(duration_s=0.01, seed=3, slo_ms=1.0)
+
+    def test_tenants_of_one_group_merge(self):
+        records = [
+            _record(tenant=0, values=(50, 200)),
+            _record(tenant=1, values=(5000,)),
+        ]
+        report = build_service_report(self._config(), records)
+        assert len(report["groups"]) == 1
+        group = report["groups"][0]
+        assert group["tenants"] == 2
+        assert group["requests"] == 3
+        assert group["slo_violations"] == 2
+        assert group["latency_hist"]["count"] == 3
+        assert group["offered_rps"] == 2000.0
+
+    def test_groups_sorted_and_saturation_rate_ordered(self):
+        records = [
+            _record(rate=8000.0),
+            _record(rate=1000.0),
+            _record(policy="4KB", rate=1000.0),
+        ]
+        report = build_service_report(self._config(), records)
+        keys = [(g["policy"], g["rate_rps"]) for g in report["groups"]]
+        assert keys == sorted(keys)
+        points = report["saturation"]["GUPS/Trident"]
+        assert [p["offered_rps"] for p in points] == [1000.0, 8000.0]
+
+    def test_report_excludes_environment_facts(self):
+        config = self._config()
+        config.out_dir = "/some/where"
+        config.jobs = 8
+        report = build_service_report(config, [_record()])
+        text = str(report)
+        assert "/some/where" not in text
+        assert "jobs" not in report
+
+    def test_render_table_mentions_every_group(self):
+        report = build_service_report(
+            self._config(), [_record(), _record(policy="4KB")]
+        )
+        text = "\n".join(render_service_table(report))
+        assert "Trident" in text and "4KB" in text
+        assert "p99" in text

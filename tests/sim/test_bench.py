@@ -44,9 +44,53 @@ def test_run_bench_fails_below_min_speedup(tmp_path):
     assert not ok
 
 
+def test_bench_results_are_gateable_at_tiny_but_real_sizes():
+    result = bench_policy("4KB", **TINY)
+    assert result["gateable"]
+
+
+def test_run_bench_too_short_to_gate(tmp_path, capsys):
+    """A 100-access run can't produce a meaningful speedup ratio: with a
+    --min-speedup gate it must fail with a clear message, not divide by a
+    ~0 scalar wall time."""
+    report, ok = run_bench(
+        ("4KB",),
+        accesses=100,
+        footprint=1024 * 1024,
+        regions=4,
+        out=str(tmp_path / "b.json"),
+        min_speedup=1.0,
+    )
+    assert not ok
+    (result,) = report["results"]
+    assert result["counters_match"]  # equivalence still checked
+    assert not result["gateable"]
+    assert result["timed_accesses"] == 80
+    err = capsys.readouterr().err
+    assert "run too short to gate" in err
+    assert "--accesses" in err
+
+
+def test_run_bench_short_run_passes_without_gate(tmp_path):
+    """min_speedup=0 disables the gate, so a tiny equivalence-only run
+    still exits cleanly."""
+    _, ok = run_bench(
+        ("4KB",),
+        accesses=100,
+        footprint=1024 * 1024,
+        regions=4,
+        out=str(tmp_path / "b.json"),
+        min_speedup=0.0,
+    )
+    assert ok
+
+
 def test_cli_bench_exit_codes(tmp_path):
     out = tmp_path / "cli_bench.json"
     argv = ["bench", "--accesses", "20000", "--policy", "4KB", "-o", str(out)]
     assert main(argv + ["--min-speedup", "0"]) == 0
     assert out.exists()
     assert main(argv + ["--min-speedup", "1000000"]) == 4
+    # too short to gate: nonzero with the default --min-speedup of 1.0
+    tiny = ["bench", "--accesses", "100", "--policy", "4KB", "-o", str(out)]
+    assert main(tiny) == 4

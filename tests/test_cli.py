@@ -219,3 +219,134 @@ class TestTimelineCLI:
         assert "span_duration_ns" in out
         assert "timeline_samples_total" in out
         assert "sim_clock_ns" in out
+
+
+class TestBrokenMetricsInputs:
+    """``repro metrics FILE`` and ``repro report`` on missing/corrupt
+    inputs: one clean error line and a nonzero exit, never a traceback."""
+
+    def _assert_clean_error(self, capsys, code):
+        assert code == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert len(out.strip().splitlines()) == 1
+        assert "Traceback" not in out
+
+    def test_metrics_missing_file(self, capsys, tmp_path):
+        code = main(["metrics", str(tmp_path / "nope.json")])
+        self._assert_clean_error(capsys, code)
+
+    def test_metrics_corrupt_json(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        self._assert_clean_error(capsys, main(["metrics", str(path)]))
+
+    def test_metrics_non_object_top_level(self, capsys, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        self._assert_clean_error(capsys, main(["metrics", str(path)]))
+
+    def test_metrics_malformed_histogram_entry(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"histograms": {"h": {"count": 3}}}))
+        self._assert_clean_error(capsys, main(["metrics", str(path)]))
+
+    def test_metrics_histogram_not_a_dict(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"histograms": {"h": [1, 2]}}))
+        self._assert_clean_error(capsys, main(["metrics", str(path)]))
+
+    def test_report_corrupt_json(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        self._assert_clean_error(capsys, main(["report", str(path)]))
+
+    def test_report_non_object_top_level(self, capsys, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[]")
+        self._assert_clean_error(capsys, main(["report", str(path)]))
+
+    def test_report_malformed_units(self, capsys, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"units": 17}))
+        self._assert_clean_error(capsys, main(["report", str(path)]))
+
+
+SERVICE_QUICK = [
+    "--duration", "0.002", "--scale-factor", "2048", "--seed", "17",
+]
+
+
+class TestServiceCLI:
+    def test_loadgen_writes_report_and_csv(self, capsys, tmp_path):
+        out = str(tmp_path / "svc")
+        code = main(
+            ["loadgen", "--workloads", "GUPS", "--policies", "Trident,4KB",
+             "--rate", "20000", "-o", out, *SERVICE_QUICK]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Service report" in stdout and "Trident" in stdout
+        report = json.load(open(os.path.join(out, "service_report.json")))
+        assert report["kind"] == "service_report"
+        assert {g["policy"] for g in report["groups"]} == {"Trident", "4KB"}
+        assert os.path.exists(os.path.join(out, "saturation.csv"))
+
+    def test_loadgen_closed_loop_flag(self, capsys, tmp_path):
+        out = str(tmp_path / "svc")
+        code = main(
+            ["loadgen", "--workloads", "GUPS", "--policies", "Trident",
+             "--rate", "20000", "--closed-loop", "-o", out, *SERVICE_QUICK]
+        )
+        assert code == 0
+        report = json.load(open(os.path.join(out, "service_report.json")))
+        assert report["mode"] == "closed"
+
+    def test_loadgen_bad_rate_exits_two(self, capsys, tmp_path):
+        code = main(["loadgen", "--rate", "fast", "-o", str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_loadgen_failed_cell_exits_three(self, capsys, tmp_path):
+        code = main(
+            ["loadgen", "--workloads", "GUPS", "--policies", "bogus",
+             "--rate", "1000", "-o", str(tmp_path / "svc"), *SERVICE_QUICK]
+        )
+        assert code == 3
+        assert "bogus" in capsys.readouterr().err
+
+    def test_serve_config_roundtrip(self, capsys, tmp_path):
+        config = tmp_path / "fleet.json"
+        config.write_text(json.dumps({
+            "tenants": [
+                {"workload": "GUPS", "policy": "Trident", "rate_rps": 20000},
+                {"workload": "GUPS", "policy": "4KB", "rate_rps": 20000},
+            ],
+            "duration_s": 0.002,
+            "scale_factor": 2048,
+            "slo_ms": 0.5,
+        }))
+        out = str(tmp_path / "svc")
+        assert main(["serve", "--config", str(config), "-o", out]) == 0
+        report = json.load(open(os.path.join(out, "service_report.json")))
+        assert report["slo_ms"] == 0.5
+        assert len(report["groups"]) == 2
+
+    def test_serve_missing_config_exits_two(self, capsys, tmp_path):
+        code = main(["serve", "--config", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_spec(self, capsys, tmp_path):
+        config = tmp_path / "fleet.json"
+        config.write_text(json.dumps({"tenants": [{"workload": "GUPS"}]}))
+        code = main(["serve", "--config", str(config)])
+        assert code == 2
+        assert "fleet spec" in capsys.readouterr().out
+
+    def test_serve_rejects_non_object(self, capsys, tmp_path):
+        config = tmp_path / "fleet.json"
+        config.write_text("[]")
+        code = main(["serve", "--config", str(config)])
+        assert code == 2
+        assert "tenants" in capsys.readouterr().out
