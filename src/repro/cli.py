@@ -13,6 +13,7 @@ Commands
 ``lint``       project-specific static analysis (TRD rules, docs/linting.md)
 ``loadgen``    open-loop service traffic against a homogeneous tenant fleet
 ``serve``      heterogeneous service fleet from a JSON config (docs/service.md)
+``tenants``    many tenants churning sharded NUMA machines (docs/numa.md)
 
 Examples::
 
@@ -342,6 +343,80 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help=f"footprint divisor (default: project-wide {SCALE_FACTOR})",
+    )
+    loadgen.add_argument(
+        "--numa-nodes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="NUMA nodes per tenant machine; cells pin round-robin "
+        "(default 1 = flat machine, see docs/numa.md)",
+    )
+    loadgen.add_argument(
+        "--numa-remote",
+        type=float,
+        default=1.4,
+        metavar="X",
+        help="remote DRAM latency multiplier (default 1.4)",
+    )
+    loadgen.add_argument(
+        "--pt-replication",
+        action="store_true",
+        help="replicate page tables per node (Mitosis): local walks, "
+        "fault-time replica maintenance",
+    )
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="many tenants churning one sharded NUMA machine (docs/numa.md)",
+    )
+    tenants.add_argument(
+        "--tenants", type=int, default=64, metavar="N",
+        help="tenant processes across all shards (default 64)",
+    )
+    tenants.add_argument(
+        "--shards", type=int, default=8, metavar="N",
+        help="independent machine shards tenants split over (default 8)",
+    )
+    tenants.add_argument(
+        "--policy", default="Trident", help="policy config for every shard"
+    )
+    tenants.add_argument(
+        "--rounds", type=int, default=4, metavar="N",
+        help="churn rounds per shard (default 4)",
+    )
+    tenants.add_argument(
+        "--accesses", type=int, default=2000, metavar="K",
+        help="touches per tenant per round (default 2000)",
+    )
+    tenants.add_argument(
+        "--numa-nodes", type=int, default=2, metavar="N",
+        help="NUMA nodes per shard machine (default 2)",
+    )
+    tenants.add_argument(
+        "--numa-remote", type=float, default=1.4, metavar="X",
+        help="remote DRAM latency multiplier (default 1.4)",
+    )
+    tenants.add_argument(
+        "--pt-replication", action="store_true",
+        help="replicate page tables per node (Mitosis)",
+    )
+    tenants.add_argument(
+        "--audit", action="store_true",
+        help="run sampled invariant audits on every shard",
+    )
+    tenants.add_argument(
+        "--quick", action="store_true",
+        help="smoke-sized run: 2 rounds, 500 accesses per tenant-round",
+    )
+    tenants.add_argument("--seed", type=int, default=7, help="root seed")
+    tenants.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes (any value, same manifest bit-for-bit)",
+    )
+    tenants.add_argument(
+        "--out", "-o", default="report/tenants", metavar="DIR",
+        help="output directory (shards/, tenants_manifest.json)",
     )
 
     serve = sub.add_parser(
@@ -798,8 +873,57 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         out_dir=args.out,
         timeline=args.timeline,
         scale_factor=args.scale_factor,
+        numa_nodes=args.numa_nodes,
+        numa_remote_multiplier=args.numa_remote,
+        pt_replication=args.pt_replication,
     )
     return _run_fleet_and_print(config)
+
+
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.sim.multitenant import MultiTenantConfig, run_multi_tenant
+
+    rounds = 2 if args.quick else args.rounds
+    accesses = min(500, args.accesses) if args.quick else args.accesses
+    config = MultiTenantConfig(
+        tenants=args.tenants,
+        shards=min(args.shards, args.tenants),
+        policy=args.policy,
+        rounds=rounds,
+        accesses_per_round=accesses,
+        numa_nodes=args.numa_nodes,
+        numa_remote_multiplier=args.numa_remote,
+        pt_replication=args.pt_replication,
+        audit=args.audit,
+        seed=args.seed,
+        jobs=args.jobs,
+        out_dir=args.out,
+    )
+    try:
+        manifest = run_multi_tenant(config)
+    except (RuntimeError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+    totals = manifest["totals"]
+    print(
+        f"{totals['tenants']} tenants / {len(manifest['shards'])} shards  "
+        f"faults={totals['faults']}  accesses={totals['accesses']}  "
+        f"mean_fmfi={totals['mean_fmfi']:.3f}"
+    )
+    if "mean_node_fmfi" in totals:
+        per_node = "  ".join(
+            f"node{n}={v:.3f}" for n, v in enumerate(totals["mean_node_fmfi"])
+        )
+        print(f"per-node FMFI: {per_node}")
+    if config.audit:
+        print(
+            f"audit: checks={totals['audit_checks']} "
+            f"violations={totals['audit_violations']}"
+        )
+    print(f"manifest: {os.path.join(config.out_dir, 'tenants_manifest.json')}")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -843,6 +967,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "scale_factor",
                 "settle_ticks",
                 "timeout_s",
+                "numa_nodes",
+                "numa_remote_multiplier",
+                "pt_replication",
             )
             if k in spec
         }
@@ -888,6 +1015,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_loadgen(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "tenants":
+        return _cmd_tenants(args)
     return 2
 
 

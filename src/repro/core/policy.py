@@ -84,7 +84,7 @@ class ProcessFrameOwner:
         self._va_of_pfn[new_pfn] = (va, page_size)
         mapping = self.process.pagetable.translate(va)
         assert mapping is not None and mapping.pfn == old_pfn
-        mapping.pfn = new_pfn
+        self.process.pagetable.note_repoint(mapping, new_pfn)
         geometry = self.process.pagetable.geometry
         self.process.tlb.invalidate_range(va, geometry.bytes_for(page_size))
 

@@ -17,6 +17,12 @@ Linux:
   Trident-pv exchange hypercalls, no host frame backs two guest-physical
   ranges, no mapping points at free host frames, and the host rmap owner
   records still invert every mapping.
+* **NUMA pools** (:func:`check_numa_pools`, :func:`check_node_residency`,
+  :func:`check_replica_accounting`) — on multi-node machines, each
+  node's buddy pool passes the full flat-allocator check over its slice
+  of physical memory, per-node totals sum to the facade's, page-table
+  residency counters match a ground-truth mapping scan, and replica
+  maintenance accounting matches the fault count.
 
 Checks raise :class:`InvariantViolation` (an ``AssertionError`` subclass,
 so existing tests that assert on the old inline checks keep passing) and
@@ -43,9 +49,11 @@ from repro.mem.frames import FrameState
 
 if TYPE_CHECKING:
     from repro.mem.buddy import BuddyAllocator
+    from repro.mem.numa import NumaBuddyPools
     from repro.mem.regions import RegionTracker
     from repro.sim.system import System
     from repro.virt.hypervisor import Hypervisor
+    from repro.vm.pagetable import PageTable
 
 
 class InvariantViolation(AssertionError):
@@ -141,6 +149,107 @@ def check_regions(regions: RegionTracker, frame_state: np.ndarray) -> int:
     return 2 * regions.n_regions
 
 
+def check_numa_pools(pools: NumaBuddyPools) -> int:
+    """Audit the per-node pools behind a :class:`NumaBuddyPools` facade.
+
+    Each node's allocator is checked in full (same invariant set as the
+    flat machine, over its local pfn space and its slice of the shared
+    frame-state array), then the cross-node accounting: node bounds
+    partition physical memory exactly, and the facade's totals equal the
+    sum over nodes — the drift the ``--audit`` layer must reject when a
+    frame's bookkeeping migrates without its block.
+    """
+    checks = 0
+    per = pools.frames_per_node
+    free_total = 0
+    frames_total = 0
+    for node, pool in enumerate(pools.pools):
+        lo, hi = pools.node_bounds(node)
+        checks += 1
+        if pool.pfn_base != lo or pool.total_frames != hi - lo:
+            _fail(
+                f"node {node} pool covers [{pool.pfn_base}, "
+                f"{pool.pfn_base + pool.total_frames}), expected [{lo}, {hi})"
+            )
+        checks += 1
+        if pool.total_frames != per:
+            _fail(
+                f"node {node} holds {pool.total_frames} frames, expected "
+                f"{per} (capacity must split evenly)"
+            )
+        checks += check_buddy(pool)
+        free_total += pool.free_frames
+        frames_total += pool.total_frames
+    checks += 2
+    if frames_total != pools.total_frames:
+        _fail(
+            f"per-node capacities sum to {frames_total}, facade says "
+            f"{pools.total_frames}"
+        )
+    if free_total != pools.free_frames:
+        _fail(
+            f"per-node free frames sum to {free_total}, facade says "
+            f"{pools.free_frames}"
+        )
+    return checks
+
+
+def check_node_residency(
+    pagetable: PageTable, node_of, nodes: int
+) -> int:
+    """Audit a page table's incremental per-node residency counters.
+
+    Recomputes the per-node resident-frame counts from the live mappings
+    (ground truth) and compares them to the O(1)-maintained counters the
+    NUMA data-access penalty is priced from.  Catches cross-node
+    accounting drift — a migration or repoint that moved frames without
+    moving their bookkeeping.
+    """
+    recorded = pagetable.node_resident_frames()
+    if recorded is None:
+        return 0
+    truth = [0] * nodes
+    total = 0
+    for mapping in pagetable.iter_mappings():
+        frames = pagetable.geometry.frames_for(mapping.page_size)
+        truth[node_of(mapping.pfn)] += frames
+        total += frames
+    checks = nodes + 1
+    for node in range(nodes):
+        if truth[node] != recorded[node]:
+            _fail(
+                f"node {node} residency counter {recorded[node]} != ground "
+                f"truth {truth[node]}: cross-node accounting drift"
+            )
+    if total != pagetable.resident_frames_total:
+        _fail(
+            f"total residency counter {pagetable.resident_frames_total} != "
+            f"ground truth {total}"
+        )
+    return checks
+
+
+def check_replica_accounting(system: System) -> int:
+    """Audit page-table-replica maintenance accounting (Mitosis model).
+
+    With replication on, every handled fault writes the new leaf entry
+    into each of the ``nodes - 1`` remote replicas; with it off, no
+    replica update may ever have been charged.
+    """
+    expected = (
+        (system.numa.nodes - 1) * system.faults_handled
+        if system.pt_replication
+        else 0
+    )
+    if system.replica_updates != expected:
+        _fail(
+            f"replica update count {system.replica_updates} != expected "
+            f"{expected} (pt_replication={system.pt_replication}, "
+            f"faults={system.faults_handled})"
+        )
+    return 1
+
+
 def check_pv_mappings(hypervisor: Hypervisor) -> int:
     """Audit gPA -> hPA bijectivity of the VM's EPT-equivalent mappings.
 
@@ -190,6 +299,14 @@ def audit_system(system: System, hypervisor: Hypervisor | None = None) -> int:
     """Run the full check suite over one system; returns checks performed."""
     checks = check_buddy(system.buddy)
     checks += check_regions(system.regions, system.buddy.frame_state)
+    if getattr(system.buddy, "pools", None) is not None:
+        # NUMA machine: per-node pools, residency accounting, replicas.
+        checks += check_numa_pools(system.buddy)
+        for process in system.processes:
+            checks += check_node_residency(
+                process.pagetable, system.buddy.node_of, system.buddy.nodes
+            )
+        checks += check_replica_accounting(system)
     if hypervisor is not None:
         checks += check_pv_mappings(hypervisor)
     return checks

@@ -9,6 +9,7 @@ smart compaction.
 
 from repro.mem.buddy import BuddyAllocator, OutOfMemoryError
 from repro.mem.frames import FrameState
+from repro.mem.numa import NumaBuddyPools, NumaTopology
 from repro.mem.regions import RegionTracker
 from repro.mem.fragmentation import FragmentationInjector, fmfi
 from repro.mem.zerofill import ZeroFillEngine
@@ -17,6 +18,8 @@ __all__ = [
     "BuddyAllocator",
     "OutOfMemoryError",
     "FrameState",
+    "NumaBuddyPools",
+    "NumaTopology",
     "RegionTracker",
     "FragmentationInjector",
     "fmfi",

@@ -89,6 +89,8 @@ class BuddyAllocator:
         max_order: int,
         listeners: tuple[AllocationListener, ...] = (),
         obs=None,
+        pfn_base: int = 0,
+        frame_state=None,
     ) -> None:
         if max_order < 0:
             raise ValueError(f"max_order must be >= 0, got {max_order}")
@@ -99,7 +101,18 @@ class BuddyAllocator:
             )
         self.total_frames = total_frames
         self.max_order = max_order
-        self.frame_state = new_frame_array(total_frames)
+        #: offset added to local pfns when reporting to tracer/listeners —
+        #: lets :class:`repro.mem.numa.NumaBuddyPools` run each node's
+        #: allocator in local pfn space while observers see global pfns
+        self.pfn_base = pfn_base
+        if frame_state is None:
+            frame_state = new_frame_array(total_frames)
+        elif len(frame_state) != total_frames:
+            raise ValueError(
+                f"frame_state view has {len(frame_state)} entries, "
+                f"expected {total_frames}"
+            )
+        self.frame_state = frame_state
         self._free_lists = [_OrderFreeList() for _ in range(max_order + 1)]
         #: start pfn -> (order, movable) for every live allocation
         self._allocated: dict[int, tuple[int, bool]] = {}
@@ -122,6 +135,18 @@ class BuddyAllocator:
         are copied into the registry at snapshot time instead of on every
         alloc/free — the buddy hot paths carry no gauge writes at all.
         """
+        self.attach_counters(obs)
+        obs.metrics.add_collector(self._collect)
+
+    def attach_counters(self, obs) -> None:
+        """Wire the hot-path counters and tracer without the gauge collector.
+
+        The registry hands back the same counter objects for the same
+        (name, labels), so several allocators attached to one registry
+        share one set of totals — how the per-node pools of a NUMA machine
+        keep the machine-wide buddy counters whole (the facade registers
+        the single aggregate gauge collector instead).
+        """
         m = obs.metrics
         self._tracer = obs.tracer
         orders = range(self.max_order + 1)
@@ -129,7 +154,6 @@ class BuddyAllocator:
         self._c_free = [m.counter("buddy_free_total", order=o) for o in orders]
         self._c_split = m.counter("buddy_split_total")
         self._c_coalesce = m.counter("buddy_coalesce_total")
-        m.add_collector(self._collect)
 
     def _collect(self, metrics) -> None:
         metrics.gauge("buddy_free_frames").value = self._free_frames
@@ -270,13 +294,14 @@ class BuddyAllocator:
         )
         self._allocated[pfn] = (order, movable)
         self._free_frames -= n
+        gpfn = pfn + self.pfn_base
         if self._c_alloc is not None:
             self._c_alloc[order].inc()
             tr = self._tracer
             if tr.active:
-                tr.emit("buddy", "alloc", pfn=pfn, order=order, movable=movable)
+                tr.emit("buddy", "alloc", pfn=gpfn, order=order, movable=movable)
         for listener in self._listeners:
-            listener.on_alloc(pfn, order, movable)
+            listener.on_alloc(gpfn, order, movable)
 
     # -- free --------------------------------------------------------------
     def free(self, pfn: int) -> None:
@@ -288,13 +313,14 @@ class BuddyAllocator:
         n = 1 << order
         self.frame_state[pfn : pfn + n] = FrameState.FREE
         self._free_frames += n
+        gpfn = pfn + self.pfn_base
         if self._c_free is not None:
             self._c_free[order].inc()
             tr = self._tracer
             if tr.active:
-                tr.emit("buddy", "free", pfn=pfn, order=order, movable=movable)
+                tr.emit("buddy", "free", pfn=gpfn, order=order, movable=movable)
         for listener in self._listeners:
-            listener.on_free(pfn, order, movable)
+            listener.on_free(gpfn, order, movable)
         self._insert_and_coalesce(pfn, order)
 
     def _insert_and_coalesce(self, pfn: int, order: int) -> None:

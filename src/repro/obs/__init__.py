@@ -162,6 +162,15 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str], ...] = (
     # system-level (collector-mirrored)
     ("system_fmfi", "gauge", "", "free-memory fragmentation index at large order"),
     ("system_daemon_ns_total", "counter", "", "daemon ns across all ticks"),
+    # NUMA layer (repro.mem.numa + System penalties; multi-node runs only)
+    ("numa_alloc_local_total", "counter", "", "allocations placed on the preferred node"),
+    ("numa_alloc_remote_total", "counter", "", "allocations spilled to a remote node"),
+    ("numa_remote_walk_penalty_ns_total", "counter", "", "extra ns for remote page walks"),
+    ("numa_remote_access_penalty_ns_total", "counter", "", "extra ns for remote data accesses"),
+    ("numa_replica_updates_total", "counter", "", "page-table replica entries written"),
+    ("numa_replica_update_ns_total", "counter", "", "ns spent maintaining pt replicas"),
+    ("numa_node_free_frames", "gauge", "node", "free frames on one NUMA node"),
+    ("numa_node_fmfi", "gauge", "node", "per-node fragmentation index at large order"),
     # simulated-time timeline layer (repro.obs.clock/spans/timeline)
     ("sim_clock_ns", "gauge", "", "simulated clock position at snapshot"),
     ("span_duration_ns", "histogram", "kind", "span durations by span kind"),

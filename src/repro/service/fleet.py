@@ -36,6 +36,7 @@ from repro.config import FREQ_GHZ, default_machine
 from repro.experiments.configs import policy_factory, resolve_policy
 from repro.experiments.orchestrator import UnitSpec, derive_seed, execute_units
 from repro.experiments.runner import _WorkloadAPI
+from repro.mem.numa import NumaTopology
 from repro.obs import Observability
 from repro.service.arrivals import (
     closed_loop_count,
@@ -93,6 +94,13 @@ class ServiceConfig:
     scale_factor: int | None = None
     settle_ticks: int = 120
     timeout_s: float = 900.0
+    #: NUMA shape of every tenant machine; cells pin round-robin to nodes
+    #: (cell index mod nodes).  1 keeps the flat pre-NUMA machine.
+    numa_nodes: int = 1
+    numa_remote_multiplier: float = 1.4
+    #: replicate page tables per node (Mitosis): local walks, fault-time
+    #: replica maintenance — see docs/numa.md
+    pt_replication: bool = False
     extra_cell_kwargs: dict = field(default_factory=dict)
 
 
@@ -124,6 +132,10 @@ def run_service_cell(
     settle_ticks: int = 120,
     timeline: bool = False,
     trace_out: str | None = None,
+    numa_nodes: int = 1,
+    numa_remote_multiplier: float = 1.4,
+    pt_replication: bool = False,
+    home_node: int = 0,
 ) -> dict:
     """Simulate one tenant cell; returns its JSON-able result record.
 
@@ -140,11 +152,22 @@ def run_service_cell(
         MIN_TENANT_REGIONS,
         int(wl.footprint_bytes * 1.15) // geometry_large + 1,
     )
+    numa = None
+    if numa_nodes > 1:
+        numa = NumaTopology(
+            nodes=numa_nodes, remote_multiplier=numa_remote_multiplier
+        )
+        regions += (-regions) % numa_nodes  # whole regions per node
     obs = Observability(timeline=timeline)
     system = System(
-        default_machine(regions), policy_factory(policy), seed=seed, obs=obs
+        default_machine(regions),
+        policy_factory(policy),
+        seed=seed,
+        obs=obs,
+        numa=numa,
+        pt_replication=pt_replication,
     )
-    process = system.create_process(workload)
+    process = system.create_process(workload, home_node=home_node)
     api = _WorkloadAPI(
         system, process, np.random.default_rng(derive_seed(seed, "setup"))
     )
@@ -211,12 +234,17 @@ def run_service_cell(
             # request waits (or the server sits idle), daemons included.
             clock.advance(start - clock.now_ns)
         with obs.spans.span("service_request") as span:
+            numa_pen_before = system.numa_penalty_ns_total
             br = system.touch_batch(process, batch)
             cycles = br.translation_cycles * spec.walk_exposure
             cycles += k * spec.cpi_base
             service_ns = (
                 request_base_service_ns + cycles / FREQ_GHZ + br.fault_ns
             )
+            # Interconnect cost this request incurred (remote walks, remote
+            # data, replica maintenance) is service time too.  Zero on flat
+            # machines, so pre-NUMA latencies are byte-identical.
+            service_ns += system.numa_penalty_ns_total - numa_pen_before
             # touch_batch already charged its leaf costs; top the clock up
             # to the modeled completion so time never runs backwards.
             completion = max(start + service_ns, clock.now_ns)
@@ -251,11 +279,32 @@ def run_service_cell(
         )
 
     busy_ns = prev_completion - epoch_ns
+    numa_section = None
+    if numa is not None:
+        snap = metrics.snapshot()
+        numa_section = {
+            "nodes": numa.nodes,
+            "remote_multiplier": numa.remote_multiplier,
+            "home_node": home_node,
+            "pt_replication": pt_replication,
+            "node_free_frames": [
+                system.buddy.node_free_frames(n) for n in range(numa.nodes)
+            ],
+            "node_fmfi": [
+                system.buddy.node_fmfi(n) for n in range(numa.nodes)
+            ],
+            "counters": {
+                name: value
+                for name, value in sorted(snap["counters"].items())
+                if name.startswith("numa_")
+            },
+        }
     return {
         "workload": workload,
         "policy": policy,
         "tenant": tenant,
         "mode": mode,
+        **({"numa": numa_section} if numa_section is not None else {}),
         "rate_rps": rate_rps,
         "duration_s": duration_s,
         "accesses_per_request": k,
@@ -304,6 +353,16 @@ def build_cell_specs(config: ServiceConfig) -> list:
             "scale_factor": config.scale_factor,
             "settle_ticks": config.settle_ticks,
             "timeline": config.timeline,
+            **(
+                {
+                    "numa_nodes": config.numa_nodes,
+                    "numa_remote_multiplier": config.numa_remote_multiplier,
+                    "pt_replication": config.pt_replication,
+                    "home_node": index % config.numa_nodes,
+                }
+                if config.numa_nodes > 1
+                else {}
+            ),
             "trace_out": (
                 os.path.join(config.out_dir, "traces", f"{slug}.json")
                 if config.timeline

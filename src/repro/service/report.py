@@ -59,10 +59,23 @@ def merge_histogram_exports(exports: list) -> dict:
 
 
 def _percentile_block(export: dict) -> dict:
-    return {
-        f"p{pct:g}": percentile_from_buckets(export, pct)
-        for pct in PERCENTILES
-    }
+    """Percentiles off the merged buckets, re-clamped to the merged max.
+
+    ``percentile_from_buckets`` returns the *upper bound* of the bucket a
+    rank falls in, which can overstate the tail when cells with very
+    different maxima merge: a lone 3.2ms observation from a slow cell
+    lands in the 5ms bucket, and without the clamp the merged p100 would
+    read 5ms — beyond anything any tenant ever observed.  The recorded
+    merged ``max`` is the tightest sound cap for every percentile.
+    """
+    cap = export.get("max")
+    block = {}
+    for pct in PERCENTILES:
+        value = percentile_from_buckets(export, pct)
+        if cap is not None and value > cap:
+            value = cap
+        block[f"p{pct:g}"] = value
+    return block
 
 
 def _group_key(record: dict) -> tuple:

@@ -27,6 +27,12 @@ class Process:
         self.frame_owner = ProcessFrameOwner(self)
         self.touched_pages: set[int] = set()  # base VPNs ever accessed
         self.faults = 0
+        #: NUMA placement: the node this process's CPU is pinned to, and
+        #: the node holding its page tables (first-touch: the boot node,
+        #: where the kernel built them — the Mitosis problem statement).
+        #: Both stay 0 on single-node machines.
+        self.home_node = 0
+        self.pt_node = 0
 
     # -- touch bookkeeping ------------------------------------------------
     def record_touch(self, va: int) -> None:

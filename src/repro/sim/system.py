@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import MachineConfig, PageSize
+from repro.config import FREQ_GHZ, MachineConfig, PageSize
 from repro.core.compaction import NormalCompactor, SmartCompactor
 from repro.core.rmap import ReverseMap
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.fragmentation import FragmentationInjector, fmfi
+from repro.mem.numa import NumaBuddyPools, NumaTopology
 from repro.mem.regions import RegionTracker
 from repro.mem.zerofill import ZeroFillEngine
 from repro.obs import Observability
@@ -41,6 +42,8 @@ class System:
         daemon_period_accesses: int = 20_000,
         daemon_budget_ns: float = 2_000_000.0,
         obs: Observability | None = None,
+        numa: NumaTopology | None = None,
+        pt_replication: bool = False,
     ) -> None:
         self.machine = machine
         self.geometry = machine.geometry
@@ -54,12 +57,45 @@ class System:
         self.regions = RegionTracker(
             machine.total_frames, machine.geometry, obs=self.obs
         )
-        self.buddy = BuddyAllocator(
-            machine.total_frames,
-            machine.geometry.large_order,
-            listeners=(self.regions,),
-            obs=self.obs,
+        #: NUMA shape (None = the flat pre-NUMA machine, byte-identical to
+        #: a 1-node topology — see tests/sim/test_numa_differential.py)
+        self.numa = numa
+        #: Mitosis-style page-table replication: walks always hit a local
+        #: replica; every fault pays pte_update_ns per remote replica
+        self.pt_replication = bool(pt_replication) and (
+            numa is not None and numa.nodes > 1
         )
+        if numa is not None:
+            self.buddy = NumaBuddyPools(
+                machine.total_frames,
+                machine.geometry.large_order,
+                numa,
+                listeners=(self.regions,),
+                obs=self.obs,
+            )
+        else:
+            self.buddy = BuddyAllocator(
+                machine.total_frames,
+                machine.geometry.large_order,
+                listeners=(self.regions,),
+                obs=self.obs,
+            )
+        #: remote-penalty charging only exists on a real multi-node shape
+        self._numa_active = numa is not None and numa.nodes > 1
+        self.faults_handled = 0
+        self.replica_updates = 0
+        #: cumulative ns of every NUMA charge (walk + data penalties and
+        #: replica maintenance) — lets callers like the service layer
+        #: attribute the interconnect cost to the work that incurred it
+        self.numa_penalty_ns_total = 0.0
+        self._c_walk_pen = self._c_access_pen = None
+        self._c_replica_updates = self._c_replica_ns = None
+        if self._numa_active:
+            m = self.obs.metrics
+            self._c_walk_pen = m.counter("numa_remote_walk_penalty_ns_total")
+            self._c_access_pen = m.counter("numa_remote_access_penalty_ns_total")
+            self._c_replica_updates = m.counter("numa_replica_updates_total")
+            self._c_replica_ns = m.counter("numa_replica_update_ns_total")
         self.rmap = ReverseMap()
         self.zerofill = ZeroFillEngine(
             self.buddy, self.geometry, self.cost, obs=self.obs
@@ -129,6 +165,24 @@ class System:
                 self._mapped_bytes_reader(size),
                 unit="bytes",
             )
+        if self._numa_active:
+            for node in range(self.numa.nodes):
+                sampler.add_series(
+                    f"numa_node{node}_free_frames",
+                    self._node_free_reader(node),
+                    unit="frames",
+                )
+                sampler.add_series(
+                    f"numa_node{node}_fmfi",
+                    self._node_fmfi_reader(node),
+                    unit="index",
+                )
+
+    def _node_free_reader(self, node: int):
+        return lambda: float(self.buddy.node_free_frames(node))
+
+    def _node_fmfi_reader(self, node: int):
+        return lambda: self.buddy.node_fmfi(node)
 
     def _mapped_bytes_reader(self, size: int):
         def read() -> float:
@@ -209,12 +263,25 @@ class System:
         return freed
 
     # -- processes --------------------------------------------------------------
-    def create_process(self, name: str = "app") -> Process:
+    def create_process(self, name: str = "app", home_node: int = 0) -> Process:
         tlb = TLBHierarchy(
             self.machine.tlb, self.machine.walk, self.geometry, obs=self.obs
         )
         process = Process(self._next_pid, name, self.geometry, tlb)
         self._next_pid += 1
+        if self._numa_active:
+            if not 0 <= home_node < self.numa.nodes:
+                raise ValueError(
+                    f"home_node {home_node} out of range "
+                    f"[0, {self.numa.nodes})"
+                )
+            process.home_node = home_node
+            # Page tables are built by the boot CPU (first-touch on node
+            # 0); replication sidesteps the resulting remote walks.
+            process.pt_node = 0
+            process.pagetable.enable_node_accounting(
+                self.buddy.node_of, self.numa.nodes
+            )
         self.processes.append(process)
         return process
 
@@ -285,19 +352,41 @@ class System:
         stats = self.policy.stats
         fault_ns_before = stats.fault_ns
         start = clock.now_ns
-        with self.obs.spans.span("fault") as sp:
-            self.policy.handle_fault(process, va)
-            process.faults += 1
-            mapping = process.pagetable.translate(va)
-            assert mapping is not None, f"fault handler left va {va:#x} unmapped"
-            latency = stats.fault_ns - fault_ns_before
-            residual = latency - (clock.now_ns - start)
-            if residual > 0.0:
-                clock.advance(residual)
-            sp.set(
-                order=self.geometry.order_for(mapping.page_size),
-                latency_ns=latency,
-            )
+        numa_active = self._numa_active
+        if numa_active:
+            # Fault-time allocations land on the faulting tenant's home
+            # node when it has room, spilling remote deterministically.
+            self.buddy.set_alloc_preference(process.home_node)
+        try:
+            with self.obs.spans.span("fault") as sp:
+                self.policy.handle_fault(process, va)
+                process.faults += 1
+                mapping = process.pagetable.translate(va)
+                assert mapping is not None, f"fault handler left va {va:#x} unmapped"
+                latency = stats.fault_ns - fault_ns_before
+                residual = latency - (clock.now_ns - start)
+                if residual > 0.0:
+                    clock.advance(residual)
+                sp.set(
+                    order=self.geometry.order_for(mapping.page_size),
+                    latency_ns=latency,
+                )
+        finally:
+            if numa_active:
+                self.buddy.set_alloc_preference(None)
+        self.faults_handled += 1
+        if self.pt_replication:
+            # Mitosis's price for always-local walks: the new leaf entry
+            # is written into every remote node's replica.  Charged after
+            # the span closes so span duration still reconciles with the
+            # policy-recorded fault latency.
+            replicas = self.numa.nodes - 1
+            replica_ns = self.cost.pte_update_ns * replicas
+            clock.advance(replica_ns)
+            self.numa_penalty_ns_total += replica_ns
+            self.replica_updates += replicas
+            self._c_replica_updates.inc(replicas)
+            self._c_replica_ns.inc(replica_ns)
         if self.auditor is not None:
             self.auditor.maybe_audit()
         return mapping
@@ -332,7 +421,7 @@ class System:
         else:
             for va in vas:
                 self.touch(process, int(va))
-        return BatchResult(
+        result = BatchResult(
             accesses=stats.accesses - before[0],
             translation_cycles=stats.translation_cycles - before[1],
             l1_hits=stats.l1_hits - before[2],
@@ -344,6 +433,53 @@ class System:
                 s: stats.walks_by_size[s] - before[5][s] for s in PageSize.ALL
             },
         )
+        if self._numa_active:
+            self._charge_numa_batch(process, result)
+        return result
+
+    def _charge_numa_batch(self, process: Process, br: BatchResult) -> None:
+        """Charge the batch's remote-access penalties on the SimClock.
+
+        Computed from the batch's aggregate counters (identical whether
+        the vectorized engine or the scalar fallback produced them, so
+        batch/scalar equivalence survives NUMA):
+
+        * **walk term** — every page-walk memory access hits the page
+          tables on ``pt_node``; remote unless the process runs there or
+          replication keeps a local replica (Mitosis).
+        * **data term** — the cache-missing fraction of data accesses
+          lands on each node in proportion to the process's resident
+          frames, so the remotely-resident fraction pays the multiplier.
+        """
+        extra = self.numa.remote_multiplier - 1.0
+        if extra <= 0.0:
+            return
+        mem_ns = self.machine.walk.mem_access_cycles / FREQ_GHZ
+        clock = self.obs.clock
+        levels = self.machine.walk.levels_for
+        if not self.pt_replication and process.pt_node != process.home_node:
+            walk_accesses = sum(
+                levels(s) * br.walks_by_size[s] for s in PageSize.ALL
+            )
+            walk_pen = walk_accesses * extra * mem_ns
+            if walk_pen > 0.0:
+                clock.advance(walk_pen)
+                self.numa_penalty_ns_total += walk_pen
+                self._c_walk_pen.inc(walk_pen)
+        remote_frac = process.pagetable.remote_resident_fraction(
+            process.home_node
+        )
+        data_pen = (
+            br.accesses
+            * self.numa.data_dram_fraction
+            * remote_frac
+            * extra
+            * mem_ns
+        )
+        if data_pen > 0.0:
+            clock.advance(data_pen)
+            self.numa_penalty_ns_total += data_pen
+            self._c_access_pen.inc(data_pen)
 
     #: kswapd low watermark: background reclaim keeps this fraction of
     #: memory free so compaction always has slots to move pages into

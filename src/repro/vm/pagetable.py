@@ -64,6 +64,12 @@ class PageTable:
         # each large slot / mid slot.  Enforce leaf exclusivity in O(1).
         self._large_children: dict[int, int] = {}
         self._mid_children: dict[int, int] = {}
+        # Optional per-NUMA-node resident-frame counters, maintained
+        # incrementally on map/unmap once enable_node_accounting installs
+        # a pfn -> node hook.  None keeps the non-NUMA hot path untouched.
+        self._node_of = None
+        self._node_frames: list[int] | None = None
+        self._resident_frames = 0
 
     # -- helpers --------------------------------------------------------------
     def vpn(self, va: int, page_size: int) -> int:
@@ -82,6 +88,10 @@ class PageTable:
         self._check_conflicts(va, page_size)
         mapping = Mapping(va, page_size, pfn)
         self._levels[page_size][self.vpn(va, page_size)] = mapping
+        if self._node_frames is not None:
+            frames = self.geometry.frames_for(page_size)
+            self._node_frames[self._node_of(pfn)] += frames
+            self._resident_frames += frames
         if page_size != PageSize.LARGE:
             lslot = self.vpn(va, PageSize.LARGE)
             self._large_children[lslot] = self._large_children.get(lslot, 0) + 1
@@ -119,6 +129,10 @@ class PageTable:
             raise ValueError(
                 f"no {PageSize.name_of(page_size)} mapping at va {va:#x}"
             )
+        if self._node_frames is not None:
+            frames = self.geometry.frames_for(page_size)
+            self._node_frames[self._node_of(mapping.pfn)] -= frames
+            self._resident_frames -= frames
         if page_size != PageSize.LARGE:
             lslot = self.vpn(va, PageSize.LARGE)
             self._large_children[lslot] -= 1
@@ -172,6 +186,51 @@ class PageTable:
                 self.unmap(m.va, size)
                 removed.append(m)
         return removed
+
+    # -- NUMA residency accounting -------------------------------------------
+    def enable_node_accounting(self, node_of, nodes: int) -> None:
+        """Maintain per-node resident-frame counters from here on.
+
+        ``node_of`` maps a pfn to its NUMA node (the buddy facade's
+        :meth:`~repro.mem.numa.NumaBuddyPools.node_of`).  Existing
+        mappings are accounted immediately; map/unmap/repoint keep the
+        counters exact incrementally, O(1) per operation.
+        """
+        self._node_of = node_of
+        self._node_frames = [0] * nodes
+        self._resident_frames = 0
+        for mapping in self.iter_mappings():
+            frames = self.geometry.frames_for(mapping.page_size)
+            self._node_frames[node_of(mapping.pfn)] += frames
+            self._resident_frames += frames
+
+    def note_repoint(self, mapping: Mapping, new_pfn: int) -> None:
+        """Re-point a live mapping's frame (compaction/migration path).
+
+        The single mutation point for in-place pfn changes, so node
+        accounting can never drift when frames move between nodes.
+        """
+        if self._node_frames is not None:
+            frames = self.geometry.frames_for(mapping.page_size)
+            self._node_frames[self._node_of(mapping.pfn)] -= frames
+            self._node_frames[self._node_of(new_pfn)] += frames
+        mapping.pfn = new_pfn
+
+    def node_resident_frames(self) -> list[int] | None:
+        """Per-node resident frames (None before accounting is enabled)."""
+        return None if self._node_frames is None else list(self._node_frames)
+
+    @property
+    def resident_frames_total(self) -> int:
+        """Total frames under node accounting (0 before it is enabled)."""
+        return self._resident_frames
+
+    def remote_resident_fraction(self, home_node: int) -> float:
+        """Fraction of resident frames living off ``home_node``."""
+        if self._node_frames is None or self._resident_frames <= 0:
+            return 0.0
+        local = self._node_frames[home_node]
+        return 1.0 - local / self._resident_frames
 
     # -- translation ---------------------------------------------------------
     def translate(self, va: int) -> Mapping | None:

@@ -76,6 +76,65 @@ class TestServiceCell:
         assert record["queue_delay"]["buckets"]["+Inf"] == 0
 
 
+class TestNumaCell:
+    def test_flat_cell_record_has_no_numa_section(self):
+        assert "numa" not in run_cell()
+
+    def test_two_node_cell_reports_numa_section(self):
+        record = run_cell(numa_nodes=2, numa_remote_multiplier=1.5, home_node=1)
+        numa = record["numa"]
+        assert numa["nodes"] == 2
+        assert numa["home_node"] == 1
+        assert numa["pt_replication"] is False
+        assert len(numa["node_free_frames"]) == 2
+        assert len(numa["node_fmfi"]) == 2
+        # Page tables sit on node 0, the tenant on node 1: walks paid.
+        assert numa["counters"]["numa_remote_walk_penalty_ns_total"] > 0
+
+    def test_replication_removes_the_walk_penalty(self):
+        plain = run_cell(
+            numa_nodes=2, numa_remote_multiplier=1.5, home_node=1
+        )
+        repl = run_cell(
+            numa_nodes=2,
+            numa_remote_multiplier=1.5,
+            home_node=1,
+            pt_replication=True,
+        )
+        assert repl["numa"]["counters"]["numa_remote_walk_penalty_ns_total"] == 0
+        assert repl["numa"]["counters"]["numa_replica_updates_total"] > 0
+        assert plain["numa"]["counters"]["numa_replica_updates_total"] == 0
+
+    def test_fleet_config_pins_cells_round_robin(self, tmp_path):
+        config = ServiceConfig(
+            tenants=tuple(
+                TenantSpec("GUPS", "Trident", 20_000.0) for _ in range(4)
+            ),
+            duration_s=0.002,
+            seed=13,
+            out_dir=str(tmp_path),
+            scale_factor=2048,
+            settle_ticks=40,
+            numa_nodes=2,
+        )
+        specs = build_cell_specs(config)
+        assert [s.kwargs["home_node"] for s in specs] == [0, 1, 0, 1]
+        assert all(s.kwargs["numa_nodes"] == 2 for s in specs)
+        flat_config = ServiceConfig(
+            tenants=config.tenants,
+            duration_s=0.002,
+            seed=13,
+            out_dir=str(tmp_path / "flat"),
+            scale_factor=2048,
+            settle_ticks=40,
+        )
+        assert flat_config.numa_nodes == 1
+        # Flat fleets keep pre-NUMA kwargs (and therefore bytes) exactly.
+        assert all(
+            "numa_nodes" not in s.kwargs for s in build_cell_specs(flat_config)
+        )
+
+
 class TestOpenVsClosedLoopSaturation:
     """The acceptance-criteria integration test: under saturation the
     open-loop generator keeps arrivals coming while the closed-loop one

@@ -71,6 +71,52 @@ class TestMergeHistogramExports:
         assert "max" not in merged
 
 
+class TestPercentileClampedToMergedMax:
+    """Regression: merging cells whose maxima sit buckets apart must not
+    report a percentile beyond anything any tenant observed.
+
+    ``percentile_from_buckets`` returns the landing bucket's *upper
+    bound*; with bounds (100, 1000, 10000) a lone 3200ns observation from
+    the slow cell lands in the 10000 bucket, so the unclamped merged p100
+    read 10000 — 3x the true maximum.  The merged ``max`` caps it.
+    """
+
+    def test_p100_clamped_when_cell_maxima_differ_by_two_buckets(self):
+        fast = _record(tenant=0, values=(50,))  # max in the 100 bucket
+        slow = _record(tenant=1, values=(3200,))  # lands 2 buckets up
+        report = build_service_report(
+            ServiceConfig(duration_s=0.01, seed=3, slo_ms=1.0),
+            [fast, slow],
+        )
+        lat = report["groups"][0]["latency_ns"]
+        assert lat["p100"] == 3200.0
+        assert report["groups"][0]["latency_hist"]["max"] == 3200
+        # Unclamped, the same merge overstates the tail: prove the clamp
+        # is what saved it.
+        merged = merge_histogram_exports(
+            [fast["latency"], slow["latency"]]
+        )
+        assert percentile_from_buckets(merged, 100) == 10_000.0
+
+    def test_lower_percentiles_unaffected_by_clamp(self):
+        records = [_record(tenant=t, values=(50, 200)) for t in range(2)]
+        report = build_service_report(
+            ServiceConfig(duration_s=0.01, seed=3, slo_ms=1.0), records
+        )
+        lat = report["groups"][0]["latency_ns"]
+        assert lat["p50"] == 100.0  # true bucket bound, below the max
+        assert lat["p100"] == 200.0
+
+    def test_empty_histogram_skips_clamp(self):
+        # No observations -> no "max" key -> clamp must not crash.
+        record = _record(values=())
+        record["requests"] = 0
+        report = build_service_report(
+            ServiceConfig(duration_s=0.01, seed=3, slo_ms=1.0), [record]
+        )
+        assert report["groups"][0]["latency_ns"]["p100"] == 0.0
+
+
 class TestBuildServiceReport:
     def _config(self):
         return ServiceConfig(duration_s=0.01, seed=3, slo_ms=1.0)
