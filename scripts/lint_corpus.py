@@ -1,0 +1,71 @@
+"""Micro-harness: time the full cross-module lint pass over ``src/``.
+
+The TRD006-TRD008 analyzers build a project call graph and run taint
+fixpoints, so their cost grows with the codebase.  This harness keeps
+that growth honest: it times ``run_lint_detailed`` end-to-end (best of
+``--repeats``), prints the per-rule breakdown, and exits nonzero if the
+pass exceeds ``--budget-s``.  CI runs it so an accidentally quadratic
+rule fails the build instead of quietly slowing every lint.
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/lint_corpus.py [--budget-s 30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.lint import ALL_RULES, run_lint_detailed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="paths to lint"
+    )
+    parser.add_argument(
+        "--budget-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="fail if the best full pass exceeds this many seconds",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="passes to run; the best one is judged (default: 3)",
+    )
+    args = parser.parse_args(argv)
+
+    best_s = float("inf")
+    best_timings: dict[str, float] = {}
+    files = 0
+    for _ in range(max(1, args.repeats)):
+        started = time.perf_counter()
+        report = run_lint_detailed(args.paths, ALL_RULES)
+        elapsed = time.perf_counter() - started
+        if elapsed < best_s:
+            best_s = elapsed
+            best_timings = report.rule_timings_ms
+            files = report.files
+
+    print(f"lint corpus: {files} files, best of {args.repeats}: {best_s:.2f}s")
+    for code in sorted(best_timings):
+        print(f"  {code}: {best_timings[code]:8.1f} ms")
+    if best_s > args.budget_s:
+        print(
+            f"FAIL: full pass took {best_s:.2f}s, over the "
+            f"{args.budget_s:.0f}s budget — a rule has gotten expensive"
+        )
+        return 1
+    print(f"ok: within the {args.budget_s:.0f}s budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

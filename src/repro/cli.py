@@ -240,7 +240,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="findings output format",
     )
@@ -254,6 +254,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--explain",
+        default=None,
+        metavar="CODE",
+        help="print one rule's rationale and a good/bad example, then exit",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "filter findings against a committed baseline; only new "
+            "(non-baselined) findings fail the run"
+        ),
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the current findings as the new baseline and exit 0",
     )
 
     loadgen = sub.add_parser(
@@ -668,35 +689,101 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
-    from repro.lint import ALL_RULES, run_lint
+    from repro.lint import (
+        ALL_RULES,
+        apply_baseline,
+        load_baseline,
+        run_lint_detailed,
+        to_sarif,
+        write_baseline,
+    )
 
     if args.list_rules:
         print(f"{'CODE':8s} {'NAME':24s} DESCRIPTION")
         for rule in ALL_RULES:
             print(f"{rule.code:8s} {rule.name:24s} {rule.description}")
         return 0
+    if args.explain:
+        code = args.explain.strip().upper()
+        for rule in ALL_RULES:
+            if rule.code == code:
+                print(f"{rule.code} {rule.name} — {rule.description}")
+                if rule.rationale:
+                    print(f"\n{rule.rationale}")
+                if rule.example_bad:
+                    print("\nbad:\n" + _indent_example(rule.example_bad))
+                if rule.example_good:
+                    print("\ngood:\n" + _indent_example(rule.example_good))
+                return 0
+        valid = ", ".join(rule.code for rule in ALL_RULES)
+        print(f"error: unknown rule code {args.explain!r} (valid: {valid})")
+        return 2
     rules = ALL_RULES
     if args.select:
         wanted = {code.strip() for code in args.select.split(",") if code.strip()}
         known = {rule.code for rule in ALL_RULES}
         unknown = wanted - known
         if unknown:
-            print(f"error: unknown rule code(s): {', '.join(sorted(unknown))}")
+            valid = ", ".join(rule.code for rule in ALL_RULES)
+            print(
+                f"error: unknown rule code(s): {', '.join(sorted(unknown))} "
+                f"(valid: {valid})"
+            )
             return 2
         rules = tuple(rule for rule in ALL_RULES if rule.code in wanted)
     try:
-        findings = run_lint(args.paths, rules)
+        report = run_lint_detailed(args.paths, rules)
     except FileNotFoundError as exc:
         print(f"error: {exc}")
         return 2
+    findings = report.findings
+    if args.write_baseline:
+        write_baseline(findings, args.write_baseline)
+        print(
+            f"wrote baseline with {len(findings)} entr"
+            f"{'y' if len(findings) == 1 else 'ies'} to {args.write_baseline}"
+        )
+        return 0
+    baselined = 0
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}")
+            return 2
+        result = apply_baseline(findings, entries)
+        findings = result.new
+        baselined = len(result.matched)
+        for rule_code, path, message in result.stale:
+            print(
+                f"note: stale baseline entry {rule_code} {path}: {message!r} "
+                "(no longer found — refresh with --write-baseline)"
+            )
     if args.format == "json":
-        print(json.dumps([f.to_dict() for f in findings], indent=2))
+        payload = {
+            "findings": [f.to_dict() for f in findings],
+            "rule_timings_ms": {
+                code: round(ms, 3)
+                for code, ms in report.rule_timings_ms.items()
+            },
+            "files": report.files,
+            "baselined": baselined,
+        }
+        print(json.dumps(payload, indent=2))  # trd: ignore[TRD007] rule timings are diagnostics; lint output is not a determinism surface
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings, rules), indent=2))
     else:
         for finding in findings:
             print(finding.render())
         if findings:
             print(f"{len(findings)} finding(s)")
+        if baselined:
+            print(f"({baselined} baselined finding(s) suppressed)")
     return 1 if findings else 0
+
+
+def _indent_example(example: str) -> str:
+    return "\n".join("    " + line for line in example.rstrip().splitlines())
 
 
 def _cmd_metrics(kind: str | None, file: str | None = None) -> int:

@@ -723,6 +723,6 @@ def run_sweep(config: SweepConfig, progress=None) -> dict:
     manifest_path = config.manifest_path or os.path.join(
         config.out_dir, "sweep_manifest.json"
     )
-    write_manifest(manifest, manifest_path)
+    write_manifest(manifest, manifest_path)  # trd: ignore[TRD007] wall_s is host-timing metadata; determinism compares exclude it
     manifest["manifest_path"] = manifest_path
     return manifest

@@ -11,15 +11,26 @@ Two halves, one subsystem (see ``docs/linting.md``):
 
 from __future__ import annotations
 
+from repro.lint.baseline import (
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.lint.callgraph import CallGraph, get_callgraph
+from repro.lint.dataflow import CFG, taint_names
 from repro.lint.engine import (
     SYNTAX_RULE,
     Finding,
     LintContext,
+    LintReport,
     Rule,
     SourceModule,
     iter_python_files,
     load_modules,
     run_lint,
+    run_lint_detailed,
 )
 from repro.lint.rules import (
     ALL_RULES,
@@ -28,19 +39,42 @@ from repro.lint.rules import (
     MetricRegistryHygiene,
     NoGlobalRng,
 )
+from repro.lint.rules_cross import (
+    CROSS_RULES,
+    ClockDiscipline,
+    DeterminismHazard,
+    ScalarFallback,
+)
+from repro.lint.sarif import to_sarif
 
 __all__ = [
     "ALL_RULES",
+    "CROSS_RULES",
     "SYNTAX_RULE",
+    "BaselineResult",
+    "CFG",
+    "CallGraph",
+    "ClockDiscipline",
+    "DeterminismHazard",
     "Finding",
     "LintContext",
+    "LintReport",
     "Rule",
+    "ScalarFallback",
     "SourceModule",
     "ExperimentProtocol",
     "FrameArithmetic",
     "MetricRegistryHygiene",
     "NoGlobalRng",
+    "apply_baseline",
+    "get_callgraph",
     "iter_python_files",
+    "load_baseline",
     "load_modules",
+    "render_baseline",
     "run_lint",
+    "run_lint_detailed",
+    "taint_names",
+    "to_sarif",
+    "write_baseline",
 ]

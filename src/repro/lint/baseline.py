@@ -1,0 +1,107 @@
+"""Baseline workflow for ``repro lint``.
+
+A baseline is a committed JSON snapshot of accepted findings
+(``lint-baseline.json``).  CI gates on *new* findings only: anything
+matching a baseline entry is filtered out, anything else fails the run.
+This lets a new rule land with its pre-existing debt recorded instead of
+blocking, while ratcheting — fixing a baselined finding and refreshing
+the file shrinks the debt monotonically.
+
+Entries are matched as a multiset on ``(rule, package_path, message)``,
+deliberately ignoring line numbers so unrelated edits to a file don't
+invalidate the baseline; two identical findings in one file need two
+entries.  ``package_path`` (``repro/mem/buddy.py``-style) rather than
+the filesystem path keeps the file stable across checkouts.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.lint.engine import Finding, _package_path
+
+#: schema marker so future shape changes can migrate old files
+BASELINE_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (finding.rule, _package_path(finding.path), finding.message)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering a run against a baseline."""
+
+    #: findings not covered by the baseline — these fail the run
+    new: list[Finding]
+    #: baselined findings that matched (suppressed from output)
+    matched: list[Finding]
+    #: baseline entries no finding matched — stale, the debt was paid
+    stale: list[_Key]
+
+
+def load_baseline(path: str) -> list[_Key]:
+    """Read a baseline file into match keys; raises ValueError on shape
+    problems so the CLI can exit 2 with a real message."""
+    with open(path, encoding="utf-8") as f:
+        payload = json.load(f)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(
+            f"{path}: not a lint baseline (expected an object with "
+            "'entries')"
+        )
+    keys: list[_Key] = []
+    for entry in payload["entries"]:
+        try:
+            keys.append(
+                (
+                    str(entry["rule"]),
+                    str(entry["path"]),
+                    str(entry["message"]),
+                )
+            )
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                f"{path}: malformed baseline entry {entry!r}"
+            ) from exc
+    return keys
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: list[_Key]
+) -> BaselineResult:
+    """Split findings into new-vs-baselined, multiset semantics."""
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(budget.elements())
+    return BaselineResult(new=new, matched=matched, stale=stale)
+
+
+def render_baseline(findings: list[Finding]) -> str:
+    """The canonical baseline file contents for a set of findings."""
+    entries = sorted(_key(finding) for finding in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in entries
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(findings: list[Finding], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(render_baseline(findings))

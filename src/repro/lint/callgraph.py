@@ -1,0 +1,426 @@
+"""Project symbol table + call graph over the parsed module batch.
+
+This is the cross-module half of the analysis layer behind TRD006–TRD008
+(see ``docs/linting.md``): a :class:`CallGraph` resolves every call site
+in the batch to the project function(s) it can name statically, so rules
+can ask graph questions — "does anything this function (transitively)
+calls advance the clock?" — instead of reasoning one file at a time.
+
+Resolution is deliberately conservative.  Python calls are dynamic; the
+graph only records edges it can justify from imports, module-level
+definitions, class bodies and base classes, and it distinguishes
+*unique* resolutions (exactly one candidate — safe to reason about) from
+*ambiguous* ones (several classes define a method of that name).  A call
+it cannot resolve at all — ``getattr(obj, name)()``, calls through
+containers, lambdas — simply contributes no edge, which makes every
+downstream rule degrade to "no finding" rather than guess.
+
+The graph is built once per lint run and cached on the
+:class:`~repro.lint.engine.LintContext` (see :func:`get_callgraph`), so
+TRD006 and TRD007 share one symbol table.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.lint.engine import LintContext, SourceModule
+
+#: (dotted module name, function qualname) — the identity of one project
+#: function; methods use ``Class.method`` qualnames, nested functions
+#: ``outer.inner``
+FunctionKey = tuple[str, str]
+
+
+def module_dotted_name(module: SourceModule) -> str:
+    """``repro/mem/buddy.py`` → ``repro.mem.buddy`` (packages drop __init__)."""
+    path = module.package_path
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    parts = [p for p in path.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the batch."""
+
+    key: FunctionKey
+    module: SourceModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: enclosing class name for methods, None for module-level functions
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, with its resolutions."""
+
+    node: ast.Call
+    #: project functions this call may target (empty = unresolvable)
+    callees: tuple[FunctionKey, ...]
+
+    @property
+    def unique(self) -> bool:
+        """True when the call resolves to exactly one project function."""
+        return len(self.callees) == 1
+
+
+@dataclass
+class _ClassInfo:
+    """A class definition: its methods and syntactic base-class names."""
+
+    module: SourceModule
+    name: str
+    methods: dict[str, FunctionKey] = field(default_factory=dict)
+    #: base expressions as written (resolved lazily through imports)
+    bases: list[ast.expr] = field(default_factory=list)
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _DefCollector(ast.NodeVisitor):
+    """Collects function/class definitions with qualified names."""
+
+    def __init__(self, graph: CallGraph, module: SourceModule) -> None:
+        self.graph = graph
+        self.module = module
+        self.mod_name = module_dotted_name(module)
+        self.stack: list[str] = []
+        self.class_stack: list[_ClassInfo] = []
+
+    def _qualname(self, name: str) -> str:
+        return ".".join((*self.stack, name))
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        info = _ClassInfo(module=self.module, name=node.name)
+        info.bases = list(node.bases)
+        self.graph._classes.setdefault(
+            (self.mod_name, node.name), info
+        )
+        self.stack.append(node.name)
+        self.class_stack.append(info)
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.stack.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        key: FunctionKey = (self.mod_name, self._qualname(node.name))
+        info = FunctionInfo(
+            key=key,
+            module=self.module,
+            node=node,
+            class_name=(
+                self.class_stack[-1].name if self.class_stack else None
+            ),
+        )
+        self.graph.functions[key] = info
+        if self.class_stack:
+            self.class_stack[-1].methods[node.name] = key
+            self.graph._methods.setdefault(node.name, []).append(key)
+        elif not self.stack:
+            # module-level function: addressable as <module>.<name>
+            self.graph._symbols[f"{self.mod_name}.{node.name}"] = key
+        self.stack.append(node.name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+class CallGraph:
+    """Symbol table + resolved call edges over one module batch."""
+
+    def __init__(self) -> None:
+        #: every function definition in the batch
+        self.functions: dict[FunctionKey, FunctionInfo] = {}
+        #: full dotted path of module-level functions -> key
+        self._symbols: dict[str, FunctionKey] = {}
+        #: method name -> every class method of that name (for attribute
+        #: calls that cannot be typed statically)
+        self._methods: dict[str, list[FunctionKey]] = {}
+        self._classes: dict[tuple[str, str], _ClassInfo] = {}
+        #: per-module import alias tables: alias -> full dotted target
+        self._imports: dict[str, dict[str, str]] = {}
+        #: re-exports: importable dotted name -> canonical dotted name
+        self._aliases: dict[str, str] = {}
+        #: call sites per function, resolved
+        self._calls: dict[FunctionKey, list[CallSite]] = {}
+        self._enclosing: dict[ast.AST, FunctionKey] = {}
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def build(cls, ctx: LintContext) -> "CallGraph":
+        graph = cls()
+        for module in ctx.modules:
+            graph._collect_imports(module)
+            _DefCollector(graph, module).visit(module.tree)
+        for module in ctx.modules:
+            graph._collect_reexports(module)
+        for key, info in graph.functions.items():
+            graph._calls[key] = list(graph._resolve_calls(info))
+        return graph
+
+    def _collect_imports(self, module: SourceModule) -> None:
+        table: dict[str, str] = {}
+        mod_name = module_dotted_name(module)
+        package = mod_name.rsplit(".", 1)[0] if "." in mod_name else mod_name
+        if module.package_path.endswith("__init__.py"):
+            package = mod_name
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    parts = mod_name.split(".")
+                    # level 1 = current package, each extra level pops one
+                    drop = node.level
+                    if not module.package_path.endswith("__init__.py"):
+                        parts = parts[:-1]
+                        drop -= 1
+                    if drop:
+                        parts = parts[: -drop if drop else None]
+                    base = ".".join((*parts, base)) if base else ".".join(parts)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    table[alias.asname or alias.name] = f"{base}.{alias.name}"
+        self._imports[mod_name] = table
+
+    def _collect_reexports(self, module: SourceModule) -> None:
+        """``from repro.x.y import f`` in a package ``__init__`` makes
+        ``repro.x.f`` an alias of ``repro.x.y.f``."""
+        mod_name = module_dotted_name(module)
+        for alias, target in self._imports.get(mod_name, {}).items():
+            exported = f"{mod_name}.{alias}"
+            if exported not in self._symbols and target in self._symbols:
+                self._aliases[exported] = target
+
+    # -- name resolution ----------------------------------------------------
+    def _resolve_symbol(self, dotted: str) -> FunctionKey | None:
+        seen: set[str] = set()
+        while dotted in self._aliases and dotted not in seen:
+            seen.add(dotted)
+            dotted = self._aliases[dotted]
+        return self._symbols.get(dotted)
+
+    def _class_of(self, mod_name: str, name: str) -> _ClassInfo | None:
+        info = self._classes.get((mod_name, name))
+        if info is not None:
+            return info
+        # imported class: follow the module's import table
+        target = self._imports.get(mod_name, {}).get(name)
+        if target and "." in target:
+            owner, cls_name = target.rsplit(".", 1)
+            return self._classes.get((owner, cls_name))
+        return None
+
+    def _method_in_hierarchy(
+        self, cls: _ClassInfo, method: str, seen: set[tuple[str, str]] | None = None
+    ) -> FunctionKey | None:
+        """First definition of ``method`` in ``cls`` or its bases (DFS)."""
+        if seen is None:
+            seen = set()
+        mod_name = module_dotted_name(cls.module)
+        if (mod_name, cls.name) in seen:
+            return None
+        seen.add((mod_name, cls.name))
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            base_name = _dotted(base)
+            if not base_name:
+                continue
+            base_cls = self._class_of(mod_name, base_name.split(".")[-1])
+            if base_cls is None:
+                continue
+            found = self._method_in_hierarchy(base_cls, method, seen)
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_calls(self, info: FunctionInfo) -> Iterator[CallSite]:
+        mod_name = info.key[0]
+        imports = self._imports.get(mod_name, {})
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            yield CallSite(
+                node=node,
+                callees=tuple(
+                    self._resolve_target(node.func, info, mod_name, imports)
+                ),
+            )
+
+    def _resolve_target(
+        self,
+        func: ast.expr,
+        info: FunctionInfo,
+        mod_name: str,
+        imports: dict[str, str],
+    ) -> list[FunctionKey]:
+        if isinstance(func, ast.Name):
+            # same-module function (module level), or imported symbol
+            key = self._symbols.get(f"{mod_name}.{func.id}")
+            if key is not None:
+                return [key]
+            target = imports.get(func.id)
+            if target is not None:
+                key = self._resolve_symbol(target)
+                if key is not None:
+                    return [key]
+            return []
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted(func)
+            if not dotted:
+                return []  # call on a call/subscript: unresolvable
+            root, *rest = dotted.split(".")
+            # self.method() / cls.method(): resolve through the class
+            if root in ("self", "cls") and len(rest) == 1 and info.class_name:
+                cls = self._classes.get((mod_name, info.class_name))
+                if cls is not None:
+                    found = self._method_in_hierarchy(cls, rest[0])
+                    if found is not None:
+                        return [found]
+                return sorted(set(self._methods.get(rest[0], [])))
+            # module attribute through an import alias: mod.func(...)
+            target = imports.get(root)
+            if target is not None:
+                key = self._resolve_symbol(".".join((target, *rest)))
+                if key is not None:
+                    return [key]
+                # Class.method through an imported class
+                if len(rest) == 2:
+                    cls = self._class_of(mod_name, rest[0])
+                    if cls is not None:
+                        found = self._method_in_hierarchy(cls, rest[1])
+                        if found is not None:
+                            return [found]
+            # ClassName.method(...) in the same module
+            if len(rest) == 1:
+                cls = self._classes.get((mod_name, root))
+                if cls is not None:
+                    found = self._method_in_hierarchy(cls, rest[0])
+                    if found is not None:
+                        return [found]
+            # untyped attribute call: every class method of that name
+            return sorted(set(self._methods.get(func.attr, [])))
+        return []
+
+    # -- queries ------------------------------------------------------------
+    def calls_in(self, key: FunctionKey) -> list[CallSite]:
+        return self._calls.get(key, [])
+
+    def function_at(
+        self, module: SourceModule, node: ast.AST
+    ) -> FunctionInfo | None:
+        """The FunctionInfo whose body contains ``node`` (innermost)."""
+        if not self._enclosing:
+            for info in self.functions.values():
+                for child in ast.walk(info.node):
+                    self._enclosing.setdefault(child, info.key)
+        found = self._enclosing.get(node)
+        return self.functions.get(found) if found is not None else None
+
+    def transitive_closure(
+        self,
+        seeds: set[FunctionKey],
+        unique_only: bool = True,
+    ) -> set[FunctionKey]:
+        """Every function that (transitively) calls into ``seeds``.
+
+        Cycle-safe reverse reachability over the resolved edges; with
+        ``unique_only`` (the default for rules that must not guess) only
+        uniquely-resolved call sites contribute edges.
+        """
+        callers: dict[FunctionKey, set[FunctionKey]] = {}
+        for key in self.functions:
+            for site in self.calls_in(key):
+                if unique_only and not site.unique:
+                    continue
+                for callee in site.callees:
+                    callers.setdefault(callee, set()).add(key)
+        closed = set(seeds)
+        frontier = list(seeds)
+        while frontier:
+            target = frontier.pop()
+            for caller in callers.get(target, ()):
+                if caller not in closed:
+                    closed.add(caller)
+                    frontier.append(caller)
+        return closed
+
+    def propagate_property(
+        self,
+        has_property: Callable[[FunctionInfo], bool],
+        via_call: Callable[[FunctionInfo, CallSite], bool],
+    ) -> set[FunctionKey]:
+        """Fixpoint of a function property flowing up the call graph.
+
+        A function is in the result if ``has_property`` holds directly,
+        or if ``via_call`` says one of its call sites into a
+        property-holding callee transmits it (e.g. "the tainted callee's
+        return value is itself returned").  Cycles converge because the
+        set only grows.
+        """
+        result = {
+            key for key, info in self.functions.items() if has_property(info)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, info in self.functions.items():
+                if key in result:
+                    continue
+                for site in self.calls_in(key):
+                    if not site.unique or site.callees[0] not in result:
+                        continue
+                    if via_call(info, site):
+                        result.add(key)
+                        changed = True
+                        break
+        return result
+
+
+def get_callgraph(ctx: LintContext) -> CallGraph:
+    """The batch's call graph, built once and cached on the context."""
+    cached = getattr(ctx, "_callgraph", None)
+    if cached is None:
+        cached = CallGraph.build(ctx)
+        ctx._callgraph = cached  # type: ignore[attr-defined]
+    return cached

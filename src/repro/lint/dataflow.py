@@ -1,0 +1,336 @@
+"""Intraprocedural CFG + dataflow queries for cross-module rules.
+
+Two small analyses back TRD006–TRD008 (see ``docs/linting.md``):
+
+* a statement-granularity control-flow graph (:class:`CFG`) answering
+  path questions — "does every path from this cost computation to the
+  function exit pass a ``clock.advance``?", "can control reach a second
+  charge of the same value?";
+* a flow-insensitive name-taint fixpoint (:func:`taint_names`) answering
+  value questions — "does anything derived from ``time.time()`` flow
+  into this JSON export?".
+
+Both are approximations chosen to fail safe: the CFG over-approximates
+reachability (``try`` bodies may jump to any handler, loop bodies may be
+skipped), and taint only propagates through assignments it can see, so a
+value laundered through a container index or dynamic attribute silently
+drops out — a missed finding, never a false one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, Union
+
+Stmt = ast.stmt
+
+
+class _Exit:
+    """Unique sentinel: the single synthetic exit node of a CFG."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<EXIT>"
+
+
+Node = Union[Stmt, _Exit]
+
+
+class CFG:
+    """Forward control-flow graph over one function body.
+
+    Nodes are the function's statements (at every nesting depth) plus a
+    synthetic :attr:`exit` node.  Edges over-approximate control flow:
+    conditionals branch both ways, loop bodies may run zero times,
+    ``try`` statements may transfer to any handler.  ``raise``
+    statements edge to exit but are remembered in :attr:`raising`, so
+    path queries can ignore error exits — a function that aborts without
+    charging the clock is not a discipline violation.
+    """
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.exit: _Exit = _Exit()
+        self.succ: dict[Node, list[Node]] = {self.exit: []}
+        self.raising: set[Stmt] = set()
+        self._loops: list[tuple[Node, Node]] = []  # (head, after) stack
+        entry = self._build_block(func.body, self.exit)
+        self.entry: Node = entry
+
+    # -- construction -------------------------------------------------------
+    def _edge(self, src: Node, dst: Node) -> None:
+        self.succ.setdefault(src, [])
+        if dst not in self.succ[src]:
+            self.succ[src].append(dst)
+        self.succ.setdefault(dst, [])
+
+    def _build_block(self, body: list[Stmt], follow: Node) -> Node:
+        """Wire ``body`` so its last statement falls through to ``follow``;
+        returns the block's entry node (``follow`` for an empty block)."""
+        entry: Node = follow
+        for stmt in reversed(body):
+            entry = self._build_stmt(stmt, entry)
+        return entry
+
+    def _build_stmt(self, stmt: Stmt, follow: Node) -> Node:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._edge(stmt, self.exit)
+            if isinstance(stmt, ast.Raise):
+                self.raising.add(stmt)
+            return stmt
+        if isinstance(stmt, ast.Break):
+            target = self._loops[-1][1] if self._loops else self.exit
+            self._edge(stmt, target)
+            return stmt
+        if isinstance(stmt, ast.Continue):
+            target = self._loops[-1][0] if self._loops else self.exit
+            self._edge(stmt, target)
+            return stmt
+        if isinstance(stmt, ast.If):
+            body_entry = self._build_block(stmt.body, follow)
+            self._edge(stmt, body_entry)
+            if stmt.orelse:
+                self._edge(stmt, self._build_block(stmt.orelse, follow))
+            else:
+                self._edge(stmt, follow)
+            return stmt
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            after: Node = follow
+            if stmt.orelse:
+                after = self._build_block(stmt.orelse, follow)
+            self._loops.append((stmt, follow))
+            body_entry = self._build_block(stmt.body, stmt)
+            self._loops.pop()
+            self._edge(stmt, body_entry)  # loop taken
+            self._edge(stmt, after)  # zero iterations / loop done
+            return stmt
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._edge(stmt, self._build_block(stmt.body, follow))
+            return stmt
+        if isinstance(stmt, ast.Try):
+            final_entry: Node = follow
+            if stmt.finalbody:
+                final_entry = self._build_block(stmt.finalbody, follow)
+            handler_entries = [
+                self._build_block(handler.body, final_entry)
+                for handler in stmt.handlers
+            ]
+            else_entry: Node = final_entry
+            if stmt.orelse:
+                else_entry = self._build_block(stmt.orelse, final_entry)
+            body_entry = self._build_block(stmt.body, else_entry)
+            self._edge(stmt, body_entry)
+            # any statement in the body may raise into any handler
+            for handler_entry in handler_entries:
+                self._edge(stmt, handler_entry)
+                for inner in stmt.body:
+                    self._edge(inner, handler_entry)
+            return stmt
+        if isinstance(stmt, ast.Match):
+            matched = False
+            for case in stmt.cases:
+                self._edge(stmt, self._build_block(case.body, follow))
+                matched = True
+            if not matched:
+                self._edge(stmt, follow)
+            self._edge(stmt, follow)  # no case may match
+            return stmt
+        # simple statement (expr, assign, assert, nested def, ...)
+        self._edge(stmt, follow)
+        return stmt
+
+    # -- queries ------------------------------------------------------------
+    def statements(self) -> Iterator[Stmt]:
+        for node in self.succ:
+            if not isinstance(node, _Exit):
+                yield node
+
+    def every_path_hits(
+        self,
+        start: Node,
+        targets: set[Stmt],
+        ignore_raises: bool = True,
+    ) -> bool:
+        """True iff every path from ``start`` to exit passes a target.
+
+        DFS that refuses to step *through* a target; if the exit is still
+        reachable, some path escapes uncharged.  With ``ignore_raises``
+        (the default) paths that leave via ``raise`` don't count as
+        escapes.
+        """
+        if start in targets:
+            return True
+        seen: set[Node] = set()
+        stack: list[Node] = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self.succ.get(node, []):
+                if isinstance(nxt, _Exit):
+                    if (
+                        ignore_raises
+                        and isinstance(node, ast.Raise)
+                        and node in self.raising
+                    ):
+                        continue
+                    return False
+                if nxt in targets:
+                    continue
+                stack.append(nxt)
+        return True
+
+    def reaches(
+        self,
+        start: Node,
+        goal: Stmt,
+        forbid: set[Stmt] | None = None,
+    ) -> bool:
+        """True iff some path leads from ``start`` to ``goal`` without
+        passing through a ``forbid`` node (``start`` itself excluded)."""
+        forbid = forbid or set()
+        seen: set[Node] = set()
+        stack: list[Node] = list(self.succ.get(start, []))
+        while stack:
+            node = stack.pop()
+            if node is goal:
+                return True
+            if node in seen or isinstance(node, _Exit) or node in forbid:
+                continue
+            seen.add(node)
+            stack.extend(self.succ.get(node, []))
+        return False
+
+
+# ---------------------------------------------------------------------------
+# name taint
+
+
+SeedPredicate = Callable[[ast.expr], bool]
+SanitizerPredicate = Callable[[ast.expr], bool]
+
+
+def _never(expr: ast.expr) -> bool:
+    return False
+
+
+class TaintState:
+    """Result of a taint fixpoint: the set of tainted local names, plus
+    an expression oracle that honors the same seeds/sanitizers."""
+
+    def __init__(
+        self,
+        names: set[str],
+        seed: SeedPredicate,
+        sanitizer: SanitizerPredicate,
+    ) -> None:
+        self.names = names
+        self._seed = seed
+        self._sanitizer = sanitizer
+
+    def expr_tainted(self, expr: ast.expr) -> bool:
+        """Does ``expr`` carry taint (seeded directly or via a name)?"""
+        if self._sanitizer(expr):
+            return False
+        if self._seed(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.names
+        if isinstance(expr, (ast.Lambda, ast.GeneratorExp)):
+            return False  # deferred evaluation: out of scope
+        return any(
+            self.expr_tainted(child)
+            for child in ast.iter_child_nodes(expr)
+            if isinstance(child, ast.expr)
+        )
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    elif isinstance(target, ast.Subscript):
+        # ``d[k] = tainted`` taints the container (but ``obj.attr = x``
+        # does not taint ``obj`` — that would drown ``self``)
+        if isinstance(target.value, ast.Name):
+            yield target.value.id
+
+
+#: mutating container methods through which taint enters the receiver
+_CONTAINER_MUTATORS = frozenset(
+    {"append", "extend", "add", "insert", "update", "setdefault"}
+)
+
+
+def taint_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    seed: SeedPredicate,
+    sanitizer: SanitizerPredicate = _never,
+    initial: set[str] | None = None,
+) -> TaintState:
+    """Flow-insensitive taint over the function's local names.
+
+    A name becomes tainted when it is assigned an expression that is
+    seeded (per ``seed``), mentions an already-tainted name, or is the
+    loop variable of a ``for`` over a tainted iterable.  ``sanitizer``
+    stops descent: ``sorted(tainted_set)`` is clean when ``sorted`` is
+    the sanitizer.  Iterates to fixpoint, so chains and loops converge.
+    """
+    state = TaintState(set(initial or ()), seed, sanitizer)
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets, value = [node.target], node.iter
+            elif isinstance(node, ast.NamedExpr):
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None and state.expr_tainted(
+                        item.context_expr
+                    ):
+                        for name in _target_names(item.optional_vars):
+                            if name not in state.names:
+                                state.names.add(name)
+                                changed = True
+                continue
+            elif isinstance(node, ast.Call):
+                # ``results.append(tainted)`` taints ``results``
+                func_expr = node.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and func_expr.attr in _CONTAINER_MUTATORS
+                    and isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id not in state.names
+                    and any(
+                        state.expr_tainted(arg)
+                        for arg in (
+                            *node.args,
+                            *(kw.value for kw in node.keywords),
+                        )
+                    )
+                ):
+                    state.names.add(func_expr.value.id)
+                    changed = True
+                continue
+            if value is None or not state.expr_tainted(value):
+                continue
+            for target in targets:
+                for name in _target_names(target):
+                    if name not in state.names:
+                        state.names.add(name)
+                        changed = True
+    return state

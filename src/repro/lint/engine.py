@@ -25,7 +25,8 @@ from __future__ import annotations
 import ast
 import os
 import re
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 #: rule code reported for files the engine cannot parse at all
@@ -93,6 +94,11 @@ class Rule:
     code: str = ""
     name: str = ""
     description: str = ""
+    #: prose for ``repro lint --explain CODE``: why the rule exists …
+    rationale: str = ""
+    #: … and a minimal pair showing the convention kept and broken
+    example_good: str = ""
+    example_bad: str = ""
 
     def check(self, ctx: LintContext) -> list[Finding]:
         raise NotImplementedError
@@ -193,16 +199,40 @@ def _suppressed(module: SourceModule, finding: Finding) -> bool:
     return finding.rule in codes
 
 
-def run_lint(paths: Iterable[str], rules: Sequence[Rule]) -> list[Finding]:
-    """Lint ``paths`` with ``rules``; returns surviving findings, sorted."""
-    modules, findings = load_modules(iter_python_files(paths))
+@dataclass
+class LintReport:
+    """A full lint run: surviving findings plus per-rule wall timings."""
+
+    findings: list[Finding]
+    #: rule code -> milliseconds spent in that rule's check()
+    rule_timings_ms: dict[str, float] = field(default_factory=dict)
+    #: number of files loaded (parsed or TRD000-failed)
+    files: int = 0
+
+
+def run_lint_detailed(
+    paths: Iterable[str], rules: Sequence[Rule]
+) -> LintReport:
+    """Lint ``paths`` with ``rules``, timing each rule as it runs."""
+    files = iter_python_files(paths)
+    modules, findings = load_modules(files)
     ctx = LintContext(modules)
     by_path = {module.path: module for module in modules}
+    timings: dict[str, float] = {}
     for rule in rules:
+        started = time.perf_counter()
         for finding in rule.check(ctx):
             module = by_path.get(finding.path)
             if module is not None and _suppressed(module, finding):
                 continue
             findings.append(finding)
+        timings[rule.code] = (time.perf_counter() - started) * 1e3
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
-    return findings
+    return LintReport(
+        findings=findings, rule_timings_ms=timings, files=len(files)
+    )
+
+
+def run_lint(paths: Iterable[str], rules: Sequence[Rule]) -> list[Finding]:
+    """Lint ``paths`` with ``rules``; returns surviving findings, sorted."""
+    return run_lint_detailed(paths, rules).findings

@@ -57,6 +57,21 @@ class NoGlobalRng(Rule):
     description = (
         "no stdlib random module, np.random.seed, or unseeded default_rng()"
     )
+    rationale = (
+        "Sweeps replay byte-identically only if every random draw comes "
+        "from a generator seeded from the run config. The stdlib random "
+        "module and numpy's legacy global generator are process-global "
+        "state shared across units; an unseeded default_rng() pulls OS "
+        "entropy. All three make reruns diverge."
+    )
+    example_bad = (
+        "import random\n"
+        "jitter = random.random()        # process-global, unseeded\n"
+    )
+    example_good = (
+        "rng = np.random.default_rng(derive_seed(seed, 'jitter'))\n"
+        "jitter = rng.random()           # replayable per unit\n"
+    )
 
     #: package paths allowed to construct global RNGs (none today)
     ALLOWLIST: frozenset[str] = frozenset()
@@ -143,6 +158,24 @@ class ExperimentProtocol(Rule):
     description = (
         "experiment modules define CSV_NAME/TITLE/QUICK_KWARGS, "
         "main(quick, seed), and QUICK_KWARGS keys subset of run() params"
+    )
+    rationale = (
+        "run_all and the sweep orchestrator discover experiment modules "
+        "by protocol, not registration: each must expose CSV_NAME, "
+        "TITLE, QUICK_KWARGS and main(quick=..., seed=...). A module "
+        "that drifts from the protocol only fails when a sweep reaches "
+        "it at runtime; this rule fails it at lint time."
+    )
+    example_bad = (
+        "TITLE = 'fig 7'\n"
+        "def main():                     # missing quick/seed kwargs,\n"
+        "    ...                         # missing CSV_NAME/QUICK_KWARGS\n"
+    )
+    example_good = (
+        "CSV_NAME = 'fig7.csv'\n"
+        "TITLE = 'fig 7'\n"
+        "QUICK_KWARGS = {'accesses': 10_000}\n"
+        "def main(quick=False, seed=0): ...\n"
     )
 
     def check(self, ctx: LintContext) -> list[Finding]:
@@ -292,6 +325,15 @@ class FrameArithmetic(Rule):
         "no float creep into frame/order arithmetic; geometry constants "
         "come from config.py, not magic numbers"
     )
+    rationale = (
+        "Frame counts, PFNs and orders are exact integers; one true "
+        "division floats everything downstream (the PR 1 zero-fill "
+        "accounting bug started exactly this way). Geometry numbers "
+        "(512 frames per 2MB, order 9/18, the 256x scale) must come "
+        "from config.py so scaled and full geometries interchange."
+    )
+    example_bad = "mid_frames = frames / 512        # float, magic number\n"
+    example_good = "mid_frames = frames // geometry.frames_per_mid\n"
 
     SCOPES = ("repro/mem/", "repro/experiments/")
     #: identifier fragments that mark a value as frame/order-typed
@@ -520,6 +562,17 @@ class MetricRegistryHygiene(Rule):
         "every emitted metrics.* name is declared in METRIC_CATALOG; "
         "no near-duplicate metric names"
     )
+    rationale = (
+        "docs/observability.md promises the catalog (repro metrics) is "
+        "exhaustive. An undeclared emission is invisible to dashboards "
+        "and docs; near-duplicate names (foo next to foo_total) split "
+        "one statistic across two keys."
+    )
+    example_bad = "metrics.counter('tlb_miss')      # not in METRIC_CATALOG\n"
+    example_good = (
+        "# obs/catalog: ('tlb_misses_total', 'counter', ...)\n"
+        "metrics.counter('tlb_misses_total')\n"
+    )
 
     EMIT_METHODS = frozenset({"counter", "gauge", "histogram"})
     #: modules whose counter/gauge/histogram calls are registry internals
@@ -681,6 +734,14 @@ class TouchResultContract(Rule):
         "touch() results are read via .cycles/.faulted/.page_size, "
         "not as bare floats"
     )
+    rationale = (
+        "System.touch returns a TouchResult whose float inheritance is "
+        "a deprecation shim. Bare arithmetic on it compiles today but "
+        "records nothing about which field the call site meant, and "
+        "breaks outright when the shim is dropped."
+    )
+    example_bad = "total += system.touch(process, va) * 2\n"
+    example_good = "total += system.touch(process, va).cycles * 2\n"
 
     _COERCIONS = frozenset({"float", "int", "round", "sum", "min", "max"})
 
@@ -731,10 +792,16 @@ class TouchResultContract(Rule):
                 )
 
 
+# The cross-module rules live in rules_cross (they need the call graph /
+# dataflow layer); imported at the bottom so they can reuse this module's
+# AST helpers without a cycle at import time.
+from repro.lint.rules_cross import CROSS_RULES  # noqa: E402
+
 ALL_RULES: tuple[Rule, ...] = (
     NoGlobalRng(),
     ExperimentProtocol(),
     FrameArithmetic(),
     MetricRegistryHygiene(),
     TouchResultContract(),
+    *CROSS_RULES,
 )

@@ -1,0 +1,73 @@
+"""Minimal SARIF 2.1.0 exporter for ``repro lint --format sarif``.
+
+Emits the small, stable subset that code-scanning UIs (GitHub, VS Code
+SARIF viewers) actually read: one run, the rule catalog under
+``tool.driver.rules``, and one ``result`` per finding with a physical
+location.  Paths are emitted package-relative (``repro/mem/buddy.py``)
+so the artifact is stable across checkouts and CI workspaces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lint.engine import Finding, Rule, _package_path
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> dict[str, object]:
+    """A SARIF log object ready for ``json.dump``."""
+    catalog = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            **(
+                {"fullDescription": {"text": rule.rationale}}
+                if rule.rationale
+                else {}
+            ),
+        }
+        for rule in rules
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _package_path(finding.path)
+                        },
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/linting.md",
+                        "rules": catalog,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

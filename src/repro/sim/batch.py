@@ -223,7 +223,7 @@ class BatchEngine:
                 vpn_list = np.unique(
                     seg[idx] >> pagetable._shifts[size]
                 ).tolist()
-            for vpn in vpn_list:
+            for vpn in vpn_list:  # trd: ignore[TRD008] accessed-bit writes on distinct pages only; bounded by segment footprint, not access count
                 level[vpn].accessed = True
         hierarchy_touch_batch(process.tlb, sizes, seg)
 

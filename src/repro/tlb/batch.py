@@ -101,8 +101,8 @@ def lru_batch_lookup(tlb: SetAssocTLB, keys: np.ndarray) -> np.ndarray:
     # Pseudo-accesses encoding the initial per-set LRU state.
     pseudo_keys: list[int] = []
     pseudo_sets: list[int] = []
-    for s in touched_sets.tolist():
-        for k in tlb._sets[s]:
+    for s in touched_sets.tolist():  # trd: ignore[TRD008] bounded by touched sets (TLB geometry), not stream length
+        for k in tlb._sets[s]:  # trd: ignore[TRD008] at most `ways` resident entries per set
             pseudo_keys.append(k)
             pseudo_sets.append(s)
     n_pseudo = len(pseudo_keys)
@@ -263,6 +263,7 @@ def _resolve_far(
         chunk = min(chunk * 2, 65536)
 
 
+# trd: scalar-fallback[equivalence-gated slow path; chosen only when the chunk heuristic rejects the vectorized kernel]
 def _replay_scalar(tlb: SetAssocTLB, keys: np.ndarray) -> np.ndarray:
     """Exact dict replay — the guaranteed-correct slow path."""
     hits = np.empty(len(keys), dtype=bool)
@@ -288,6 +289,7 @@ def _replay_scalar(tlb: SetAssocTLB, keys: np.ndarray) -> np.ndarray:
     return hits
 
 
+# trd: scalar-fallback[per-set backward tail scan bounded by ways*sets, not stream length]
 def _write_back_state(
     tlb: SetAssocTLB,
     ckey: np.ndarray,
@@ -371,12 +373,13 @@ def hierarchy_touch_batch(hierarchy, sizes: np.ndarray, vas: np.ndarray) -> None
     # position with raw VPN keys — the scalar path's modeled aliasing.
     miss_sizes = sizes[miss_idx]
     l2_hit = np.zeros(len(miss_idx), dtype=bool)
-    by_struct: dict[int, tuple[SetAssocTLB, list[int]]] = {}
+    # Keyed on the structure itself (identity): shared L2s dedupe, and
+    # iteration follows PageSize.ALL insertion order deterministically.
+    by_struct: dict[SetAssocTLB, list[int]] = {}
     for size in PageSize.ALL:
         l2 = hierarchy._l2_for(size)
-        entry = by_struct.setdefault(id(l2), (l2, []))
-        entry[1].append(size)
-    for l2, struct_sizes in by_struct.values():
+        by_struct.setdefault(l2, []).append(size)
+    for l2, struct_sizes in by_struct.items():
         sel = np.isin(miss_sizes, struct_sizes)
         rows = np.flatnonzero(sel)
         if len(rows) == 0:
@@ -442,7 +445,9 @@ def _accumulate_misses(
         stats.walk_cycles = _seeded_total(stats.walk_cycles, walk_adds)
         walker.walk_cycles = _seeded_total(walker.walk_cycles, walk_adds)
         if clock is not None:
-            clock.now_ns = _seeded_total(clock.now_ns, tc_adds / FREQ_GHZ)
+            # Bit-exact seeded cumsum: only taken when the clock has no
+            # listeners (checked above), so no span can miss the jump.
+            clock.now_ns = _seeded_total(clock.now_ns, tc_adds / FREQ_GHZ)  # trd: ignore[TRD006] listener-free fast path advances in one jump
         if h_walk is not None:
             for s in PageSize.ALL:
                 k = int(size_counts[s])
@@ -457,7 +462,7 @@ def _accumulate_misses(
 
     walks_by_size = stats.walks_by_size
     miss_vpns = vpns[miss_idx]
-    for k, (size, hit2) in enumerate(
+    for k, (size, hit2) in enumerate(  # trd: ignore[TRD008] per-event emission path, active only with tracer/clock listeners
         zip(miss_sizes.tolist(), l2_hit.tolist())
     ):
         if hit2:

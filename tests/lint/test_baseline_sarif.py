@@ -1,0 +1,107 @@
+"""Baseline multiset semantics and the SARIF export shape."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+    to_sarif,
+    write_baseline,
+)
+from repro.lint.engine import Finding
+
+
+def _finding(rule="TRD001", path="/x/repro/mod.py", line=1, message="m"):
+    return Finding(rule=rule, path=path, line=line, message=message)
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [_finding(), _finding(message="other")]
+        target = str(tmp_path / "baseline.json")
+        write_baseline(findings, target)
+        entries = load_baseline(target)
+        result = apply_baseline(findings, entries)
+        assert result.new == []
+        assert result.matched == findings
+        assert result.stale == []
+
+    def test_line_numbers_do_not_invalidate(self, tmp_path):
+        target = str(tmp_path / "baseline.json")
+        write_baseline([_finding(line=10)], target)
+        result = apply_baseline([_finding(line=99)], load_baseline(target))
+        assert result.new == []
+        assert len(result.matched) == 1
+
+    def test_multiset_needs_one_entry_per_duplicate(self, tmp_path):
+        target = str(tmp_path / "baseline.json")
+        write_baseline([_finding()], target)
+        result = apply_baseline(
+            [_finding(), _finding()], load_baseline(target)
+        )
+        assert len(result.matched) == 1
+        assert len(result.new) == 1
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        target = str(tmp_path / "baseline.json")
+        write_baseline([_finding(message="paid-off")], target)
+        result = apply_baseline([], load_baseline(target))
+        assert result.stale == [("TRD001", "repro/mod.py", "paid-off")]
+
+    def test_keys_use_package_relative_paths(self):
+        text = render_baseline([_finding(path="/ci/box/repro/mod.py")])
+        entry = json.loads(text)["entries"][0]
+        assert entry["path"] == "repro/mod.py"
+
+    def test_render_is_canonical(self):
+        a = render_baseline([_finding(message="b"), _finding(message="a")])
+        b = render_baseline([_finding(message="a"), _finding(message="b")])
+        assert a == b
+        assert a.endswith("\n")
+        payload = json.loads(a)
+        assert payload["version"] == 1
+
+    def test_load_rejects_wrong_shape(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("[]\n")
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            load_baseline(str(bad))
+
+    def test_load_rejects_malformed_entry(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"version": 1, "entries": [{"rule": "TRD001"}]}\n')
+        with pytest.raises(ValueError, match="malformed baseline entry"):
+            load_baseline(str(bad))
+
+
+class TestSarif:
+    def test_log_shape(self):
+        log = to_sarif([_finding(line=7)], ALL_RULES)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        codes = [rule["id"] for rule in driver["rules"]]
+        assert "TRD001" in codes and "TRD008" in codes
+        (result,) = run["results"]
+        assert result["ruleId"] == "TRD001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "repro/mod.py"
+        assert location["region"]["startLine"] == 7
+
+    def test_rules_carry_rationale_as_full_description(self):
+        log = to_sarif([], ALL_RULES)
+        driver = log["runs"][0]["tool"]["driver"]
+        by_code = {rule["id"]: rule for rule in driver["rules"]}
+        assert "fullDescription" in by_code["TRD006"]
+        assert "latency" in by_code["TRD006"]["fullDescription"]["text"]
+
+    def test_empty_findings_still_valid(self):
+        log = to_sarif([], ALL_RULES)
+        assert log["runs"][0]["results"] == []
+        assert json.dumps(log)  # serializable

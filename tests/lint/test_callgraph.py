@@ -1,0 +1,315 @@
+"""Call-graph construction: symbol resolution, aliasing, degradation."""
+
+import ast
+
+from repro.lint.callgraph import CallGraph, get_callgraph, module_dotted_name
+from repro.lint.engine import LintContext, iter_python_files, load_modules
+
+
+def _write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+def _graph(tmp_path, files):
+    for relpath, source in files.items():
+        _write(tmp_path, relpath, source)
+    modules, errors = load_modules(iter_python_files([str(tmp_path)]))
+    assert errors == []
+    return CallGraph.build(LintContext(modules))
+
+
+def _edges(graph, key):
+    """Set of uniquely-resolved callee keys out of ``key``."""
+    return {
+        site.callees[0] for site in graph.calls_in(key) if site.unique
+    }
+
+
+class TestModuleNames:
+    def test_dotted_name_drops_init(self, tmp_path):
+        _write(tmp_path, "repro/pkg/__init__.py", "")
+        _write(tmp_path, "repro/pkg/mod.py", "")
+        modules, _ = load_modules(iter_python_files([str(tmp_path)]))
+        names = sorted(module_dotted_name(m) for m in modules)
+        assert names == ["repro.pkg", "repro.pkg.mod"]
+
+
+class TestResolution:
+    def test_same_module_call(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {"repro/a.py": "def f():\n    g()\n\ndef g():\n    pass\n"},
+        )
+        assert _edges(graph, ("repro.a", "f")) == {("repro.a", "g")}
+
+    def test_from_import(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/util.py": "def helper():\n    pass\n",
+                "repro/a.py": (
+                    "from repro.util import helper\n"
+                    "def f():\n    helper()\n"
+                ),
+            },
+        )
+        assert _edges(graph, ("repro.a", "f")) == {("repro.util", "helper")}
+
+    def test_from_import_with_alias(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/util.py": "def helper():\n    pass\n",
+                "repro/a.py": (
+                    "from repro.util import helper as h\n"
+                    "def f():\n    h()\n"
+                ),
+            },
+        )
+        assert _edges(graph, ("repro.a", "f")) == {("repro.util", "helper")}
+
+    def test_module_import_with_alias(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/util.py": "def helper():\n    pass\n",
+                "repro/a.py": (
+                    "import repro.util as u\n"
+                    "def f():\n    u.helper()\n"
+                ),
+            },
+        )
+        assert _edges(graph, ("repro.a", "f")) == {("repro.util", "helper")}
+
+    def test_relative_import(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/pkg/__init__.py": "",
+                "repro/pkg/util.py": "def helper():\n    pass\n",
+                "repro/pkg/a.py": (
+                    "from .util import helper\n"
+                    "def f():\n    helper()\n"
+                ),
+            },
+        )
+        assert _edges(graph, ("repro.pkg.a", "f")) == {
+            ("repro.pkg.util", "helper")
+        }
+
+    def test_reexport_through_package_init(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/pkg/__init__.py": (
+                    "from repro.pkg.util import helper\n"
+                ),
+                "repro/pkg/util.py": "def helper():\n    pass\n",
+                "repro/a.py": (
+                    "from repro.pkg import helper\n"
+                    "def f():\n    helper()\n"
+                ),
+            },
+        )
+        assert _edges(graph, ("repro.a", "f")) == {
+            ("repro.pkg.util", "helper")
+        }
+
+    def test_cycle_between_modules(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/a.py": (
+                    "from repro.b import g\n"
+                    "def f():\n    g()\n"
+                ),
+                "repro/b.py": (
+                    "from repro.a import f\n"
+                    "def g():\n    f()\n"
+                ),
+            },
+        )
+        assert _edges(graph, ("repro.a", "f")) == {("repro.b", "g")}
+        assert _edges(graph, ("repro.b", "g")) == {("repro.a", "f")}
+        # transitive closure over the cycle terminates and includes both
+        closed = graph.transitive_closure({("repro.a", "f")})
+        assert closed == {("repro.a", "f"), ("repro.b", "g")}
+
+    def test_decorated_and_nested_functions(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/a.py": (
+                    "import functools\n"
+                    "def leaf():\n    pass\n"
+                    "@functools.cache\n"
+                    "def outer():\n"
+                    "    def inner():\n"
+                    "        leaf()\n"
+                    "    inner()\n"
+                ),
+            },
+        )
+        assert ("repro.a", "outer") in graph.functions
+        assert ("repro.a", "outer.inner") in graph.functions
+        assert _edges(graph, ("repro.a", "outer.inner")) == {
+            ("repro.a", "leaf")
+        }
+
+    def test_self_method_resolution(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/a.py": (
+                    "class Base:\n"
+                    "    def step(self):\n        pass\n"
+                    "class Sub(Base):\n"
+                    "    def run(self):\n        self.step()\n"
+                ),
+            },
+        )
+        assert _edges(graph, ("repro.a", "Sub.run")) == {
+            ("repro.a", "Base.step")
+        }
+
+    def test_imported_base_class_resolution(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/base.py": (
+                    "class Base:\n"
+                    "    def step(self):\n        pass\n"
+                ),
+                "repro/a.py": (
+                    "from repro.base import Base\n"
+                    "class Sub(Base):\n"
+                    "    def run(self):\n        self.step()\n"
+                ),
+            },
+        )
+        assert _edges(graph, ("repro.a", "Sub.run")) == {
+            ("repro.base", "Base.step")
+        }
+
+
+class TestGracefulDegradation:
+    def test_dynamic_call_resolves_to_nothing(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/a.py": (
+                    "def f(cb):\n"
+                    "    cb()\n"
+                    "    getattr(f, 'x')()\n"
+                    "    (lambda: None)()\n"
+                ),
+            },
+        )
+        sites = graph.calls_in(("repro.a", "f"))
+        assert sites, "call sites are still recorded"
+        assert all(not site.unique for site in sites)
+        # the cb()/lambda sites resolve to nothing at all
+        assert any(site.callees == () for site in sites)
+
+    def test_ambiguous_method_call_is_not_unique(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/a.py": (
+                    "class A:\n"
+                    "    def step(self):\n        pass\n"
+                    "class B:\n"
+                    "    def step(self):\n        pass\n"
+                    "def run(obj):\n"
+                    "    obj.step()\n"
+                ),
+            },
+        )
+        (site,) = graph.calls_in(("repro.a", "run"))
+        assert not site.unique
+        assert set(site.callees) == {
+            ("repro.a", "A.step"),
+            ("repro.a", "B.step"),
+        }
+
+    def test_external_calls_resolve_to_nothing(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/a.py": (
+                    "import json\n"
+                    "def f(x):\n    return json.dumps(x)\n"
+                ),
+            },
+        )
+        (site,) = graph.calls_in(("repro.a", "f"))
+        assert site.callees == ()
+
+
+class TestQueries:
+    def test_function_at_finds_innermost_enclosing(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/a.py",
+            "def f():\n    g()\n\ndef g():\n    pass\n",
+        )
+        modules, _ = load_modules(iter_python_files([str(tmp_path)]))
+        ctx = LintContext(modules)
+        graph = get_callgraph(ctx)
+        (module,) = modules
+        call = next(
+            n for n in ast.walk(module.tree) if isinstance(n, ast.Call)
+        )
+        info = graph.function_at(module, call)
+        assert info is not None and info.key == ("repro.a", "f")
+
+    def test_get_callgraph_caches_on_context(self, tmp_path):
+        _write(tmp_path, "repro/a.py", "def f():\n    pass\n")
+        modules, _ = load_modules(iter_python_files([str(tmp_path)]))
+        ctx = LintContext(modules)
+        assert get_callgraph(ctx) is get_callgraph(ctx)
+
+    def test_transitive_closure_skips_ambiguous_edges(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/a.py": (
+                    "class A:\n"
+                    "    def step(self):\n        pass\n"
+                    "class B:\n"
+                    "    def step(self):\n        pass\n"
+                    "def run(obj):\n"
+                    "    obj.step()\n"
+                ),
+            },
+        )
+        closed = graph.transitive_closure({("repro.a", "A.step")})
+        assert ("repro.a", "run") not in closed
+        loose = graph.transitive_closure(
+            {("repro.a", "A.step")}, unique_only=False
+        )
+        assert ("repro.a", "run") in loose
+
+    def test_propagate_property_flows_up_unique_edges(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "repro/a.py": (
+                    "def source():\n    return 1\n"
+                    "def mid():\n    return source()\n"
+                    "def top():\n    return mid()\n"
+                ),
+            },
+        )
+        keys = graph.propagate_property(
+            has_property=lambda info: info.name == "source",
+            via_call=lambda info, site: True,
+        )
+        assert keys == {
+            ("repro.a", "source"),
+            ("repro.a", "mid"),
+            ("repro.a", "top"),
+        }

@@ -1,0 +1,251 @@
+"""CFG reachability and name-taint fixpoint mechanics."""
+
+import ast
+
+from repro.lint.dataflow import CFG, taint_names
+
+
+def _func(source):
+    tree = ast.parse(source)
+    return next(
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+
+
+def _stmt(func, needle):
+    """First simple statement whose AST dump mentions ``needle``."""
+    for node in ast.walk(func):
+        if (
+            isinstance(node, (ast.Assign, ast.Expr, ast.Return))
+            and needle in ast.dump(node)
+        ):
+            return node
+    raise AssertionError(f"no statement matching {needle!r}")
+
+
+_COMPOUND = (ast.If, ast.For, ast.While, ast.Try, ast.With, ast.Match)
+
+
+def _charge_stmts(cfg):
+    return {
+        s
+        for s in cfg.statements()
+        if "charge" in ast.dump(s) and not isinstance(s, _COMPOUND)
+    }
+
+
+class TestEveryPathHits:
+    def test_straight_line_hits(self):
+        func = _func("def f():\n    x = 1\n    charge()\n    return x\n")
+        cfg = CFG(func)
+        assert cfg.every_path_hits(cfg.entry, _charge_stmts(cfg))
+
+    def test_branch_missing_one_side(self):
+        func = _func(
+            "def f(c):\n"
+            "    if c:\n"
+            "        charge()\n"
+            "    return 1\n"
+        )
+        cfg = CFG(func)
+        assert not cfg.every_path_hits(cfg.entry, _charge_stmts(cfg))
+
+    def test_branch_covered_both_sides(self):
+        func = _func(
+            "def f(c):\n"
+            "    if c:\n"
+            "        charge()\n"
+            "    else:\n"
+            "        charge()\n"
+            "    return 1\n"
+        )
+        cfg = CFG(func)
+        assert cfg.every_path_hits(cfg.entry, _charge_stmts(cfg))
+
+    def test_loop_body_does_not_cover_zero_iteration_path(self):
+        func = _func(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        charge()\n"
+            "    return 1\n"
+        )
+        cfg = CFG(func)
+        assert not cfg.every_path_hits(cfg.entry, _charge_stmts(cfg))
+
+    def test_raise_paths_are_ignored_by_default(self):
+        func = _func(
+            "def f(c):\n"
+            "    if not c:\n"
+            "        raise ValueError('bad')\n"
+            "    charge()\n"
+            "    return 1\n"
+        )
+        cfg = CFG(func)
+        assert cfg.every_path_hits(cfg.entry, _charge_stmts(cfg))
+        assert not cfg.every_path_hits(
+            cfg.entry, _charge_stmts(cfg), ignore_raises=False
+        )
+
+    def test_early_return_escapes(self):
+        func = _func(
+            "def f(c):\n"
+            "    if c:\n"
+            "        return 0\n"
+            "    charge()\n"
+            "    return 1\n"
+        )
+        cfg = CFG(func)
+        assert not cfg.every_path_hits(cfg.entry, _charge_stmts(cfg))
+
+    def test_try_handler_path_counts(self):
+        func = _func(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "        charge()\n"
+            "    except ValueError:\n"
+            "        return 0\n"
+            "    return 1\n"
+        )
+        cfg = CFG(func)
+        # risky() may jump straight to the handler, skipping charge()
+        assert not cfg.every_path_hits(cfg.entry, _charge_stmts(cfg))
+
+
+class TestReaches:
+    def test_reaches_forward(self):
+        func = _func("def f():\n    a = 1\n    b = 2\n    return b\n")
+        cfg = CFG(func)
+        a, b = _stmt(func, "'a'"), _stmt(func, "'b'")
+        assert cfg.reaches(a, b)
+        assert not cfg.reaches(b, a)
+
+    def test_forbid_blocks_the_only_path(self):
+        func = _func(
+            "def f():\n    a = 1\n    mid = 2\n    b = 3\n    return b\n"
+        )
+        cfg = CFG(func)
+        a, mid, b = (
+            _stmt(func, "'a'"),
+            _stmt(func, "'mid'"),
+            _stmt(func, "'b'"),
+        )
+        assert cfg.reaches(a, b)
+        assert not cfg.reaches(a, b, forbid={mid})
+
+    def test_loop_back_edge(self):
+        func = _func(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        a = 1\n"
+            "        b = 2\n"
+            "    return 0\n"
+        )
+        cfg = CFG(func)
+        a, b = _stmt(func, "'a'"), _stmt(func, "'b'")
+        # around the loop, b reaches a again
+        assert cfg.reaches(b, a)
+
+
+def _seed_call(name):
+    def seed(expr):
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == name
+        )
+
+    return seed
+
+
+class TestTaint:
+    def test_assignment_chain(self):
+        func = _func(
+            "def f():\n"
+            "    a = source()\n"
+            "    b = a + 1\n"
+            "    c = clean()\n"
+        )
+        state = taint_names(func, _seed_call("source"))
+        assert state.names == {"a", "b"}
+
+    def test_tuple_unpack(self):
+        func = _func("def f():\n    a, b = source()\n    c = b\n")
+        state = taint_names(func, _seed_call("source"))
+        assert state.names == {"a", "b", "c"}
+
+    def test_for_loop_variable(self):
+        func = _func(
+            "def f():\n"
+            "    xs = source()\n"
+            "    for x in xs:\n"
+            "        y = x\n"
+        )
+        state = taint_names(func, _seed_call("source"))
+        assert {"xs", "x", "y"} <= state.names
+
+    def test_subscript_store_taints_base(self):
+        func = _func(
+            "def f():\n"
+            "    d = {}\n"
+            "    d['k'] = source()\n"
+            "    out = d\n"
+        )
+        state = taint_names(func, _seed_call("source"))
+        assert {"d", "out"} <= state.names
+
+    def test_container_mutator_taints_receiver(self):
+        func = _func(
+            "def f():\n"
+            "    acc = []\n"
+            "    acc.append(source())\n"
+            "    out = acc\n"
+        )
+        state = taint_names(func, _seed_call("source"))
+        assert {"acc", "out"} <= state.names
+
+    def test_sanitizer_stops_descent(self):
+        func = _func(
+            "def f():\n"
+            "    s = source()\n"
+            "    ordered = wrap(s)\n"
+            "    raw = s\n"
+        )
+
+        def sanitizer(expr):
+            return (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id == "wrap"
+            )
+
+        state = taint_names(func, _seed_call("source"), sanitizer)
+        assert "s" in state.names
+        assert "raw" in state.names
+        assert "ordered" not in state.names
+
+    def test_initial_names_propagate(self):
+        func = _func("def f(p):\n    q = p\n")
+        state = taint_names(
+            func, lambda e: False, initial={"p"}
+        )
+        assert state.names == {"p", "q"}
+
+    def test_expr_tainted_oracle(self):
+        func = _func("def f():\n    a = source()\n")
+        state = taint_names(func, _seed_call("source"))
+        assert state.expr_tainted(ast.parse("a + 1", mode="eval").body)
+        assert not state.expr_tainted(ast.parse("b", mode="eval").body)
+
+    def test_fixpoint_converges_on_backward_dependency(self):
+        # b is assigned from a *before* a is tainted in source order;
+        # the fixpoint must still catch it.
+        func = _func(
+            "def f():\n"
+            "    b = a\n"
+            "    a = source()\n"
+        )
+        state = taint_names(func, _seed_call("source"))
+        assert state.names == {"a", "b"}

@@ -1,0 +1,538 @@
+"""TRD006-TRD008 fixtures: injected violations fire at the right line,
+clean idioms stay silent, and every finding is line-suppressible."""
+
+from repro.lint import (
+    ClockDiscipline,
+    DeterminismHazard,
+    ScalarFallback,
+    run_lint,
+)
+
+CLOCK = [ClockDiscipline()]
+DETERMINISM = [DeterminismHazard()]
+SCALAR = [ScalarFallback()]
+
+
+def _write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return str(path)
+
+
+class TestTRD006SkippedCharge:
+    BAD = (
+        "def access(clock, hit):\n"
+        "    cost_ns = 5 if hit else 50\n"
+        "    if hit:\n"
+        "        clock.advance(cost_ns)\n"
+        "    return 1\n"
+    )
+
+    def test_leaf_that_skips_the_charge_on_one_path(self, tmp_path):
+        path = _write(tmp_path, "repro/sim/mod.py", self.BAD)
+        (f,) = run_lint([str(tmp_path)], CLOCK)
+        assert f.rule == "TRD006"
+        assert f.path == path
+        assert f.line == 2  # the first binding of the cost
+        assert "skips the charge" in f.message
+
+    def test_unconditional_charge_is_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def access(clock, hit):\n"
+            "    cost_ns = 5 if hit else 50\n"
+            "    clock.advance(cost_ns)\n"
+            "    return 1\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+    def test_cost_guard_is_a_sanctioned_skip(self, tmp_path):
+        # `if cost_ns:` — the untaken branch charges zero, which is fine
+        _write(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def access(clock, hit):\n"
+            "    cost_ns = 5 if hit else 0\n"
+            "    if cost_ns:\n"
+            "        clock.advance(cost_ns)\n"
+            "    return 1\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+    def test_clock_guard_is_a_sanctioned_skip(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def access(clock, hit):\n"
+            "    cost_ns = 5 if hit else 50\n"
+            "    if clock is not None:\n"
+            "        clock.advance(cost_ns)\n"
+            "    return 1\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+    def test_returned_cost_is_the_callers_contract(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def access(clock, hit):\n"
+            "    cost_ns = 5 if hit else 50\n"
+            "    if hit:\n"
+            "        clock.advance(cost_ns)\n"
+            "    return cost_ns\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+    def test_out_of_scope_module_not_checked(self, tmp_path):
+        _write(tmp_path, "repro/experiments/mod.py", self.BAD)
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+    def test_suppressible_on_the_finding_line(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/sim/mod.py",
+            "def access(clock, hit):\n"
+            "    cost_ns = 5 if hit else 50  # trd: ignore[TRD006]\n"
+            "    if hit:\n"
+            "        clock.advance(cost_ns)\n"
+            "    return 1\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+
+class TestTRD006DoubleCharge:
+    def test_charging_twice_on_one_path(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/tlb/mod.py",
+            "def access(clock):\n"
+            "    cost_ns = 5\n"
+            "    clock.advance(cost_ns)\n"
+            "    clock.advance(cost_ns)\n"
+            "    return 1\n",
+        )
+        (f,) = run_lint([str(tmp_path)], CLOCK)
+        assert f.rule == "TRD006"
+        assert f.line == 4
+        assert "twice" in f.message
+
+    def test_recomputed_cost_may_charge_again(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/tlb/mod.py",
+            "def access(clock):\n"
+            "    cost_ns = 5\n"
+            "    clock.advance(cost_ns)\n"
+            "    cost_ns = 7\n"
+            "    clock.advance(cost_ns)\n"
+            "    return 1\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+    def test_exclusive_branches_may_both_charge(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/tlb/mod.py",
+            "def access(clock, hit):\n"
+            "    cost_ns = 5\n"
+            "    if hit:\n"
+            "        clock.advance(cost_ns)\n"
+            "    else:\n"
+            "        clock.advance(cost_ns)\n"
+            "    return 1\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+
+class TestTRD006CalleeRecharge:
+    BAD = (
+        "def leaf(clock):\n"
+        "    step_ns = 5\n"
+        "    clock.advance(step_ns)\n"
+        "    return step_ns\n"
+        "\n"
+        "def agg(clock):\n"
+        "    total_ns = leaf(clock)\n"
+        "    clock.advance(total_ns)\n"
+        "    return 1\n"
+    )
+
+    def test_recharging_a_callee_charged_total(self, tmp_path):
+        _write(tmp_path, "repro/mem/mod.py", self.BAD)
+        (f,) = run_lint([str(tmp_path)], CLOCK)
+        assert f.rule == "TRD006"
+        assert f.line == 8
+        assert "residual" in f.message
+
+    def test_residual_shaped_recharge_is_the_idiom(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/mem/mod.py",
+            "def leaf(clock):\n"
+            "    step_ns = 5\n"
+            "    clock.advance(step_ns)\n"
+            "    return step_ns\n"
+            "\n"
+            "def agg(clock):\n"
+            "    start = clock.now_ns\n"
+            "    total_ns = leaf(clock)\n"
+            "    residual_ns = total_ns - (clock.now_ns - start)\n"
+            "    clock.advance(residual_ns)\n"
+            "    return 1\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+    def test_non_advancing_callee_return_may_be_charged(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/mem/mod.py",
+            "def cost_of(size):\n"
+            "    return size * 3\n"
+            "\n"
+            "def agg(clock, size):\n"
+            "    cost_ns = cost_of(size)\n"
+            "    clock.advance(cost_ns)\n"
+            "    return 1\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+
+class TestTRD006NowNsWrites:
+    def test_now_ns_write_outside_clock_module(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/service/mod.py",
+            "def warp(clock):\n    clock.now_ns = 100\n",
+        )
+        (f,) = run_lint([str(tmp_path)], CLOCK)
+        assert f.rule == "TRD006"
+        assert f.line == 2
+        assert "now_ns" in f.message
+
+    def test_clock_module_itself_may_write(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/clock.py",
+            "class SimClock:\n"
+            "    def advance(self, ns):\n"
+            "        self.now_ns = self.now_ns + ns\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+    def test_suppressible(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/service/mod.py",
+            "def warp(clock):\n"
+            "    clock.now_ns = 100  # trd: ignore[TRD006] test shim\n",
+        )
+        assert run_lint([str(tmp_path)], CLOCK) == []
+
+
+class TestTRD007Unordered:
+    BAD = (
+        "def export(metrics, shards):\n"
+        "    shard_set = set(shards)\n"
+        "    for shard in shard_set:\n"
+        "        metrics.observe(shard)\n"
+    )
+
+    def test_set_iteration_feeding_a_metrics_export(self, tmp_path):
+        path = _write(tmp_path, "repro/obs/mod.py", self.BAD)
+        (f,) = run_lint([str(tmp_path)], DETERMINISM)
+        assert f.rule == "TRD007"
+        assert f.path == path
+        assert f.line == 3  # the for statement
+        assert "unordered" in f.message
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "def export(metrics, shards):\n"
+            "    shard_set = set(shards)\n"
+            "    for shard in sorted(shard_set):\n"
+            "        metrics.observe(shard)\n",
+        )
+        assert run_lint([str(tmp_path)], DETERMINISM) == []
+
+    def test_float_accumulation_over_listdir(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "import os\n"
+            "def total(path, costs):\n"
+            "    total_ns = 0.0\n"
+            "    for name in os.listdir(path):\n"
+            "        total_ns += costs[name]\n"
+            "    return total_ns\n",
+        )
+        (f,) = run_lint([str(tmp_path)], DETERMINISM)
+        assert f.rule == "TRD007"
+        assert f.line == 4
+        assert "accumulation" in f.message
+
+    def test_sum_reduction_over_a_set(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "def total(xs):\n"
+            "    pool = {float(x) for x in xs}\n"
+            "    return sum(pool)\n",
+        )
+        (f,) = run_lint([str(tmp_path)], DETERMINISM)
+        assert f.rule == "TRD007"
+        assert f.line == 3
+
+    def test_loop_without_sink_or_accumulator_is_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "def scan(shards):\n"
+            "    seen = set(shards)\n"
+            "    for shard in seen:\n"
+            "        shard.validate()\n",
+        )
+        assert run_lint([str(tmp_path)], DETERMINISM) == []
+
+    def test_suppressible(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "def export(metrics, shards):\n"
+            "    shard_set = set(shards)\n"
+            "    for shard in shard_set:  # trd: ignore[TRD007] gauge\n"
+            "        metrics.observe(shard)\n",
+        )
+        assert run_lint([str(tmp_path)], DETERMINISM) == []
+
+
+class TestTRD007WallClock:
+    def test_wall_clock_into_json_dump(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "import json\n"
+            "import time\n"
+            "def save(f):\n"
+            "    wall_s = time.time()\n"
+            '    json.dump({"wall_s": wall_s}, f)\n',
+        )
+        (f,) = run_lint([str(tmp_path)], DETERMINISM)
+        assert f.rule == "TRD007"
+        assert f.line == 5
+        assert "wall-clock" in f.message
+
+    def test_wall_clock_kept_out_of_the_payload_is_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "import json\n"
+            "import time\n"
+            "def save(f, payload):\n"
+            "    started = time.time()\n"
+            "    json.dump(payload, f)\n"
+            "    return time.time() - started\n",
+        )
+        assert run_lint([str(tmp_path)], DETERMINISM) == []
+
+    def test_taint_flows_through_a_helper_return(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "import json\n"
+            "import time\n"
+            "def now_s():\n"
+            "    return time.time()\n"
+            "def save(f):\n"
+            "    stamp = now_s()\n"
+            "    json.dump(stamp, f)\n",
+        )
+        (f,) = run_lint([str(tmp_path)], DETERMINISM)
+        assert f.rule == "TRD007"
+        assert f.line == 7
+
+    def test_interprocedural_sink_parameter(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "import json\n"
+            "import time\n"
+            "def write_manifest(payload, f):\n"
+            "    json.dump(payload, f)\n"
+            "def run(f):\n"
+            "    wall_s = time.time()\n"
+            '    write_manifest({"wall_s": wall_s}, f)\n',
+        )
+        (f,) = run_lint([str(tmp_path)], DETERMINISM)
+        assert f.rule == "TRD007"
+        assert f.line == 7
+        assert "write_manifest" in f.message
+
+    def test_suppressible(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "import json\n"
+            "import time\n"
+            "def save(f):\n"
+            "    wall_s = time.time()\n"
+            '    json.dump({"wall_s": wall_s}, f)'
+            "  # trd: ignore[TRD007] bench report\n",
+        )
+        assert run_lint([str(tmp_path)], DETERMINISM) == []
+
+
+class TestTRD007HashId:
+    def test_hash_as_subscript_key(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "def index(d, obj):\n    d[hash(obj)] = obj\n",
+        )
+        (f,) = run_lint([str(tmp_path)], DETERMINISM)
+        assert f.rule == "TRD007"
+        assert f.line == 2
+        assert "hash()" in f.message
+
+    def test_id_as_sort_key(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "def order(xs):\n"
+            "    return sorted(xs, key=lambda x: id(x))\n",
+        )
+        (f,) = run_lint([str(tmp_path)], DETERMINISM)
+        assert f.rule == "TRD007"
+        assert "id()" in f.message
+        assert "sort key" in f.message
+
+    def test_stable_keys_are_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/obs/mod.py",
+            "def index(d, obj):\n    d[obj.name] = obj\n",
+        )
+        assert run_lint([str(tmp_path)], DETERMINISM) == []
+
+
+class TestTRD008ScalarFallback:
+    BAD = (
+        "import numpy as np\n"
+        "\n"
+        "def charge(costs):\n"
+        "    total = 0.0\n"
+        "    for c in costs.tolist():\n"
+        "        total += c\n"
+        "    return total\n"
+    )
+
+    def test_scalar_loop_in_sim_batch(self, tmp_path):
+        path = _write(tmp_path, "repro/sim/batch.py", self.BAD)
+        (f,) = run_lint([str(tmp_path)], SCALAR)
+        assert f.rule == "TRD008"
+        assert f.path == path
+        assert f.line == 5  # the for statement
+        assert "per-element" in f.message
+
+    def test_ndarray_annotated_param_is_tracked(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/tlb/batch.py",
+            "import numpy as np\n"
+            "\n"
+            "def charge(costs: np.ndarray) -> float:\n"
+            "    total = 0.0\n"
+            "    for c in costs:\n"
+            "        total += c\n"
+            "    return total\n",
+        )
+        (f,) = run_lint([str(tmp_path)], SCALAR)
+        assert f.rule == "TRD008"
+        assert f.line == 5
+
+    def test_transparent_wrappers_keep_taint(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/service/fleet.py",
+            "import numpy as np\n"
+            "\n"
+            "def charge(n):\n"
+            "    sizes = np.arange(n)\n"
+            "    for i, s in enumerate(sizes):\n"
+            "        print(i, s)\n",
+        )
+        (f,) = run_lint([str(tmp_path)], SCALAR)
+        assert f.rule == "TRD008"
+        assert f.line == 5
+
+    def test_non_hot_module_is_not_checked(self, tmp_path):
+        _write(tmp_path, "repro/sim/other.py", self.BAD)
+        assert run_lint([str(tmp_path)], SCALAR) == []
+
+    def test_batch_granular_loop_is_clean(self, tmp_path):
+        # a call the rule cannot prove array-valued is a taint barrier:
+        # iterating *batches* of work is the hot path's correct shape
+        _write(
+            tmp_path,
+            "repro/sim/batch.py",
+            "import numpy as np\n"
+            "\n"
+            "def run(wl, api):\n"
+            "    batches = wl.iter_batches(api)\n"
+            "    for batch in batches:\n"
+            "        batch.execute()\n",
+        )
+        assert run_lint([str(tmp_path)], SCALAR) == []
+
+    def test_vectorized_reduction_is_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/sim/batch.py",
+            "import numpy as np\n"
+            "\n"
+            "def charge(costs):\n"
+            "    return float(np.asarray(costs).sum())\n",
+        )
+        assert run_lint([str(tmp_path)], SCALAR) == []
+
+    def test_marker_above_def_opts_the_function_out(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/sim/batch.py",
+            "import numpy as np\n"
+            "\n"
+            "# trd: scalar-fallback[budget-gated replay tail]\n"
+            "def charge(costs):\n"
+            "    total = 0.0\n"
+            "    for c in costs.tolist():\n"
+            "        total += c\n"
+            "    return total\n",
+        )
+        assert run_lint([str(tmp_path)], SCALAR) == []
+
+    def test_marker_on_def_line_opts_the_function_out(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/sim/batch.py",
+            "import numpy as np\n"
+            "\n"
+            "def charge(costs):  # trd: scalar-fallback[gated tail]\n"
+            "    for c in costs.tolist():\n"
+            "        pass\n",
+        )
+        assert run_lint([str(tmp_path)], SCALAR) == []
+
+    def test_suppressible_on_the_loop_line(self, tmp_path):
+        _write(
+            tmp_path,
+            "repro/sim/batch.py",
+            "import numpy as np\n"
+            "\n"
+            "def charge(costs):\n"
+            "    for c in costs.tolist():  # trd: ignore[TRD008] bounded\n"
+            "        pass\n",
+        )
+        assert run_lint([str(tmp_path)], SCALAR) == []

@@ -92,9 +92,11 @@ class TestLintCLI:
         out = capsys.readouterr().out
         assert "TRD001" in out and "1 finding(s)" in out
         assert main(["lint", str(tmp_path), "--format", "json"]) == 1
-        findings = json.loads(capsys.readouterr().out)
-        assert findings[0]["rule"] == "TRD001"
-        assert findings[0]["line"] == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "TRD001"
+        assert payload["findings"][0]["line"] == 1
+        assert payload["files"] == 1
+        assert "TRD001" in payload["rule_timings_ms"]
 
     def test_select_filters_rules(self, capsys, tmp_path):
         bad = tmp_path / "repro" / "mod.py"
@@ -106,7 +108,10 @@ class TestLintCLI:
 
     def test_unknown_rule_code_exits_two(self, capsys):
         assert main(["lint", "--select", "TRD999"]) == 2
-        assert "unknown rule code" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "unknown rule code" in out
+        # the one-line error names every valid code
+        assert "TRD001" in out and "TRD008" in out
 
     def test_missing_path_exits_two(self, capsys):
         assert main(["lint", "/no/such/path"]) == 2
@@ -117,6 +122,58 @@ class TestLintCLI:
         out = capsys.readouterr().out
         for code in ("TRD001", "TRD002", "TRD003", "TRD004"):
             assert code in out
+
+    def test_explain_renders_rationale_and_examples(self, capsys):
+        assert main(["lint", "--explain", "trd006"]) == 0
+        out = capsys.readouterr().out
+        assert "TRD006 clock-discipline" in out
+        assert "bad:" in out and "good:" in out
+        assert "clock.advance" in out
+
+    def test_explain_unknown_code_exits_two(self, capsys):
+        assert main(["lint", "--explain", "TRD999"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown rule code" in out and "TRD008" in out
+
+    def test_baseline_round_trip(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n")
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", str(bad), "--write-baseline", baseline]) == 0
+        assert "wrote baseline with 1 entry" in capsys.readouterr().out
+        # the baselined finding no longer fails the run
+        assert main(["lint", str(bad), "--baseline", baseline]) == 0
+        assert "1 baselined finding(s) suppressed" in capsys.readouterr().out
+
+    def test_baseline_reports_stale_entries(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n")
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", str(bad), "--write-baseline", baseline]) == 0
+        capsys.readouterr()
+        bad.write_text("x = 1\n")  # debt paid off
+        assert main(["lint", str(bad), "--baseline", baseline]) == 0
+        assert "stale baseline entry TRD001" in capsys.readouterr().out
+
+    def test_unreadable_baseline_exits_two(self, capsys, tmp_path):
+        bad_baseline = tmp_path / "baseline.json"
+        bad_baseline.write_text("[]\n")
+        assert main(["lint", "--baseline", str(bad_baseline)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().out
+
+    def test_format_sarif(self, capsys, tmp_path):
+        bad = tmp_path / "repro" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n")
+        assert main(["lint", str(bad), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "TRD001"
+        uri = result["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert uri["uri"] == "repro/mod.py"
 
 
 class TestAuditCLI:
