@@ -14,6 +14,7 @@ Commands
 ``loadgen``    open-loop service traffic against a homogeneous tenant fleet
 ``serve``      heterogeneous service fleet from a JSON config (docs/service.md)
 ``tenants``    many tenants churning sharded NUMA machines (docs/numa.md)
+``watch``      live terminal dashboard over telemetry scrape streams
 
 Examples::
 
@@ -34,7 +35,11 @@ Examples::
     python -m repro lint src/ --format json
     python -m repro loadgen --workloads GUPS --rate 5000,20000,80000 --tenants 2
     python -m repro loadgen --workloads GUPS --rate 20000 --closed-loop
+    python -m repro loadgen --workloads GUPS --rate 40000 \\
+        --telemetry-out report/service/telemetry --alerts rules.json
     python -m repro serve --config fleet.json --jobs 4 --out report/service
+    python -m repro metrics m.json --format prom
+    python -m repro watch report/service/telemetry --once
 """
 
 from __future__ import annotations
@@ -170,6 +175,13 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("counter", "gauge", "histogram"),
         default=None,
         help="only show metrics of this kind",
+    )
+    met.add_argument(
+        "--format",
+        choices=("text", "prom"),
+        default="text",
+        help="snapshot output: human tables (text) or Prometheus "
+        "exposition text (prom); prom requires METRICS_JSON",
     )
 
     rep = sub.add_parser(
@@ -386,6 +398,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replicate page tables per node (Mitosis): local walks, "
         "fault-time replica maintenance",
     )
+    _add_service_telemetry_args(loadgen)
 
     tenants = sub.add_parser(
         "tenants",
@@ -439,6 +452,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", "-o", default="report/tenants", metavar="DIR",
         help="output directory (shards/, tenants_manifest.json)",
     )
+    tenants.add_argument(
+        "--telemetry-out", default=None, metavar="DIR",
+        help="write one Prometheus scrape stream per shard under DIR",
+    )
+    tenants.add_argument(
+        "--telemetry-interval-ms", type=float, default=1.0, metavar="MS",
+        help="simulated milliseconds between scrape frames (default: 1)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -458,7 +479,67 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--out", "-o", default=None, metavar="DIR", help="override out_dir"
     )
+    _add_service_telemetry_args(serve)
+
+    watch = sub.add_parser(
+        "watch",
+        help="live terminal dashboard over telemetry scrape streams",
+    )
+    watch.add_argument(
+        "source",
+        metavar="SOURCE",
+        help="a telemetry directory of .prom streams, one stream file, "
+        "or an http://HOST:PORT endpoint URL",
+    )
+    watch.add_argument(
+        "--refresh",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="wall seconds between re-renders (default: 1)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current state once and exit (no screen clearing)",
+    )
     return parser
+
+
+def _add_service_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by ``loadgen`` and ``serve``."""
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="DIR",
+        help="write one Prometheus scrape stream per cell under DIR "
+        "(frames on the simulated-clock cadence; byte-identical at any "
+        "--jobs)",
+    )
+    parser.add_argument(
+        "--telemetry-interval-ms",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="simulated milliseconds between scrape frames (default: 1)",
+    )
+    parser.add_argument(
+        "--alerts",
+        default=None,
+        metavar="FILE",
+        help="burn-rate / threshold alert rules (JSON or TOML; see "
+        "docs/observability.md); requires --telemetry-out, merges cell "
+        "transitions into OUT/alerts.json",
+    )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the newest frames at http://127.0.0.1:PORT/metrics "
+        "while the fleet runs (0 = pick a free port); requires "
+        "--telemetry-out",
+    )
 
 
 def _cmd_list() -> int:
@@ -786,9 +867,14 @@ def _indent_example(example: str) -> str:
     return "\n".join("    " + line for line in example.rstrip().splitlines())
 
 
-def _cmd_metrics(kind: str | None, file: str | None = None) -> int:
+def _cmd_metrics(
+    kind: str | None, file: str | None = None, format: str = "text"
+) -> int:
     if file is not None:
-        return _cmd_metrics_file(file, kind)
+        return _cmd_metrics_file(file, kind, format)
+    if format == "prom":
+        print("error: --format prom needs a METRICS_JSON file to render")
+        return 2
     from repro.obs import METRIC_CATALOG
 
     print(f"{'NAME':38s} {'KIND':10s} {'LABELS':12s} DESCRIPTION")
@@ -799,7 +885,7 @@ def _cmd_metrics(kind: str | None, file: str | None = None) -> int:
     return 0
 
 
-def _cmd_metrics_file(path: str, kind: str | None) -> int:
+def _cmd_metrics_file(path: str, kind: str | None, format: str = "text") -> int:
     """Summarize an exported snapshot; histograms as nearest-rank percentiles."""
     import json
 
@@ -818,13 +904,34 @@ def _cmd_metrics_file(path: str, kind: str | None) -> int:
     # Render into a buffer first: a malformed section must produce one
     # clean error line, not a partial table followed by a traceback.
     try:
-        lines = _render_metrics_file(data, kind)
+        if format == "prom":
+            text = _render_metrics_prom(data, kind)
+            lines = text.splitlines()
+        else:
+            lines = _render_metrics_file(data, kind)
     except (AttributeError, KeyError, TypeError, ValueError) as exc:
         print(f"error: {path} is not a valid metrics snapshot: {exc!r}")
         return 2
     for line in lines:
         print(line)
     return 0
+
+
+def _render_metrics_prom(data: dict, kind: str | None) -> str:
+    """The snapshot in Prometheus exposition text (``--format prom``)."""
+    from repro.obs.telemetry import render_exposition
+
+    if kind is not None:
+        section = {"counter": "counters", "gauge": "gauges",
+                   "histogram": "histograms"}[kind]
+        data = {section: data.get(section, {})}
+    return render_exposition(
+        {
+            "counters": dict(data.get("counters", {})),
+            "gauges": dict(data.get("gauges", {})),
+            "histograms": dict(data.get("histograms", {})),
+        }
+    )
 
 
 def _render_metrics_file(data: dict, kind: str | None) -> list[str]:
@@ -908,23 +1015,45 @@ def _cmd_report(path: str, out: str) -> int:
     return 0
 
 
-def _run_fleet_and_print(config) -> int:
+def _run_fleet_and_print(config, telemetry_port: int | None = None) -> int:
     import os
 
     from repro.service.fleet import run_fleet
     from repro.service.report import render_service_table
 
+    endpoint = None
+    if telemetry_port is not None:
+        if not config.telemetry_out:
+            print("error: --telemetry-port requires --telemetry-out")
+            return 2
+        from repro.obs.telemetry.endpoint import (
+            TelemetryHTTPServer,
+            latest_frames_supplier,
+        )
+
+        endpoint = TelemetryHTTPServer(
+            latest_frames_supplier(config.telemetry_out), port=telemetry_port
+        )
+        port = endpoint.start()
+        print(f"telemetry endpoint: http://127.0.0.1:{port}/metrics")
     try:
         report = run_fleet(config, progress=print)
     except (RuntimeError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
+    finally:
+        if endpoint is not None:
+            endpoint.stop()
     print()
     for line in render_service_table(report):
         print(line)
     print()
     print(f"report: {os.path.join(config.out_dir, 'service_report.json')}")
     print(f"saturation: {os.path.join(config.out_dir, 'saturation.csv')}")
+    if config.telemetry_out:
+        print(f"telemetry: {config.telemetry_out}")
+    if config.alerts_path:
+        print(f"alerts: {os.path.join(config.out_dir, 'alerts.json')}")
     return 0
 
 
@@ -963,8 +1092,14 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         numa_nodes=args.numa_nodes,
         numa_remote_multiplier=args.numa_remote,
         pt_replication=args.pt_replication,
+        telemetry_out=args.telemetry_out,
+        telemetry_interval_ms=args.telemetry_interval_ms,
+        alerts_path=args.alerts,
     )
-    return _run_fleet_and_print(config)
+    if config.alerts_path and not config.telemetry_out:
+        print("error: --alerts requires --telemetry-out")
+        return 2
+    return _run_fleet_and_print(config, telemetry_port=args.telemetry_port)
 
 
 def _cmd_tenants(args: argparse.Namespace) -> int:
@@ -987,6 +1122,8 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         out_dir=args.out,
+        telemetry_out=args.telemetry_out,
+        telemetry_interval_ms=args.telemetry_interval_ms,
     )
     try:
         manifest = run_multi_tenant(config)
@@ -1009,6 +1146,8 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
             f"audit: checks={totals['audit_checks']} "
             f"violations={totals['audit_violations']}"
         )
+    if config.telemetry_out:
+        print(f"telemetry: {config.telemetry_out}")
     print(f"manifest: {os.path.join(config.out_dir, 'tenants_manifest.json')}")
     return 0
 
@@ -1057,6 +1196,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "numa_nodes",
                 "numa_remote_multiplier",
                 "pt_replication",
+                "telemetry_out",
+                "telemetry_interval_ms",
+                "alerts_path",
             )
             if k in spec
         }
@@ -1069,7 +1211,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config.seed = args.seed
     if args.out is not None:
         config.out_dir = args.out
-    return _run_fleet_and_print(config)
+    if args.telemetry_out is not None:
+        config.telemetry_out = args.telemetry_out
+    if args.telemetry_interval_ms != 1.0:
+        config.telemetry_interval_ms = args.telemetry_interval_ms
+    if args.alerts is not None:
+        config.alerts_path = args.alerts
+    if config.alerts_path and not config.telemetry_out:
+        print("error: alerts require a telemetry output directory")
+        return 2
+    return _run_fleet_and_print(config, telemetry_port=args.telemetry_port)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry.dashboard import watch
+
+    try:
+        return watch(args.source, refresh_s=args.refresh, once=args.once)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot tail {args.source}: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1091,7 +1254,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "metrics":
-        return _cmd_metrics(args.kind, args.file)
+        return _cmd_metrics(args.kind, args.file, args.format)
     if args.command == "report":
         return _cmd_report(args.path, args.out)
     if args.command == "bench":
@@ -1104,6 +1267,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "tenants":
         return _cmd_tenants(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     return 2
 
 

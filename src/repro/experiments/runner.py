@@ -168,6 +168,25 @@ def _build_obs(config) -> Observability:
     )
 
 
+def attach_telemetry(obs: Observability, config):
+    """Wire a SimClock-cadence scrape stream when the config asks for one.
+
+    Returns the scraper (callers must ``close()`` it before exporting
+    artifacts so the stream ends with the end-of-run frame), or None.
+    """
+    telemetry_out = getattr(config, "telemetry_out", None)
+    if not telemetry_out:
+        return None
+    from repro.obs.telemetry import ScrapeFileSink, TelemetryScraper
+
+    return TelemetryScraper(
+        obs.clock,
+        obs.metrics,
+        ScrapeFileSink(telemetry_out),
+        interval_ms=config.telemetry_interval_ms,
+    )
+
+
 def _wants_timeline(config) -> bool:
     """Explicit per-run flag first; output paths imply it; else the global."""
     if config.timeline is not None:
@@ -250,6 +269,9 @@ class RunConfig:
     timeline_out: str | None = None
     #: write a self-contained single-file HTML report here
     report_out: str | None = None
+    #: append Prometheus-text scrape frames (SimClock cadence) here
+    telemetry_out: str | None = None
+    telemetry_interval_ms: float = 1.0
 
 
 class _WorkloadAPI:
@@ -325,6 +347,7 @@ class NativeRunner:
 
     def run(self) -> RunMetrics:
         cfg = self.config
+        scraper = attach_telemetry(self.obs, cfg)
         if cfg.fragmented:
             self.system.fragment(**cfg.fragment_kwargs)
         process = self.system.create_process(cfg.workload)
@@ -352,6 +375,8 @@ class NativeRunner:
             self.system.auditor.audit()  # final audit: every run gets >= 1
         if self.obs.timeline is not None:
             self.obs.timeline.sample()  # closing sample at end-of-run state
+        if scraper is not None:
+            scraper.close()  # final frame at end-of-run state
         emit_metrics_json(
             self.obs, metrics, cfg.metrics_out, auditors=(self.system.auditor,)
         )
@@ -464,6 +489,9 @@ class VirtRunConfig:
     timeline_interval_ms: float = 0.5
     timeline_out: str | None = None
     report_out: str | None = None
+    #: append Prometheus-text scrape frames of the guest registry here
+    telemetry_out: str | None = None
+    telemetry_interval_ms: float = 1.0
 
 
 class VirtRunner:
@@ -533,6 +561,7 @@ class VirtRunner:
 
     def run(self) -> RunMetrics:
         cfg = self.config
+        scraper = attach_telemetry(self.obs, cfg)
         if cfg.guest_fragmented:
             self.vm.guest.fragment(**cfg.fragment_kwargs)
         process = self.vm.create_guest_process(cfg.workload)
@@ -589,6 +618,8 @@ class VirtRunner:
                 system.auditor.audit()  # final audit: every run gets >= 1
         if self.obs.timeline is not None:
             self.obs.timeline.sample()  # closing sample at end-of-run state
+        if scraper is not None:
+            scraper.close()  # final frame at end-of-run state
         emit_metrics_json(
             self.obs,
             metrics,

@@ -24,7 +24,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_label_value,
     nearest_rank,
+    parse_key,
     percentile_from_buckets,
     render_key,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "METRIC_CATALOG",
     "render_key",
+    "parse_key",
+    "escape_label_value",
     "nearest_rank",
     "percentile_from_buckets",
 ]
@@ -180,8 +184,14 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str], ...] = (
     ("audit_checks_total", "counter", "", "elementary invariant checks performed"),
     ("audit_violations_total", "counter", "", "invariant violations detected"),
     # service layer (repro.service; loadgen/serve runs only)
-    ("service_requests_total", "counter", "", "service requests completed"),
-    ("service_slo_violations_total", "counter", "", "requests over the SLO bound"),
-    ("service_request_latency_ns", "histogram", "", "request latency incl. queueing"),
-    ("service_queue_delay_ns", "histogram", "", "open-loop queueing delay"),
+    ("service_requests_total", "counter", "workload,policy", "service requests completed"),
+    ("service_slo_violations_total", "counter", "workload,policy", "requests over the SLO bound"),
+    ("service_request_latency_ns", "histogram", "workload,policy", "request latency incl. queueing"),
+    ("service_queue_delay_ns", "histogram", "workload,policy", "open-loop queueing delay"),
+    ("service_queue_depth", "gauge", "workload,policy", "requests arrived but not completed"),
+    ("service_completed_requests", "gauge", "workload,policy", "requests completed so far"),
+    # telemetry pipeline (repro.obs.telemetry; scrape-enabled runs only)
+    ("telemetry_frames_total", "counter", "", "scrape frames rendered"),
+    ("alert_transitions_total", "counter", "rule", "alert firing/resolved transitions"),
+    ("alerts_active", "gauge", "", "alert instances currently firing"),
 )

@@ -78,12 +78,112 @@ def percentile_from_buckets(export: dict, pct: float) -> float:
     return math.inf if observed_max is None else float(observed_max)
 
 
+#: label-value characters that render bare (unquoted) in a flat key;
+#: anything else forces the quoted-and-escaped form so keys stay
+#: unambiguous and machine-parseable (``parse_key`` is the exact inverse)
+_BARE_LABEL_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:+/-"
+)
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash-escape ``\\``, ``"`` and newlines (Prometheus label rules)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep both chars verbatim
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def render_key(name: str, labels: dict) -> str:
-    """Canonical flat key: ``name`` or ``name{k=v,...}`` with sorted keys."""
+    """Canonical flat key: ``name`` or ``name{k=v,...}`` with sorted keys.
+
+    Simple values (alphanumerics plus ``_.:+/-``) render bare, keeping the
+    historical key format byte-for-byte.  Values containing anything else —
+    ``"``, ``\\``, newlines, commas, ``=``, ``}`` ... — render quoted with
+    Prometheus-style escapes; a bare value never starts with ``"``, so the
+    two forms cannot collide and :func:`parse_key` can invert exactly.
+    """
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
-    return f"{name}{{{inner}}}"
+    parts = []
+    for k in sorted(labels):
+        value = str(labels[k])
+        if value and all(ch in _BARE_LABEL_CHARS for ch in value):
+            parts.append(f"{k}={value}")
+        else:
+            parts.append(f'{k}="{escape_label_value(value)}"')
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def parse_key(key: str) -> tuple[str, dict]:
+    """Split a :func:`render_key` flat key back into ``(name, labels)``.
+
+    Exact inverse for both the bare and the quoted-escaped label forms;
+    raises ``ValueError`` on malformed keys (the exposition layer depends
+    on this being strict, not best-effort).
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed metric key (unclosed labels): {key!r}")
+    name = key[:brace]
+    body = key[brace + 1 : -1]
+    labels: dict = {}
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ValueError(f"malformed label pair in key: {key!r}")
+        label = body[i:eq]
+        if body[eq + 1 : eq + 2] == '"':  # quoted-escaped value
+            j = eq + 2
+            raw: list[str] = []
+            while j < len(body):
+                ch = body[j]
+                if ch == "\\" and j + 1 < len(body):
+                    raw.append(body[j : j + 2])
+                    j += 2
+                    continue
+                if ch == '"':
+                    break
+                raw.append(ch)
+                j += 1
+            else:
+                raise ValueError(f"unterminated label quote in key: {key!r}")
+            labels[label] = unescape_label_value("".join(raw))
+            i = j + 1
+            if i < len(body):
+                if body[i] != ",":
+                    raise ValueError(f"malformed label list in key: {key!r}")
+                i += 1
+        else:  # bare value: runs to the next comma
+            comma = body.find(",", eq + 1)
+            end = comma if comma >= 0 else len(body)
+            labels[label] = body[eq + 1 : end]
+            i = end + 1 if comma >= 0 else end
+    return name, labels
 
 
 class Counter:

@@ -53,6 +53,10 @@ class ObsOptions:
     timeline_out: str | None = None
     #: write a self-contained single-file HTML report here (implies timeline)
     report_out: str | None = None
+    #: append Prometheus-text scrape frames (SimClock cadence) here
+    telemetry_out: str | None = None
+    #: simulated milliseconds between scrape frames
+    telemetry_interval_ms: float = 1.0
 
     @property
     def trace_enabled(self) -> bool:
@@ -79,6 +83,8 @@ class ObsOptions:
             timeline=self.timeline or None,
             timeline_out=self.timeline_out if primary else None,
             report_out=self.report_out if primary else None,
+            telemetry_out=self.telemetry_out if primary else None,
+            telemetry_interval_ms=self.telemetry_interval_ms,
         )
 
 
@@ -180,6 +186,20 @@ def add_obs_args(
         metavar="PATH",
         help="write a self-contained single-file HTML timeline report",
     )
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="append Prometheus-text scrape frames to PATH on the "
+        "simulated-clock cadence",
+    )
+    parser.add_argument(
+        "--telemetry-interval-ms",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="simulated milliseconds between scrape frames (default: 1)",
+    )
 
 
 def obs_options_from_args(args: argparse.Namespace) -> ObsOptions:
@@ -206,4 +226,6 @@ def obs_options_from_args(args: argparse.Namespace) -> ObsOptions:
         timeline=getattr(args, "timeline", False),
         timeline_out=getattr(args, "timeline_out", None),
         report_out=getattr(args, "report_out", None),
+        telemetry_out=getattr(args, "telemetry_out", None),
+        telemetry_interval_ms=getattr(args, "telemetry_interval_ms", 1.0),
     )

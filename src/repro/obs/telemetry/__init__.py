@@ -1,0 +1,62 @@
+"""Live telemetry: exposition, windowed aggregation, SLO alerts, watch.
+
+The streaming counterpart of the post-hoc artifacts (``metrics.json``,
+Chrome traces, HTML reports): registry snapshots rendered as
+Prometheus/OpenMetrics text frames on a simulated-time cadence, windowed
+burn-rate alerting over the frame stream, an optional live HTTP scrape
+endpoint, and the ``repro watch`` terminal dashboard.  See
+``docs/observability.md`` (Telemetry) for the formats and the
+determinism contract.
+"""
+
+from __future__ import annotations
+
+from repro.obs.telemetry.alerts import (
+    AlertEngine,
+    AlertLog,
+    AlertRule,
+    load_alert_rules,
+    parse_alert_rules,
+)
+from repro.obs.telemetry.exposition import (
+    FRAME_TERMINATOR,
+    ScrapeFileSink,
+    TelemetryScraper,
+    format_value,
+    iter_frames,
+    parse_exposition,
+    read_last_frame,
+    render_exposition,
+    render_frame,
+    validate_exposition,
+)
+from repro.obs.telemetry.windows import (
+    FrameAggregator,
+    HistogramWindow,
+    WindowSeries,
+    histogram_export_delta,
+    merge_histogram_exports,
+)
+
+__all__ = [
+    "AlertEngine",
+    "AlertLog",
+    "AlertRule",
+    "FrameAggregator",
+    "FRAME_TERMINATOR",
+    "HistogramWindow",
+    "ScrapeFileSink",
+    "TelemetryScraper",
+    "WindowSeries",
+    "format_value",
+    "histogram_export_delta",
+    "iter_frames",
+    "load_alert_rules",
+    "merge_histogram_exports",
+    "parse_alert_rules",
+    "parse_exposition",
+    "read_last_frame",
+    "render_exposition",
+    "render_frame",
+    "validate_exposition",
+]

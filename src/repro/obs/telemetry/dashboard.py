@@ -1,0 +1,321 @@
+"""``repro watch``: a streaming terminal dashboard over scrape frames.
+
+The dashboard tails the telemetry a running fleet is already writing —
+the per-cell ``.prom`` scrape streams of ``repro serve`` / ``repro
+loadgen`` / ``repro tenants`` (or the live ``/metrics`` endpoint) — and
+renders per-policy latency percentiles, throughput and SLO burn,
+saturation gauges, per-node FMFI/free-frame inventory, and the active
+alert set, refreshing in place.
+
+Rendering is split from the loop on purpose: :func:`render_dashboard`
+is a pure function of parsed frames (unit-testable, deterministic); only
+:func:`watch` touches the wall clock, because a live tail has no other
+time source.  Nothing rendered here is ever written back into an
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable
+
+from repro.obs.metrics import parse_key, percentile_from_buckets
+from repro.obs.telemetry.exposition import (
+    iter_frames,
+    parse_exposition,
+    read_last_frame,
+)
+from repro.obs.telemetry.windows import merge_histogram_exports
+
+#: families the service panels read
+_LATENCY = "service_request_latency_ns"
+_REQUESTS = "service_requests_total"
+_VIOLATIONS = "service_slo_violations_total"
+_QUEUE_DEPTH = "service_queue_depth"
+_NODE_FMFI = "numa_node_fmfi"
+_NODE_FREE = "numa_node_free_frames"
+_ALERTS_ACTIVE = "alerts_active"
+
+
+def collect_streams(source: str) -> dict[str, dict]:
+    """Newest parsed frame per stream: ``{stream: {seq, sim_ms, snapshot}}``.
+
+    ``source`` is a directory of ``.prom`` streams, one stream file, or
+    an ``http(s)://`` endpoint URL serving the concatenated-streams
+    format of :mod:`repro.obs.telemetry.endpoint`.
+    """
+    if source.startswith(("http://", "https://")):
+        return _streams_from_endpoint(source)
+    if os.path.isdir(source):
+        out: dict[str, dict] = {}
+        for entry in sorted(os.listdir(source)):
+            if not entry.endswith(".prom"):
+                continue
+            last = read_last_frame(os.path.join(source, entry))
+            if last is None:
+                continue
+            seq, ts_ms, frame = last
+            out[entry[: -len(".prom")]] = {
+                "seq": seq,
+                "sim_ms": ts_ms,
+                "snapshot": parse_exposition(frame),
+            }
+        return out
+    last = read_last_frame(source)
+    if last is None:
+        return {}
+    seq, ts_ms, frame = last
+    name = os.path.basename(source)
+    if name.endswith(".prom"):
+        name = name[: -len(".prom")]
+    return {name: {"seq": seq, "sim_ms": ts_ms, "snapshot": parse_exposition(frame)}}
+
+
+def _streams_from_endpoint(url: str) -> dict[str, dict]:
+    from urllib.request import urlopen
+
+    base = url.rstrip("/")
+    if not base.endswith("/metrics"):
+        base += "/metrics"
+    with urlopen(base, timeout=10.0) as response:
+        text = response.read().decode()
+    out: dict[str, dict] = {}
+    current: str | None = None
+    chunk: list[str] = []
+    for line in text.splitlines() + ["# stream <end>"]:
+        if line.startswith("# stream "):
+            if current is not None and chunk:
+                for seq, ts_ms, frame in iter_frames("\n".join(chunk) + "\n"):
+                    out[current] = {
+                        "seq": seq,
+                        "sim_ms": ts_ms,
+                        "snapshot": parse_exposition(frame),
+                    }
+            name = line.split()[2]
+            current = name[: -len(".prom")] if name.endswith(".prom") else name
+            chunk = []
+        else:
+            chunk.append(line)
+    return out
+
+
+def find_alert_log(source: str) -> dict | None:
+    """``alerts.json`` next to (or one level above) a telemetry directory."""
+    if source.startswith(("http://", "https://")):
+        return None
+    base = source if os.path.isdir(source) else os.path.dirname(source)
+    for candidate in (
+        os.path.join(base, "alerts.json"),
+        os.path.join(os.path.dirname(base.rstrip("/")), "alerts.json"),
+    ):
+        if os.path.isfile(candidate):
+            try:
+                with open(candidate) as f:
+                    return json.load(f)
+            except (OSError, ValueError):
+                return None
+    return None
+
+
+# -- panel extraction -------------------------------------------------------
+
+
+def _series_of(snapshot: dict, section: str, family: str) -> list[tuple[dict, object]]:
+    """(labels, value) for every series of ``family`` in one snapshot section."""
+    out = []
+    for key, value in snapshot.get(section, {}).items():
+        name, labels = parse_key(key)
+        if name == family:
+            out.append((labels, value))
+    return out
+
+
+def _group_label(labels: dict) -> str:
+    workload = labels.get("workload", "?")
+    policy = labels.get("policy", "?")
+    return f"{workload}/{policy}"
+
+
+def service_rows(streams: dict[str, dict]) -> list[dict]:
+    """Per-(workload, policy) service aggregates across every stream."""
+    groups: dict[str, dict] = {}
+    for stream in sorted(streams):
+        snapshot = streams[stream]["snapshot"]
+        for labels, export in _series_of(snapshot, "histograms", _LATENCY):
+            group = groups.setdefault(
+                _group_label(labels),
+                {"latency": [], "requests": 0, "violations": 0, "cells": 0},
+            )
+            group["latency"].append(export)
+            group["cells"] += 1
+        for labels, value in _series_of(snapshot, "counters", _REQUESTS):
+            groups.setdefault(
+                _group_label(labels),
+                {"latency": [], "requests": 0, "violations": 0, "cells": 0},
+            )["requests"] += value
+        for labels, value in _series_of(snapshot, "counters", _VIOLATIONS):
+            groups.setdefault(
+                _group_label(labels),
+                {"latency": [], "requests": 0, "violations": 0, "cells": 0},
+            )["violations"] += value
+    rows = []
+    for name in sorted(groups):
+        group = groups[name]
+        merged = merge_histogram_exports(group["latency"])
+        rows.append(
+            {
+                "group": name,
+                "cells": group["cells"],
+                "requests": group["requests"],
+                "violations": group["violations"],
+                "violation_pct": (
+                    100.0 * group["violations"] / group["requests"]
+                    if group["requests"]
+                    else 0.0
+                ),
+                "p50_ns": percentile_from_buckets(merged, 50.0),
+                "p99_ns": percentile_from_buckets(merged, 99.0),
+            }
+        )
+    return rows
+
+
+def node_rows(streams: dict[str, dict]) -> list[dict]:
+    """Per-NUMA-node inventory summed/averaged across streams."""
+    fmfi: dict[str, list[float]] = {}
+    free: dict[str, float] = {}
+    for stream in sorted(streams):
+        snapshot = streams[stream]["snapshot"]
+        for labels, value in _series_of(snapshot, "gauges", _NODE_FMFI):
+            fmfi.setdefault(labels.get("node", "?"), []).append(float(value))
+        for labels, value in _series_of(snapshot, "gauges", _NODE_FREE):
+            node = labels.get("node", "?")
+            free[node] = free.get(node, 0.0) + float(value)
+    return [
+        {
+            "node": node,
+            "mean_fmfi": sum(fmfi[node]) / len(fmfi[node]) if fmfi.get(node) else 0.0,
+            "free_frames": int(free.get(node, 0)),
+        }
+        for node in sorted(set(fmfi) | set(free), key=lambda n: (len(n), n))
+    ]
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    filled = max(0, min(width, round(fraction * width)))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_dashboard(
+    streams: dict[str, dict], alert_log: dict | None = None
+) -> list[str]:
+    """Pure text rendering of the fleet's newest frames."""
+    lines: list[str] = []
+    if not streams:
+        return ["telemetry: no complete scrape frames yet"]
+    newest_ms = max(s["sim_ms"] for s in streams.values())
+    total_frames = sum(s["seq"] for s in streams.values())
+    lines.append(
+        f"fleet telemetry — {len(streams)} stream(s), {total_frames} frames, "
+        f"sim t={newest_ms:g}ms"
+    )
+    rows = service_rows(streams)
+    if rows:
+        lines.append("")
+        lines.append(
+            f"{'workload/policy':<24} {'cells':>5} {'requests':>9} "
+            f"{'p50':>9} {'p99':>9} {'SLO burn':>22}"
+        )
+        for row in rows:
+            burn = min(1.0, row["violation_pct"] / 100.0)
+            lines.append(
+                f"{row['group']:<24} {row['cells']:>5} {row['requests']:>9g} "
+                f"{row['p50_ns'] / 1e6:>7.2f}ms {row['p99_ns'] / 1e6:>7.2f}ms "
+                f"[{_bar(burn, 12)}] {row['violation_pct']:5.1f}%"
+            )
+    depth_total = 0.0
+    for stream in sorted(streams):
+        for _labels, value in _series_of(
+            streams[stream]["snapshot"], "gauges", _QUEUE_DEPTH
+        ):
+            depth_total += float(value)
+    if depth_total or rows:
+        lines.append(f"{'queued requests (fleet)':<24} {depth_total:>5g}")
+    nodes = node_rows(streams)
+    if nodes:
+        lines.append("")
+        lines.append(f"{'node':<6} {'mean FMFI':>10} {'free frames':>12}")
+        for row in nodes:
+            lines.append(
+                f"{row['node']:<6} {row['mean_fmfi']:>10.3f} "
+                f"{row['free_frames']:>12} [{_bar(row['mean_fmfi'], 16)}]"
+            )
+    lines.extend(_alert_lines(streams, alert_log))
+    return lines
+
+
+def _alert_lines(
+    streams: dict[str, dict], alert_log: dict | None
+) -> list[str]:
+    lines: list[str] = []
+    active_metric = 0.0
+    for stream in sorted(streams):
+        for _labels, value in _series_of(
+            streams[stream]["snapshot"], "gauges", _ALERTS_ACTIVE
+        ):
+            active_metric += float(value)
+    if alert_log is not None:
+        transitions = alert_log.get("transitions", [])
+        firing = [
+            (cell, inst["rule"], inst["series"])
+            for cell in sorted(alert_log.get("cells", {}))
+            for inst in alert_log["cells"][cell].get("active", [])
+        ]
+        lines.append("")
+        lines.append(
+            f"alerts: {len(firing)} firing, "
+            f"{len(transitions)} transition(s) logged"
+        )
+        for cell, rule, series in firing[:10]:
+            suffix = f" {series}" if series else ""
+            lines.append(f"  FIRING {rule}{suffix}  [{cell}]")
+        for t in transitions[-5:]:
+            lines.append(
+                f"  {t['state']:<9} {t['rule']:<24} t={t['sim_ms']:g}ms "
+                f"value={t['value']:.3g}"
+            )
+    elif active_metric:
+        lines.append("")
+        lines.append(f"alerts: {active_metric:g} firing (per-stream gauge)")
+    return lines
+
+
+def watch(
+    source: str,
+    refresh_s: float = 1.0,
+    once: bool = False,
+    out: Callable[[str], None] = print,
+    iterations: int | None = None,
+) -> int:
+    """Tail ``source`` and re-render until interrupted (or ``once``).
+
+    The refresh pacing below is host wall time by design: tailing a live
+    run has no simulated clock to follow, and nothing read here flows
+    back into any deterministic artifact.
+    """
+    import time
+
+    shown = 0
+    while True:
+        streams = collect_streams(source)
+        body = render_dashboard(streams, find_alert_log(source))
+        if not once:
+            out("\x1b[2J\x1b[H" + "\n".join(body))
+        else:
+            for line in body:
+                out(line)
+        shown += 1
+        if once or (iterations is not None and shown >= iterations):
+            return 0
+        time.sleep(max(0.1, refresh_s))  # trd: ignore[TRD007] live-tail pacing is wall-clock by design; never exported

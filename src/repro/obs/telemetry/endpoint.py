@@ -1,0 +1,119 @@
+"""Live scrape endpoint: stdlib ``http.server`` over the newest frames.
+
+This module is the **one sanctioned wall-clock consumer** of the
+telemetry pipeline: a real Prometheus (or ``curl``, or ``repro watch
+--url``) scrapes it in real time while ``repro serve``/``repro loadgen``
+runs, so it necessarily lives on host time — threads, sockets, request
+scheduling.  Nothing here feeds back into any deterministic artifact:
+the frames it serves were rendered on the SimClock cadence by
+:class:`repro.obs.telemetry.exposition.TelemetryScraper`, and the server
+only ever *reads* them.  Keep it that way — anything computed here must
+never be written into a report, manifest, or frame.
+
+The server answers:
+
+* ``GET /metrics`` — the newest complete frame of every stream under the
+  telemetry directory, concatenated (cells are disjoint registries, so
+  family collisions cannot occur within one cell; across cells the
+  streams are separated by their ``# stream`` header);
+* ``GET /healthz`` — ``ok`` once at least one frame exists.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.obs.telemetry.exposition import read_last_frame
+
+
+def latest_frames_supplier(telemetry_dir: str) -> Callable[[], str]:
+    """A supplier serving the newest frame of every ``.prom`` stream.
+
+    Streams are read fresh on every request (the fleet's worker
+    processes append to them concurrently) and concatenated in sorted
+    filename order.  The os.listdir order never escapes: it is sorted
+    before use, and the endpoint's output is not a determinism surface
+    anyway — it exists only for live eyes.
+    """
+
+    def supply() -> str:
+        if not os.path.isdir(telemetry_dir):
+            return ""
+        chunks: list[str] = []
+        for entry in sorted(os.listdir(telemetry_dir)):
+            if not entry.endswith(".prom"):
+                continue
+            last = read_last_frame(os.path.join(telemetry_dir, entry))
+            if last is None:
+                continue
+            seq, ts_ms, frame = last
+            chunks.append(f"# stream {entry} seq={seq} sim_ms={ts_ms:g}\n")
+            chunks.append(frame)
+        return "".join(chunks)
+
+    return supply
+
+
+class TelemetryHTTPServer:
+    """Background-thread scrape endpoint over a frame supplier."""
+
+    def __init__(self, supplier: Callable[[], str], port: int = 0) -> None:
+        self.supplier = supplier
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = outer.supplier().encode()
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                elif self.path == "/healthz":
+                    body = b"ok\n" if outer.supplier() else b"empty\n"
+                    self.send_response(200 if body == b"ok\n" else 503)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                else:
+                    self.send_response(404)
+                    self.send_header("Content-Length", "0")
+                    self.end_headers()
+
+            def log_message(self, *args) -> None:
+                """Silence per-request stderr logging (scrapes are frequent)."""
+
+        self._server = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+        self.port = self._server.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Serve in a daemon thread; returns the bound port."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-telemetry-endpoint",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

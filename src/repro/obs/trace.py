@@ -28,7 +28,11 @@ from typing import IO, Iterable, Iterator
 
 #: every subsystem with permanent instrumentation (``enable_all`` scope).
 #: ``span`` is the begin/end pair stream of :mod:`repro.obs.spans`.
-SUBSYSTEMS = ("buddy", "zerofill", "regions", "compaction", "policy", "tlb", "span")
+#: ``telemetry`` carries the alert engine's firing/resolved transitions.
+SUBSYSTEMS = (
+    "buddy", "zerofill", "regions", "compaction", "policy", "tlb", "span",
+    "telemetry",
+)
 
 #: envelope keys an event's fields may not shadow: ``{**fields}`` in
 #: :meth:`Tracer.events` would silently overwrite them otherwise

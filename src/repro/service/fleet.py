@@ -101,6 +101,14 @@ class ServiceConfig:
     #: replicate page tables per node (Mitosis): local walks, fault-time
     #: replica maintenance — see docs/numa.md
     pt_replication: bool = False
+    #: directory receiving one ``<cell>.prom`` scrape stream per cell
+    #: (None disables the telemetry pipeline entirely)
+    telemetry_out: str | None = None
+    #: simulated milliseconds between scrape frames
+    telemetry_interval_ms: float = 1.0
+    #: alert rule file (JSON/TOML) evaluated per frame in every cell;
+    #: cell exports merge into ``out_dir/alerts.json``
+    alerts_path: str | None = None
     extra_cell_kwargs: dict = field(default_factory=dict)
 
 
@@ -136,6 +144,9 @@ def run_service_cell(
     numa_remote_multiplier: float = 1.4,
     pt_replication: bool = False,
     home_node: int = 0,
+    telemetry_out: str | None = None,
+    telemetry_interval_ms: float = 1.0,
+    alerts_path: str | None = None,
 ) -> dict:
     """Simulate one tenant cell; returns its JSON-able result record.
 
@@ -191,15 +202,21 @@ def run_service_cell(
         n_requests = len(offsets)
 
     # -- metrics + timeline instrumentation --------------------------------
+    # Service series carry (workload, policy) labels so fleet-level
+    # consumers — the scrape endpoint, ``repro watch`` — can group cells
+    # without a side channel.
     metrics = obs.metrics
+    tags = {"workload": workload, "policy": policy}
     h_latency = metrics.histogram(
-        "service_request_latency_ns", buckets=LATENCY_BUCKETS_NS
+        "service_request_latency_ns", buckets=LATENCY_BUCKETS_NS, **tags
     )
     h_queue = metrics.histogram(
-        "service_queue_delay_ns", buckets=LATENCY_BUCKETS_NS
+        "service_queue_delay_ns", buckets=LATENCY_BUCKETS_NS, **tags
     )
-    c_requests = metrics.counter("service_requests_total")
-    c_violations = metrics.counter("service_slo_violations_total")
+    c_requests = metrics.counter("service_requests_total", **tags)
+    c_violations = metrics.counter("service_slo_violations_total", **tags)
+    g_depth = metrics.gauge("service_queue_depth", **tags)
+    g_completed = metrics.gauge("service_completed_requests", **tags)
     progress = {"completed": 0, "depth": 0.0}
     if obs.timeline is not None:
         obs.timeline.add_series(
@@ -209,6 +226,31 @@ def run_service_cell(
             "service_completed_requests",
             lambda: float(progress["completed"]),
             unit="requests",
+        )
+
+    # -- telemetry: scrape frames + per-frame alert evaluation --------------
+    scraper = None
+    engine = None
+    if telemetry_out:
+        from repro.obs.telemetry import (
+            AlertEngine,
+            ScrapeFileSink,
+            TelemetryScraper,
+            load_alert_rules,
+        )
+
+        if alerts_path:
+            engine = AlertEngine(
+                load_alert_rules(alerts_path),
+                tracer=obs.tracer,
+                metrics=metrics,
+            )
+        scraper = TelemetryScraper(
+            obs.clock,
+            metrics,
+            ScrapeFileSink(telemetry_out),
+            interval_ms=telemetry_interval_ms,
+            alert_engine=engine,
         )
 
     # -- request replay: FIFO queue over the simulated clock ----------------
@@ -266,8 +308,12 @@ def run_service_cell(
                 np.searchsorted(offsets, clock.now_ns - epoch_ns, side="right")
             )
             progress["depth"] = max(0.0, arrived - progress["completed"])
+        g_completed.value = float(progress["completed"])
+        g_depth.value = progress["depth"]
     if obs.timeline is not None:
         obs.timeline.sample()  # closing sample at end-of-run state
+    if scraper is not None:
+        scraper.close()  # final frame at end-of-run state
     if trace_out:
         from repro.obs.export import write_chrome_trace
 
@@ -305,6 +351,12 @@ def run_service_cell(
         "tenant": tenant,
         "mode": mode,
         **({"numa": numa_section} if numa_section is not None else {}),
+        **({"alerts": engine.export()} if engine is not None else {}),
+        **(
+            {"telemetry_frames": scraper.frames}
+            if scraper is not None
+            else {}
+        ),
         "rate_rps": rate_rps,
         "duration_s": duration_s,
         "accesses_per_request": k,
@@ -368,6 +420,17 @@ def build_cell_specs(config: ServiceConfig) -> list:
                 if config.timeline
                 else None
             ),
+            **(
+                {
+                    "telemetry_out": os.path.join(
+                        config.telemetry_out, f"{slug}.prom"
+                    ),
+                    "telemetry_interval_ms": config.telemetry_interval_ms,
+                    "alerts_path": config.alerts_path,
+                }
+                if config.telemetry_out
+                else {}
+            ),
             "out_path": os.path.join(config.out_dir, "cells", f"{slug}.json"),
             **config.extra_cell_kwargs,
         }
@@ -414,5 +477,22 @@ def run_fleet(config: ServiceConfig, progress=None) -> dict:
         with open(unit_spec.kwargs["out_path"]) as f:
             records.append(json.load(f))
     report = build_service_report(config, records)
+    if any("alerts" in record for record in records):
+        from repro.obs.telemetry import AlertLog
+        from repro.service.report import write_alerts_json
+
+        alert_log = AlertLog()
+        for unit_spec, record in zip(specs, records):
+            if "alerts" in record:
+                alert_log.add(_cell_slug(unit_spec.unit_id), record["alerts"])
+        merged = alert_log.export()
+        write_alerts_json(config.out_dir, merged)
+        report["alerts"] = {
+            "firing": merged["firing"],
+            "resolved": merged["resolved"],
+            "active": sum(
+                len(cell["active"]) for cell in merged["cells"].values()
+            ),
+        }
     write_service_report(config.out_dir, report)
     return report

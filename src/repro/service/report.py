@@ -20,42 +20,21 @@ import os
 
 from repro.obs.metrics import percentile_from_buckets
 
+# The merge lives with the other window/stream math now; re-exported here
+# because cell merging is where it originated and callers import it from
+# this module.
+from repro.obs.telemetry.windows import merge_histogram_exports
+
+__all__ = [
+    "PERCENTILES",
+    "merge_histogram_exports",
+    "build_service_report",
+    "write_service_report",
+    "write_alerts_json",
+    "render_service_table",
+]
+
 PERCENTILES = (50.0, 90.0, 99.0, 100.0)
-
-
-def merge_histogram_exports(exports: list) -> dict:
-    """Merge :meth:`Histogram.export` dicts observed over identical bounds.
-
-    Bucket counts, ``count`` and ``sum`` add; ``max`` takes the largest
-    recorded value.  Mismatched bucket ladders are a programming error
-    (cells of one fleet always share ``LATENCY_BUCKETS_NS``) and raise.
-    """
-    if not exports:
-        return {"count": 0, "sum": 0.0, "buckets": {}}
-    bounds = set(exports[0]["buckets"])
-    merged = {
-        "count": 0,
-        "sum": 0.0,
-        "buckets": {bound: 0 for bound in exports[0]["buckets"]},
-    }
-    observed_max = None
-    for export in exports:
-        if set(export["buckets"]) != bounds:
-            raise ValueError(
-                "cannot merge histograms with different bucket bounds"
-            )
-        merged["count"] += export["count"]
-        merged["sum"] += export["sum"]
-        for bound, n in export["buckets"].items():
-            merged["buckets"][bound] += n
-        cell_max = export.get("max")
-        if cell_max is not None and (
-            observed_max is None or cell_max > observed_max
-        ):
-            observed_max = cell_max
-    if observed_max is not None:
-        merged["max"] = observed_max
-    return merged
 
 
 def _percentile_block(export: dict) -> dict:
@@ -170,6 +149,16 @@ def write_service_report(out_dir: str, report: dict) -> str:
     return path
 
 
+def write_alerts_json(out_dir: str, merged: dict) -> str:
+    """Persist the fleet-merged :class:`AlertLog` export; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "alerts.json")
+    with open(path, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
 def render_service_table(report: dict) -> list[str]:
     """Human-readable per-group table (printed by ``repro loadgen``)."""
     lines = [
@@ -189,5 +178,13 @@ def render_service_table(report: dict) -> list[str]:
             f"{lat['p50'] / 1e6:>8.2f}ms {lat['p99'] / 1e6:>8.2f}ms "
             f"{lat['p100'] / 1e6:>8.2f}ms "
             f"{row['slo_violation_pct']:>8.2f}%"
+        )
+    if "alerts" in report:
+        alerts = report["alerts"]
+        lines.append("")
+        lines.append(
+            f"alerts: {alerts['firing']} fired, "
+            f"{alerts['resolved']} resolved, "
+            f"{alerts['active']} still active (see alerts.json)"
         )
     return lines

@@ -68,6 +68,10 @@ class MultiTenantConfig:
     jobs: int = 1
     out_dir: str = "report/tenants"
     timeout_s: float = 900.0
+    #: directory receiving one ``shardNNNN.prom`` scrape stream per shard
+    telemetry_out: str | None = None
+    #: simulated milliseconds between scrape frames
+    telemetry_interval_ms: float = 1.0
 
 
 def shard_id(config: MultiTenantConfig, shard: int) -> str:
@@ -272,8 +276,16 @@ def run_shard(
     numa_remote_multiplier: float,
     pt_replication: bool,
     audit: bool,
+    telemetry_out: str | None = None,
+    telemetry_interval_ms: float = 1.0,
 ) -> dict:
-    """One shard, as a pure function of its arguments (the worker body)."""
+    """One shard, as a pure function of its arguments (the worker body).
+
+    With ``telemetry_out`` set, the shard's registry is additionally
+    scraped on the simulated-clock cadence into one ``.prom`` stream —
+    the record itself is unchanged, so telemetry never perturbs the
+    byte-determinism of the manifest.
+    """
     machine = MultiTenantMachine(
         tenant_ids,
         policy=policy,
@@ -285,7 +297,20 @@ def run_shard(
         max_segments=max_segments,
         audit=audit,
     )
+    scraper = None
+    if telemetry_out:
+        from repro.obs.telemetry import ScrapeFileSink, TelemetryScraper
+
+        obs = machine.system.obs
+        scraper = TelemetryScraper(
+            obs.clock,
+            obs.metrics,
+            ScrapeFileSink(telemetry_out),
+            interval_ms=telemetry_interval_ms,
+        )
     record = machine.run(rounds, accesses_per_round, churn_prob)
+    if scraper is not None:
+        scraper.close()
     record["shard"] = shard
     return record
 
@@ -323,6 +348,16 @@ def build_shard_specs(config: MultiTenantConfig) -> list:
             "numa_remote_multiplier": config.numa_remote_multiplier,
             "pt_replication": config.pt_replication,
             "audit": config.audit,
+            **(
+                {
+                    "telemetry_out": os.path.join(
+                        config.telemetry_out, f"shard{shard:04d}.prom"
+                    ),
+                    "telemetry_interval_ms": config.telemetry_interval_ms,
+                }
+                if config.telemetry_out
+                else {}
+            ),
             "out_path": os.path.join(
                 config.out_dir, "shards", f"shard{shard:04d}.json"
             ),
@@ -377,7 +412,8 @@ def run_multi_tenant(config: MultiTenantConfig, progress=None) -> dict:
 def build_manifest(config: MultiTenantConfig, records: list) -> dict:
     """Merge shard records into the run manifest (deterministic bytes)."""
     cfg = asdict(config)
-    for env_key in ("jobs", "out_dir", "timeout_s"):  # environment, not run
+    # environment facts, not run parameters (telemetry_out is a host path)
+    for env_key in ("jobs", "out_dir", "timeout_s", "telemetry_out"):
         cfg.pop(env_key)
     all_tenants = [t for r in records for t in r["tenants"]]
     totals = {

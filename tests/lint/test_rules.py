@@ -238,6 +238,61 @@ class TestTRD004SpanMetrics:
         assert [f.rule for f in run_lint([str(tmp_path)], ALL_RULES)] == []
 
 
+TELEMETRY_CATALOG = '''\
+METRIC_CATALOG = (
+    ("telemetry_frames_total", "counter", "", "scrape frames emitted"),
+    ("alert_transitions_total", "counter", "rule", "alert state changes"),
+    ("alerts_active", "gauge", "", "currently-firing alert instances"),
+)
+'''
+
+
+class TestTRD004TelemetryMetrics:
+    """The telemetry pipeline's own metrics (scraper frame counter, alert
+    engine transition counter and active gauge) are ordinary emissions:
+    the catalog must cover them, labeled and bare forms alike."""
+
+    def test_cataloged_frame_counter_accepted(self, tmp_path):
+        _write(tmp_path, "repro/obs/__init__.py", TELEMETRY_CATALOG)
+        _write(
+            tmp_path,
+            "repro/obs/telemetry/exposition.py",
+            'c = registry.counter("telemetry_frames_total")\n',
+        )
+        assert [f.rule for f in run_lint([str(tmp_path)], ALL_RULES)] == []
+
+    def test_cataloged_labeled_transition_counter_accepted(self, tmp_path):
+        _write(tmp_path, "repro/obs/__init__.py", TELEMETRY_CATALOG)
+        _write(
+            tmp_path,
+            "repro/obs/telemetry/alerts.py",
+            'self.metrics.counter(\n'
+            '    "alert_transitions_total", rule=rule.name\n'
+            ').inc()\n',
+        )
+        assert [f.rule for f in run_lint([str(tmp_path)], ALL_RULES)] == []
+
+    def test_cataloged_active_gauge_accepted(self, tmp_path):
+        _write(tmp_path, "repro/obs/__init__.py", TELEMETRY_CATALOG)
+        _write(
+            tmp_path,
+            "repro/obs/telemetry/alerts.py",
+            'g = metrics.gauge("alerts_active")\n',
+        )
+        assert [f.rule for f in run_lint([str(tmp_path)], ALL_RULES)] == []
+
+    def test_uncataloged_telemetry_metric_flagged(self, tmp_path):
+        _write(tmp_path, "repro/obs/__init__.py", TELEMETRY_CATALOG)
+        _write(
+            tmp_path,
+            "repro/obs/telemetry/alerts.py",
+            'c = metrics.counter("alert_pages_total")\n',
+        )
+        findings = run_lint([str(tmp_path)], ALL_RULES)
+        assert "TRD004" in [f.rule for f in findings]
+        assert any("alert_pages_total" in f.message for f in findings)
+
+
 class TestTRD005TouchResultContract:
     """touch() results are typed (TouchResult); raw-float use is flagged."""
 

@@ -1,0 +1,163 @@
+"""Dashboard collection/rendering and the live HTTP scrape endpoint."""
+
+import json
+import urllib.request
+
+from repro.obs.clock import SimClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry.dashboard import (
+    collect_streams,
+    find_alert_log,
+    render_dashboard,
+    watch,
+)
+from repro.obs.telemetry.endpoint import (
+    TelemetryHTTPServer,
+    latest_frames_supplier,
+)
+from repro.obs.telemetry.exposition import ScrapeFileSink, TelemetryScraper
+
+
+def _write_stream(path, cells: int = 1, frames: int = 3) -> None:
+    """Seeded scrape streams with the service families the panels read."""
+    for cell in range(cells):
+        clock = SimClock()
+        registry = MetricsRegistry()
+        latency = registry.histogram(
+            "service_request_latency_ns",
+            buckets=(50_000, 500_000),
+            workload="GUPS",
+            policy="Trident",
+        )
+        requests = registry.counter(
+            "service_requests_total", workload="GUPS", policy="Trident"
+        )
+        violations = registry.counter(
+            "service_slo_violations_total", workload="GUPS", policy="Trident"
+        )
+        scraper = TelemetryScraper(
+            clock,
+            registry,
+            ScrapeFileSink(str(path / f"cell{cell}.prom")),
+            interval_ms=1.0,
+            catalog=(),
+        )
+        for _ in range(frames):
+            requests.inc(10)
+            violations.inc(1)
+            latency.observe(40_000.0)
+            clock.advance(1e6)
+        scraper.close()
+
+
+class TestCollectStreams:
+    def test_directory_of_streams(self, tmp_path):
+        _write_stream(tmp_path, cells=2)
+        streams = collect_streams(str(tmp_path))
+        assert sorted(streams) == ["cell0", "cell1"]
+        for state in streams.values():
+            assert state["seq"] >= 3
+            assert "snapshot" in state
+
+    def test_single_file_source(self, tmp_path):
+        _write_stream(tmp_path)
+        streams = collect_streams(str(tmp_path / "cell0.prom"))
+        assert list(streams) == ["cell0"]
+
+    def test_empty_directory(self, tmp_path):
+        assert collect_streams(str(tmp_path)) == {}
+
+
+class TestRenderDashboard:
+    def test_renders_service_rows(self, tmp_path):
+        _write_stream(tmp_path, cells=2)
+        lines = render_dashboard(collect_streams(str(tmp_path)))
+        text = "\n".join(lines)
+        assert "fleet telemetry — 2 stream(s)" in text
+        assert "GUPS/Trident" in text
+
+    def test_no_streams_placeholder(self):
+        assert render_dashboard({}) == [
+            "telemetry: no complete scrape frames yet"
+        ]
+
+    def test_rendering_is_pure(self, tmp_path):
+        _write_stream(tmp_path)
+        streams = collect_streams(str(tmp_path))
+        assert render_dashboard(streams) == render_dashboard(streams)
+
+    def test_alert_log_section(self, tmp_path):
+        _write_stream(tmp_path)
+        log = {
+            "transitions": [
+                {
+                    "rule": "slo-burn",
+                    "series": "",
+                    "state": "firing",
+                    "sim_ms": 1.5,
+                    "cell": "cell0",
+                    "value": 4.2,
+                    "threshold": 2.0,
+                }
+            ],
+            "firing": 1,
+            "resolved": 0,
+        }
+        text = "\n".join(
+            render_dashboard(collect_streams(str(tmp_path)), log)
+        )
+        assert "slo-burn" in text
+        assert "firing" in text
+
+    def test_find_alert_log_next_to_telemetry_dir(self, tmp_path):
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        (tmp_path / "alerts.json").write_text(
+            json.dumps({"transitions": [], "firing": 0, "resolved": 0})
+        )
+        found = find_alert_log(str(telemetry))
+        assert found == {"transitions": [], "firing": 0, "resolved": 0}
+
+
+class TestWatch:
+    def test_watch_iterations_with_injected_out(self, tmp_path):
+        _write_stream(tmp_path)
+        seen: list[str] = []
+        code = watch(
+            str(tmp_path),
+            refresh_s=0.0,
+            iterations=2,
+            out=seen.append,
+        )
+        assert code == 0
+        assert len(seen) == 2
+        assert "fleet telemetry" in seen[0]
+
+
+class TestEndpoint:
+    def test_serves_metrics_and_health(self, tmp_path):
+        _write_stream(tmp_path, cells=2)
+        supplier = latest_frames_supplier(str(tmp_path))
+        with TelemetryHTTPServer(supplier, port=0) as server:
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=10) as r:
+                body = r.read().decode()
+                assert r.headers["Content-Type"].startswith("text/plain")
+            assert body.count("# stream ") == 2
+            assert "service_requests_total" in body
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as r:
+                assert r.read() == b"ok\n"
+            streams = collect_streams(base)
+            assert sorted(streams) == ["cell0", "cell1"]
+
+    def test_empty_directory_serves_unhealthy(self, tmp_path):
+        supplier = latest_frames_supplier(str(tmp_path))
+        with TelemetryHTTPServer(supplier, port=0) as server:
+            base = f"http://127.0.0.1:{server.port}"
+            req = urllib.request.Request(f"{base}/healthz")
+            try:
+                urllib.request.urlopen(req, timeout=10)
+                status = 200
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+            assert status == 503

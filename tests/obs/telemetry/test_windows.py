@@ -1,0 +1,205 @@
+"""Sliding-window series, mergeable histogram windows, frame aggregation."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry.windows import (
+    FrameAggregator,
+    HistogramWindow,
+    WindowSeries,
+    histogram_export_delta,
+    merge_histogram_exports,
+)
+
+
+def _export(counts: dict, total: float, observed_max: float | None = None):
+    export = {
+        "count": sum(counts.values()),
+        "sum": total,
+        "buckets": dict(counts),
+    }
+    if observed_max is not None:
+        export["max"] = observed_max
+    return export
+
+
+class TestMergeHistogramExports:
+    def test_counts_and_sums_add(self):
+        merged = merge_histogram_exports(
+            [
+                _export({"10": 1, "+Inf": 2}, 30.0),
+                _export({"10": 4, "+Inf": 0}, 12.0),
+            ]
+        )
+        assert merged == {
+            "count": 7,
+            "sum": 42.0,
+            "buckets": {"10": 5, "+Inf": 2},
+        }
+
+    def test_max_takes_largest(self):
+        merged = merge_histogram_exports(
+            [
+                _export({"+Inf": 1}, 5.0, observed_max=5.0),
+                _export({"+Inf": 1}, 9.0, observed_max=9.0),
+            ]
+        )
+        assert merged["max"] == 9.0
+
+    def test_mismatched_bounds_raise(self):
+        with pytest.raises(ValueError, match="different bucket bounds"):
+            merge_histogram_exports(
+                [_export({"10": 1, "+Inf": 0}, 1.0), _export({"+Inf": 1}, 1.0)]
+            )
+
+    def test_empty_merge_is_zero(self):
+        assert merge_histogram_exports([]) == {
+            "count": 0,
+            "sum": 0.0,
+            "buckets": {},
+        }
+
+
+class TestWindowSeries:
+    def test_delta_over_trailing_window(self):
+        series = WindowSeries(horizon_ns=10e6)
+        for step in range(6):
+            series.observe(step * 1e6, float(step * 10))
+        assert series.delta(2e6) == 20.0
+        assert series.delta(100e6) == 50.0  # partial window: full history
+
+    def test_rate_per_simulated_second(self):
+        series = WindowSeries(horizon_ns=10e6)
+        series.observe(0.0, 0.0)
+        series.observe(1e6, 500.0)  # 500 events in 1 simulated ms
+        assert series.rate_per_s(1e6) == pytest.approx(500_000.0)
+
+    def test_eviction_keeps_anchor_at_horizon_edge(self):
+        series = WindowSeries(horizon_ns=3e6)
+        for step in range(10):
+            series.observe(step * 1e6, float(step))
+        # Samples older than now-horizon are gone, but one anchor at or
+        # before the edge survives so a full-width delta still differences.
+        assert series.ts[0] <= 9e6 - 3e6
+        assert len(series.ts) <= 5
+        assert series.delta(3e6) == 3.0
+
+    def test_decimation_is_deterministic_and_keeps_newest(self):
+        def run():
+            series = WindowSeries(horizon_ns=1e12, max_samples=8)
+            for step in range(101):
+                series.observe(float(step), float(step))
+            return list(zip(series.ts, series.values))
+
+        first, second = run(), run()
+        assert first == second
+        assert len(first) < 101
+        assert first[-1] == (100.0, 100.0)
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError, match="horizon_ns"):
+            WindowSeries(horizon_ns=0)
+        with pytest.raises(ValueError, match="max_samples"):
+            WindowSeries(horizon_ns=1e6, max_samples=2)
+
+
+class TestHistogramWindow:
+    @staticmethod
+    def _cumulative_stream(steps: int):
+        """Cumulative exports of one series observed once per step."""
+        registry = MetricsRegistry()
+        h = registry.histogram("h", buckets=(10, 100))
+        stream = []
+        for step in range(steps):
+            h.observe(5 if step % 2 else 50)
+            stream.append((float(step) * 1e6, h.export()))
+        return stream
+
+    def test_adjacent_window_deltas_merge_to_union(self):
+        # The mergeability property the module docstring pins: the delta
+        # over [t-4ms, t-2ms] plus the delta over [t-2ms, t] equals the
+        # delta over [t-4ms, t], bucket for bucket.  The older window is
+        # read mid-stream (when its end was the newest frame), not
+        # reconstructed from the union.
+        window = HistogramWindow(horizon_ns=100e6)
+        stream = self._cumulative_stream(9)
+        for ts_ns, export in stream[:7]:  # up to ts=6ms
+            window.observe(ts_ns, export)
+        older = window.window_delta(2e6)  # [4ms, 6ms]
+        for ts_ns, export in stream[7:]:  # through ts=8ms
+            window.observe(ts_ns, export)
+        recent = window.window_delta(2e6)  # [6ms, 8ms]
+        union = window.window_delta(4e6)  # [4ms, 8ms]
+        merged = merge_histogram_exports([older, recent])
+        assert merged["buckets"] == union["buckets"]
+        assert merged["count"] == union["count"]
+        assert merged["sum"] == pytest.approx(union["sum"])
+
+    def test_window_covering_all_history_is_cumulative_export(self):
+        window = HistogramWindow(horizon_ns=100e6)
+        stream = self._cumulative_stream(4)
+        for ts_ns, export in stream:
+            window.observe(ts_ns, export)
+        delta = window.window_delta(1e12)
+        assert delta["count"] == stream[-1][1]["count"]
+        assert delta["buckets"] == stream[-1][1]["buckets"]
+
+    def test_empty_window(self):
+        window = HistogramWindow(horizon_ns=1e6)
+        assert window.window_delta(1e6) == {
+            "count": 0,
+            "sum": 0.0,
+            "buckets": {},
+        }
+
+    def test_export_delta_bound_mismatch_raises(self):
+        with pytest.raises(ValueError, match="different bounds"):
+            histogram_export_delta(
+                _export({"10": 1, "+Inf": 0}, 1.0), _export({"+Inf": 0}, 0.0)
+            )
+
+
+class TestFrameAggregator:
+    @staticmethod
+    def _feed(agg: FrameAggregator, frames: int = 5):
+        registry = MetricsRegistry()
+        c = registry.counter("reqs_total", policy="Trident")
+        g = registry.gauge("depth")
+        h = registry.histogram("lat_ns", buckets=(10, 100))
+        for step in range(frames):
+            c.inc(10)
+            g.set(step)
+            h.observe(50)
+            agg.observe_frame((step + 1) * 1e6, registry.snapshot())
+
+    def test_value_delta_rate(self):
+        agg = FrameAggregator(horizon_ns=50e6)
+        self._feed(agg)
+        key = "reqs_total{policy=Trident}"
+        assert agg.value(key) == 50
+        assert agg.delta(key, 2e6) == 20.0
+        # 20 events over 2 simulated ms = 10k events per simulated second
+        assert agg.rate_per_s(key, 2e6) == pytest.approx(10_000.0)
+        assert agg.value("depth") == 4
+
+    def test_unknown_series_is_zero(self):
+        agg = FrameAggregator()
+        assert agg.value("nope") is None
+        assert agg.delta("nope", 1e6) == 0.0
+        assert agg.rate_per_s("nope", 1e6) == 0.0
+        assert agg.histogram_window("nope", 1e6) == {
+            "count": 0,
+            "sum": 0.0,
+            "buckets": {},
+        }
+
+    def test_histogram_window_and_quantile(self):
+        agg = FrameAggregator(horizon_ns=50e6)
+        self._feed(agg)
+        windowed = agg.histogram_window("lat_ns", 2e6)
+        assert windowed["count"] == 2
+        full = agg.histogram_window("lat_ns", None)
+        assert full["count"] == 5
+        assert agg.quantile("lat_ns", 99.0) == 100.0
+        assert agg.quantile("lat_ns", 99.0, window_ns=2e6) == 100.0
+        assert agg.quantile("nope", 50.0) == 0.0

@@ -205,3 +205,60 @@ class TestPercentileFromBuckets:
         assert via_json == direct
         # and the tails never decrease
         assert via_json == sorted(via_json)
+
+
+class TestKeyEscaping:
+    """render_key / parse_key / escape round-trips for awkward label values."""
+
+    def test_escape_and_unescape_are_inverse(self):
+        from repro.obs.metrics import escape_label_value, unescape_label_value
+
+        for value in ('a"b', "back\\slash", "multi\nline", 'all\\"of\nit', ""):
+            escaped = escape_label_value(value)
+            assert "\n" not in escaped
+            assert unescape_label_value(escaped) == value
+
+    def test_simple_values_keep_bare_form(self):
+        # The historical key spelling must not change for plain values.
+        assert (
+            render_key("m", {"workload": "GUPS", "policy": "Trident-1Gonly"})
+            == "m{policy=Trident-1Gonly,workload=GUPS}"
+        )
+
+    def test_awkward_values_round_trip(self):
+        from repro.obs.metrics import parse_key
+
+        labels = {
+            "quote": 'a"b',
+            "slash": "c\\d",
+            "newline": "e\nf",
+            "comma": "g,h",
+            "equals": "i=j",
+            "brace": "k}l",
+            "empty": "",
+        }
+        key = render_key("odd_total", labels)
+        assert "\n" not in key  # keys stay single-line everywhere
+        name, parsed = parse_key(key)
+        assert name == "odd_total"
+        assert parsed == labels
+
+    def test_registry_snapshot_with_awkward_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", path='x"y\nz').inc(3)
+        snapshot = reg.snapshot()
+        (key,) = snapshot["counters"]
+        from repro.obs.metrics import parse_key
+
+        assert parse_key(key) == ("odd_total", {"path": 'x"y\nz'})
+        assert snapshot["counters"][key] == 3
+
+    def test_malformed_keys_raise(self):
+        from repro.obs.metrics import parse_key
+
+        with pytest.raises(ValueError, match="unclosed"):
+            parse_key("m{a=1")
+        with pytest.raises(ValueError, match="malformed label pair"):
+            parse_key("m{nopair}")
+        with pytest.raises(ValueError, match="unterminated label quote"):
+            parse_key('m{a="broken}')

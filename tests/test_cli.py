@@ -407,3 +407,113 @@ class TestServiceCLI:
         code = main(["serve", "--config", str(config)])
         assert code == 2
         assert "tenants" in capsys.readouterr().out
+
+
+class TestTelemetryCLI:
+    def test_loadgen_telemetry_and_alerts(self, capsys, tmp_path):
+        from repro.obs.telemetry.exposition import (
+            iter_frames,
+            validate_exposition,
+        )
+
+        out = str(tmp_path / "svc")
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rules": [{
+            "name": "always", "kind": "threshold",
+            "metric": "service_queue_depth", "op": ">=", "value": 0.0,
+        }]}))
+        code = main(
+            ["loadgen", "--workloads", "GUPS", "--policies", "Trident",
+             "--rate", "20000", "-o", out, *SERVICE_QUICK,
+             "--telemetry-out", os.path.join(out, "telemetry"),
+             "--telemetry-interval-ms", "0.5",
+             "--alerts", str(rules)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "telemetry:" in stdout and "alerts:" in stdout
+        streams = [
+            f for f in os.listdir(os.path.join(out, "telemetry"))
+            if f.endswith(".prom")
+        ]
+        assert len(streams) == 1
+        with open(os.path.join(out, "telemetry", streams[0])) as f:
+            frames = list(iter_frames(f.read()))
+        assert frames
+        for _, _, frame in frames:
+            validate_exposition(frame)
+        assert os.path.exists(os.path.join(out, "alerts.json"))
+
+    def test_loadgen_alerts_without_telemetry_exits_two(self, capsys, tmp_path):
+        code = main(
+            ["loadgen", "--workloads", "GUPS", "--policies", "Trident",
+             "--rate", "20000", "-o", str(tmp_path / "svc"), *SERVICE_QUICK,
+             "--alerts", str(tmp_path / "rules.json")]
+        )
+        assert code == 2
+        assert "requires --telemetry-out" in capsys.readouterr().out
+
+    def test_metrics_format_prom_round_trips(self, capsys, tmp_path):
+        from repro.obs.telemetry.exposition import (
+            parse_exposition,
+            validate_exposition,
+        )
+
+        metrics = str(tmp_path / "m.json")
+        assert main(
+            ["run", "GUPS", "Trident", "--accesses", "1500",
+             "--metrics-out", metrics]
+        ) == 0
+        capsys.readouterr()
+        assert main(["metrics", metrics, "--format", "prom"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE" in text
+        validate_exposition(text)
+        parsed = parse_exposition(text)
+        snapshot = json.load(open(metrics))
+        assert parsed["counters"] == snapshot["counters"]
+
+    def test_metrics_format_prom_kind_filter(self, capsys, tmp_path):
+        metrics = str(tmp_path / "m.json")
+        assert main(
+            ["run", "GUPS", "Trident", "--accesses", "1500",
+             "--metrics-out", metrics]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["metrics", metrics, "--format", "prom", "--kind", "counter"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE" in text
+        assert "counter" in text and "histogram" not in text
+
+    def test_metrics_format_prom_without_file_exits_two(self, capsys):
+        assert main(["metrics", "--format", "prom"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_metrics_format_prom_corrupt_json_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        code = main(["metrics", str(path), "--format", "prom"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:") and "Traceback" not in out
+
+    def test_watch_once_renders_dashboard(self, capsys, tmp_path):
+        out = str(tmp_path / "svc")
+        assert main(
+            ["loadgen", "--workloads", "GUPS", "--policies", "Trident",
+             "--rate", "20000", "-o", out, *SERVICE_QUICK,
+             "--telemetry-out", os.path.join(out, "telemetry")]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["watch", os.path.join(out, "telemetry"), "--once"]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "fleet telemetry" in stdout
+        assert "GUPS/Trident" in stdout
+
+    def test_watch_empty_dir_reports_no_frames(self, capsys, tmp_path):
+        assert main(["watch", str(tmp_path), "--once"]) == 0
+        assert "no complete scrape frames" in capsys.readouterr().out
