@@ -1,0 +1,105 @@
+"""Regenerate the x86-geometry equivalence golden.
+
+The page-size API redesign (N-level ``PageGeometry``) must leave the
+default x86-shaped pipeline bitwise-identical.  This script freezes the
+reference state: for each of the four headline policies it runs the same
+cold zipf stream the batch-equivalence suite uses and records the full
+:func:`repro.sim.bench.state_fingerprint` (counters, per-set TLB LRU
+order, walk histograms, accessed bits, simulated clock).
+
+``tests/test_geometry_differential.py`` replays the identical scenario
+through the current code and compares against the committed JSON — any
+behavioural drift in the default geometry fails the suite.
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/gen_geometry_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import default_machine  # noqa: E402
+from repro.core import (  # noqa: E402
+    Baseline4KPolicy,
+    HawkEyePolicy,
+    THPPolicy,
+    TridentPolicy,
+)
+from repro.sim.bench import state_fingerprint  # noqa: E402
+from repro.sim.system import System  # noqa: E402
+from repro.workloads.access import zipf  # noqa: E402
+
+FOOTPRINT = 16 * 1024 * 1024
+ACCESSES = 60_000
+POLICIES = {
+    "Trident": TridentPolicy,
+    "THP": THPPolicy,
+    "Baseline4K": Baseline4KPolicy,
+    "HawkEye": HawkEyePolicy,
+}
+
+
+def canonical(obj):
+    """JSON-stable form of a fingerprint: str keys, lists for tuples."""
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    return obj
+
+
+def run_policy(policy) -> dict:
+    system = System(default_machine(16), policy, seed=5)
+    system.daemon_period_accesses = 20_000
+    process = system.create_process()
+    base = system.sys_mmap(process, FOOTPRINT)
+    rng = np.random.default_rng(42)
+    stream = zipf(rng, base, FOOTPRINT, ACCESSES)
+    result = system.touch_batch(process, stream)
+    fp = canonical(state_fingerprint(system, process))
+    fp["batch_result"] = {
+        "accesses": result.accesses,
+        "translation_cycles": result.translation_cycles,
+        "l1_hits": result.l1_hits,
+        "l2_hits": result.l2_hits,
+        "walks": result.walks,
+        "faults": result.faults,
+        "fault_ns": result.fault_ns,
+        "walks_by_size": canonical(result.walks_by_size),
+    }
+    return fp
+
+
+def main() -> None:
+    out = {
+        "scenario": {
+            "machine_regions": 16,
+            "footprint": FOOTPRINT,
+            "accesses": ACCESSES,
+            "daemon_period": 20_000,
+            "seed": 5,
+            "stream_seed": 42,
+            "workload": "zipf",
+        },
+        "policies": {name: run_policy(p) for name, p in POLICIES.items()},
+    }
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "tests", "golden",
+        "x86_geometry_fingerprints.json",
+    )
+    with open(path, "w") as f:
+        json.dump(out, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {os.path.normpath(path)}")
+
+
+if __name__ == "__main__":
+    main()

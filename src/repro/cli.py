@@ -7,6 +7,7 @@ Commands
 ``experiment`` regenerate a figure/table by name (or ``all``), serially
 ``sweep``      regenerate figures/tables on the parallel orchestrator
 ``list``       show available workloads, policies and experiments
+``geometry``   list/describe page-size geometries, validate custom JSON
 ``metrics``    list exportable metrics, or summarize a metrics.json file
 ``report``     render a metrics.json / sweep manifest into an HTML report
 ``bench``      hot-path microbenchmark (batched vs scalar, BENCH_hotpath.json)
@@ -24,6 +25,10 @@ Examples::
     python -m repro run Canneal Trident --virt --host-policy Trident
     python -m repro run GUPS Trident --audit --audit-every 1024
     python -m repro run GUPS Trident --timeline-out t.json --report-out r.html
+    python -m repro run GUPS Trident --geometry sv-napot
+    python -m repro geometry list
+    python -m repro geometry describe arm16k
+    python -m repro geometry validate my_geometry.json
     python -m repro experiment figure9 --metrics-out report/metrics
     python -m repro sweep --quick --jobs 4 --seed 7
     python -m repro sweep figure2 table3 --jobs 2 --timeout 600
@@ -47,7 +52,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import SCALE_FACTOR, PageSize
+from repro.config import SCALE_FACTOR
 from repro.obs.options import add_obs_args, obs_options_from_args
 
 
@@ -72,6 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="alternative to the positional policy argument",
     )
     run.add_argument("--fragmented", action="store_true")
+    run.add_argument(
+        "--geometry",
+        default=None,
+        metavar="NAME",
+        help="page-size geometry: a preset (x86, sv-napot, arm16k) or a "
+        "custom .json file (default: the x86 three-tier pipeline)",
+    )
     run.add_argument("--virt", action="store_true", help="run inside a VM")
     run.add_argument("--host-policy", default="Trident")
     run.add_argument("--accesses", type=int, default=80_000)
@@ -157,6 +169,26 @@ def _build_parser() -> argparse.ArgumentParser:
     add_obs_args(sweep, scope="sweep")
 
     sub.add_parser("list", help="list workloads, policies, experiments")
+
+    geo = sub.add_parser(
+        "geometry",
+        help="list/describe page-size geometries, validate custom JSON",
+    )
+    geo_sub = geo.add_subparsers(dest="geometry_command", required=True)
+    geo_sub.add_parser("list", help="list the built-in geometry presets")
+    geo_desc = geo_sub.add_parser(
+        "describe",
+        help="print one geometry's level ladder and TLB/walk parameters",
+    )
+    geo_desc.add_argument(
+        "name",
+        help="a preset key (x86, sv-napot, arm16k) or a .json geometry file",
+    )
+    geo_val = geo_sub.add_parser(
+        "validate",
+        help="validate a custom JSON geometry file (exit 0 iff loadable)",
+    )
+    geo_val.add_argument("path", metavar="FILE", help="geometry .json file")
 
     met = sub.add_parser(
         "metrics",
@@ -565,6 +597,73 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_geometry(args: argparse.Namespace) -> int:
+    from repro.geometries import GEOMETRY_PRESETS, load_geometry_json, resolve_geometry
+
+    if args.geometry_command == "list":
+        for key, preset in GEOMETRY_PRESETS.items():
+            g = preset.geometry
+            ladder = " / ".join(lvl.label for lvl in g.levels)
+            print(f"  {key:10s} {g.n_levels} levels  {ladder:28s} {preset.title}")
+        print("\n(custom geometries: repro run --geometry my_geometry.json;")
+        print(" schema in docs/geometry.md)")
+        return 0
+    if args.geometry_command == "validate":
+        try:
+            preset = load_geometry_json(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
+        g = preset.geometry
+        print(
+            f"ok: {args.path} defines {g.name or preset.key!r} "
+            f"({g.n_levels} levels: {' / '.join(lvl.label for lvl in g.levels)})"
+        )
+        return 0
+    # describe
+    try:
+        preset = resolve_geometry(args.name)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
+    _describe_preset(preset)
+    return 0
+
+
+def _describe_preset(preset) -> None:
+    g = preset.geometry
+    print(f"{preset.key}: {preset.title}")
+    print(f"  {preset.description}")
+    print(
+        f"  base shift {g.base_shift} ({1 << g.base_shift} B frames), "
+        f"{g.n_levels} levels, scale factor {preset.scale_factor}x"
+    )
+    sections, groups = preset.tlb.resolved(g)
+    walk = preset.walk.for_geometry(g)
+    print(
+        f"  {'LVL':3s} {'NAME':8s} {'LABEL':6s} {'ORDER':5s} {'BYTES':>12s} "
+        f"{'FLAGS':12s} {'L1':>8s} {'L2':8s} {'WALK':4s} {'PWC':5s}"
+    )
+    for level, (lvl, section) in enumerate(zip(g.levels, sections)):
+        flags = []
+        if lvl.promotable:
+            flags.append("promo")
+        if lvl.thp_target:
+            flags.append("thp")
+        if level == g.top_level:
+            flags.append("top")
+        l1 = f"{section.l1.entries}x{section.l1.ways}"
+        print(
+            f"  {level:3d} {lvl.name:8s} {lvl.label:6s} {lvl.order:5d} "
+            f"{g.bytes_for(level):12d} {','.join(flags) or '-':12s} "
+            f"{l1:>8s} {section.l2:8s} {walk.levels_for(level):4d} "
+            f"{walk.leaf_cached_prob(level):5.2f}"
+        )
+    print("  L2 groups: " + ", ".join(
+        f"{name}={cfg.entries}x{cfg.ways}" for name, cfg in groups.items()
+    ))
+
+
 def _resolve_policy(name: str) -> str:
     from repro.experiments.configs import resolve_policy
 
@@ -583,6 +682,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if policy_name is None:
         print("error: no policy given (positional or --policy)")
         return 2
+    preset = None
+    if args.geometry:
+        from repro.geometries import resolve_geometry
+
+        try:
+            preset = resolve_geometry(args.geometry)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}")
+            return 2
     obs_options = obs_options_from_args(args)
 
     def one(policy: str, first: bool):
@@ -596,6 +704,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     n_accesses=args.accesses,
                     seed=args.seed,
                     guest_fragmented=args.fragmented,
+                    geometry_name=args.geometry,
                     **obs_kwargs,
                 )
             )
@@ -607,13 +716,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     fragmented=args.fragmented,
                     n_accesses=args.accesses,
                     seed=args.seed,
+                    geometry_name=args.geometry,
                     **obs_kwargs,
                 )
             )
         return runner.run(), runner.obs
 
     metrics, obs = one(_resolve_policy(policy_name), first=True)
-    _print_metrics(metrics)
+    _print_metrics(metrics, preset)
     if obs_options.trace_enabled:
         _print_trace_summary(obs, obs_options.trace_out)
     if obs_options.metrics_out:
@@ -649,7 +759,11 @@ def _print_trace_summary(obs, trace_out: str | None) -> None:
         print(f"trace written:     {trace_out} ({written} events)")
 
 
-def _print_metrics(m) -> None:
+def _print_metrics(m, preset=None) -> None:
+    from repro.config import SCALED_GEOMETRY
+
+    geometry = preset.geometry if preset is not None else SCALED_GEOMETRY
+    scale = preset.scale_factor if preset is not None else SCALE_FACTOR
     print(f"policy:            {m.policy}")
     print(f"workload:          {m.workload}")
     print(f"accesses sampled:  {m.accesses}")
@@ -657,15 +771,15 @@ def _print_metrics(m) -> None:
     print(f"walk fraction:     {m.walk_cycle_fraction:.3f}")
     print(f"modeled runtime:   {m.runtime_ns / 1e9:.2f} s")
     if m.mapped_bytes_by_size:
-        for size in reversed(PageSize.ALL):
+        for size in geometry.levels_desc:
             nbytes = m.mapped_bytes_by_size[size]
             print(
-                f"  {PageSize.X86_NAMES[size]:4s} mapped: "
-                f"{nbytes * SCALE_FACTOR / (1 << 30):8.1f} GB (paper scale)"
+                f"  {geometry.label_for(size):4s} mapped: "
+                f"{nbytes * scale / (1 << 30):8.1f} GB (paper scale)"
             )
     if m.bloat_bytes:
         print(
-            f"bloat:             {m.bloat_bytes * SCALE_FACTOR / (1 << 30):.1f} GB"
+            f"bloat:             {m.bloat_bytes * scale / (1 << 30):.1f} GB"
         )
 
 
@@ -1239,6 +1353,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "geometry":
+        return _cmd_geometry(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "experiment":

@@ -1,148 +1,39 @@
 """Global configuration objects for the Trident reproduction.
 
-Three dataclasses parameterise the whole simulator:
+The simulator is parameterised by a small set of dataclasses:
 
-* :class:`PageGeometry` — the three page sizes (base / mid / large, the
-  analogues of 4KB / 2MB / 1GB on x86-64) expressed as power-of-two frame
-  counts, so every size relation used by the paper (alignment, mappability,
-  buddy orders, region counters) is derived from one place.
-* :class:`MachineConfig` — physical memory size, TLB shapes (Table 1 of the
-  paper) and page-walk parameters.
+* :class:`PageGeometry` — an ordered tuple of :class:`PageLevel` entries
+  (N levels, smallest to largest), from which every size relation the
+  paper uses (alignment, mappability, buddy orders, region counters, TLB
+  tag shifts) is derived.  The canonical instantiations are the x86-64
+  three-tier 4KB / 2MB / 1GB family, but the geometry is declarative:
+  RISC-V SVNAPOT (a *four*-level 4K/64K/2M/1G ladder) and ARM 16K-granule
+  configurations are expressed as data, not code (see
+  :mod:`repro.geometries`).
+* :class:`MachineConfig` — physical memory size, TLB shapes (Table 1 of
+  the paper) and page-walk parameters.
 * :class:`CostModel` — the latency/bandwidth constants behind the paper's
   wall-clock claims (1GB fault 400 ms -> 2.7 ms with async zero-fill;
   copy-based 1GB promotion 600 ms vs ~500 us with a batched hypercall).
 
-Experiments usually run a *scaled* geometry so that a full figure regenerates
-in seconds.  Scaling shrinks the mid/large orders and the machine memory by
-the same factor; every claim in the paper is about ratios (page-size reach
-vs. footprint, fragmentation vs. contiguity), which scaling preserves.
+Experiments usually run a *scaled* geometry so that a full figure
+regenerates in seconds.  Scaling shrinks the level orders and the machine
+memory by the same factor; every claim in the paper is about ratios
+(page-size reach vs. footprint, fragmentation vs. contiguity), which
+scaling preserves.
+
+Page sizes are identified by their **level index**: 0 is the base page,
+``n_levels - 1`` the largest declared level.  For three-tier geometries
+the indices coincide with the historical ``PageSize.BASE/MID/LARGE``
+constants (0/1/2), which survive only as a deprecated shim (see
+:class:`PageSize`).
 """
 
 from __future__ import annotations
 
+import sys
+import warnings
 from dataclasses import dataclass, field, replace
-
-
-@dataclass(frozen=True)
-class PageGeometry:
-    """The three page sizes available to the policies.
-
-    ``base_shift`` is log2 of the base page size in bytes.  ``mid_order`` and
-    ``large_order`` are log2 of the number of *base pages* per mid page and
-    per large page respectively.  The real x86-64 geometry is
-    ``PageGeometry(12, 9, 18)``: 4KB base, 2MB mid, 1GB large.
-    """
-
-    base_shift: int = 12
-    mid_order: int = 9
-    large_order: int = 18
-
-    def __post_init__(self) -> None:
-        if not 0 < self.mid_order < self.large_order:
-            raise ValueError(
-                "need 0 < mid_order < large_order, got "
-                f"mid_order={self.mid_order} large_order={self.large_order}"
-            )
-        if self.base_shift <= 0:
-            raise ValueError(f"base_shift must be positive, got {self.base_shift}")
-
-    # -- sizes in bytes -------------------------------------------------
-    @property
-    def base_size(self) -> int:
-        """Base page size in bytes (4KB on x86)."""
-        return 1 << self.base_shift
-
-    @property
-    def mid_size(self) -> int:
-        """Mid page size in bytes (2MB on x86)."""
-        return self.base_size << self.mid_order
-
-    @property
-    def large_size(self) -> int:
-        """Large page size in bytes (1GB on x86)."""
-        return self.base_size << self.large_order
-
-    # -- sizes in base-page frames --------------------------------------
-    @property
-    def frames_per_mid(self) -> int:
-        return 1 << self.mid_order
-
-    @property
-    def frames_per_large(self) -> int:
-        return 1 << self.large_order
-
-    @property
-    def mids_per_large(self) -> int:
-        return 1 << (self.large_order - self.mid_order)
-
-    def frames_for(self, page_size: "PageSize") -> int:
-        """Number of base frames covered by one page of ``page_size``."""
-        return {
-            PageSize.BASE: 1,
-            PageSize.MID: self.frames_per_mid,
-            PageSize.LARGE: self.frames_per_large,
-        }[page_size]
-
-    def bytes_for(self, page_size: "PageSize") -> int:
-        return self.frames_for(page_size) * self.base_size
-
-    def order_for(self, page_size: "PageSize") -> int:
-        """Buddy order of one page of ``page_size`` (base pages = order 0)."""
-        return {
-            PageSize.BASE: 0,
-            PageSize.MID: self.mid_order,
-            PageSize.LARGE: self.large_order,
-        }[page_size]
-
-    def align_down(self, addr: int, page_size: "PageSize") -> int:
-        size = self.bytes_for(page_size)
-        return addr - (addr % size)
-
-    def align_up(self, addr: int, page_size: "PageSize") -> int:
-        size = self.bytes_for(page_size)
-        return (addr + size - 1) // size * size
-
-    def is_aligned(self, addr: int, page_size: "PageSize") -> bool:
-        return addr % self.bytes_for(page_size) == 0
-
-
-class PageSize:
-    """Symbolic page-size names; values order smallest -> largest.
-
-    Implemented as a tiny int-valued enum-alike so it sorts naturally and is
-    cheap in hot loops (the TLB simulator compares millions of these).
-    """
-
-    BASE = 0  # 4KB on x86
-    MID = 1  # 2MB on x86
-    LARGE = 2  # 1GB on x86
-
-    ALL = (BASE, MID, LARGE)
-    NAMES = {BASE: "base", MID: "mid", LARGE: "large"}
-    X86_NAMES = {BASE: "4KB", MID: "2MB", LARGE: "1GB"}
-
-    @classmethod
-    def name_of(cls, size: int) -> str:
-        return cls.NAMES[size]
-
-
-#: Real x86-64 geometry: 4KB / 2MB / 1GB.
-X86_GEOMETRY = PageGeometry(base_shift=12, mid_order=9, large_order=18)
-
-#: Scaled geometry for fast experiments: 4KB base, 64KB "2MB-class" mid,
-#: 4MB "1GB-class" large.  Ratios between levels shrink from 512x to 16/64x,
-#: which keeps buddy/TLB dynamics intact while making a "63.5GB" workload
-#: simulate as ~254MB of address space.
-SCALED_GEOMETRY = PageGeometry(base_shift=12, mid_order=4, large_order=10)
-
-#: Scale factor mapping paper footprints (bytes) onto SCALED_GEOMETRY bytes.
-#: large_size shrinks 1GB -> 4MB, i.e. by 256x; footprints shrink alike so a
-#: workload still spans the same *number* of large pages as on real hardware.
-SCALE_FACTOR = X86_GEOMETRY.large_size // SCALED_GEOMETRY.large_size
-
-#: Core clock of the paper's Skylake testbed (Xeon Gold 5118, 2.3 GHz);
-#: converts translation cycles into nanoseconds on the simulated-time axis.
-FREQ_GHZ = 2.3
 
 
 @dataclass(frozen=True)
@@ -169,6 +60,394 @@ class TLBConfig:
 
 
 @dataclass(frozen=True)
+class TLBSection:
+    """Per-level TLB section: a private L1 plus the L2 group it feeds.
+
+    ``l2`` names an entry of the geometry's ``l2_groups`` (several levels
+    may share one group, modelling Skylake's shared 4K/2M sTLB), or is
+    ``None`` for levels with no second-level coverage.
+    """
+
+    l1: TLBConfig
+    l2: str | None = "shared"
+
+
+@dataclass(frozen=True)
+class PageLevel:
+    """One declared page size, ``order`` power-of-two base frames big.
+
+    * ``name`` — the level's identity in policy code and docs ("base",
+      "mid", "napot", ...).
+    * ``label`` — the observability label ("4KB", "2MB", "1GB"); metric
+      and span labels are derived from here, never hardcoded.
+    * ``order`` — log2 base frames per page; the buddy order of one page.
+    * ``promotable`` — whether promotion may assemble pages at this level
+      (the base level never is).
+    * ``thp_target`` — marks the level THP-class policies promote to;
+      exactly one non-base level may carry it (defaults to level 1).
+    * ``tlb`` — optional per-level TLB section; when every level carries
+      one, the hierarchy is built from the geometry instead of the legacy
+      three-tier :class:`TLBHierarchyConfig` fields.
+    * ``levels_skipped`` — radix levels a walk for this size skips
+      (``None`` means "level index", the x86 ladder: 4KB walks all 4
+      levels, 2MB skips 1, 1GB skips 2).  SVNAPOT's 64KB pages are NAPOT
+      PTEs and skip none.
+    * ``leaf_cached_prob`` — probability the walk's leaf entry sits in a
+      paging-structure cache (``None`` defers to the legacy 3-level
+      :class:`WalkConfig` constants).
+    """
+
+    name: str
+    label: str
+    order: int
+    promotable: bool = True
+    thp_target: bool = False
+    tlb: TLBSection | None = None
+    levels_skipped: int | None = None
+    leaf_cached_prob: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.order < 0:
+            raise ValueError(f"level order must be >= 0, got {self.order}")
+        if not self.name:
+            raise ValueError("page level needs a name")
+        if not self.label:
+            raise ValueError("page level needs a label")
+
+
+def _three_tier_levels(mid_order: int, large_order: int) -> tuple[PageLevel, ...]:
+    """The canonical x86-class ladder used by the legacy constructor."""
+    return (
+        PageLevel(name="base", label="4KB", order=0, promotable=False),
+        PageLevel(name="mid", label="2MB", order=mid_order, thp_target=True),
+        PageLevel(name="large", label="1GB", order=large_order),
+    )
+
+
+@dataclass(frozen=True)
+class PageGeometry:
+    """An ordered ladder of page sizes, smallest to largest.
+
+    Two construction styles:
+
+    * legacy three-tier: ``PageGeometry(base_shift, mid_order,
+      large_order)`` — the real x86-64 geometry is
+      ``PageGeometry(12, 9, 18)``: 4KB base, 2MB mid, 1GB large;
+    * declarative: ``PageGeometry(base_shift=12, levels=(...))`` with an
+      explicit :class:`PageLevel` tuple of any length >= 2.
+
+    ``base_shift`` is log2 of the base page size in bytes.  Each level's
+    ``order`` is log2 of the number of base pages per page at that level;
+    level 0 must have order 0 and orders must be strictly increasing.
+    Page sizes are identified everywhere by level index (0 .. n_levels-1).
+    """
+
+    base_shift: int = 12
+    mid_order: int | None = 9
+    large_order: int | None = 18
+    levels: tuple[PageLevel, ...] | None = None
+    l2_groups: tuple[tuple[str, TLBConfig], ...] = ()
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.base_shift <= 0:
+            raise ValueError(f"base_shift must be positive, got {self.base_shift}")
+        if self.levels is None:
+            mid, large = self.mid_order, self.large_order
+            if mid is None or large is None:
+                raise ValueError(
+                    "need either an explicit levels tuple or both "
+                    "mid_order and large_order"
+                )
+            if not 0 < mid < large:
+                raise ValueError(
+                    "need 0 < mid_order < large_order, got "
+                    f"mid_order={mid} large_order={large}"
+                )
+            object.__setattr__(self, "levels", _three_tier_levels(mid, large))
+        levels = tuple(self.levels)
+        object.__setattr__(self, "levels", levels)
+        if len(levels) < 2:
+            raise ValueError("a geometry needs at least two levels")
+        if levels[0].order != 0:
+            raise ValueError(
+                f"level 0 must have order 0, got {levels[0].order}"
+            )
+        orders = [lvl.order for lvl in levels]
+        if any(b <= a for a, b in zip(orders, orders[1:])):
+            raise ValueError(
+                f"level orders must be strictly increasing, got {orders}"
+            )
+        names = [lvl.name for lvl in levels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"level names must be unique, got {names}")
+        if levels[0].promotable:
+            raise ValueError("the base level cannot be promotable")
+        thp_flags = [i for i, lvl in enumerate(levels) if lvl.thp_target]
+        if len(thp_flags) > 1:
+            raise ValueError(
+                f"at most one level may be the THP target, got {thp_flags}"
+            )
+        sections = [lvl.tlb for lvl in levels]
+        if any(s is not None for s in sections):
+            if any(s is None for s in sections):
+                raise ValueError(
+                    "either every level declares a TLB section or none does"
+                )
+            groups = dict(self.l2_groups)
+            for lvl in levels:
+                if lvl.tlb.l2 is not None and lvl.tlb.l2 not in groups:
+                    raise ValueError(
+                        f"level {lvl.name!r} references undeclared L2 group "
+                        f"{lvl.tlb.l2!r}"
+                    )
+        # Normalise the derived legacy fields so equality keeps working
+        # across construction styles.
+        object.__setattr__(
+            self, "mid_order", levels[1].order if len(levels) > 2 else None
+        )
+        object.__setattr__(self, "large_order", levels[-1].order)
+
+    # -- level indexing --------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def top_level(self) -> int:
+        """Index of the largest declared level."""
+        return len(self.levels) - 1
+
+    @property
+    def all_levels(self) -> tuple[int, ...]:
+        """Level indices, smallest page first."""
+        return tuple(range(len(self.levels)))
+
+    @property
+    def levels_desc(self) -> tuple[int, ...]:
+        """Level indices, largest page first (translate/unmap precedence)."""
+        return tuple(range(len(self.levels) - 1, -1, -1))
+
+    @property
+    def promotable_levels(self) -> tuple[int, ...]:
+        """Indices promotion may target, smallest first."""
+        return tuple(
+            i for i, lvl in enumerate(self.levels) if lvl.promotable
+        )
+
+    @property
+    def thp_level(self) -> int:
+        """The level THP-class policies map and promote to."""
+        for i, lvl in enumerate(self.levels):
+            if lvl.thp_target:
+                return i
+        return 1
+
+    def name_of(self, level: int) -> str:
+        return self.levels[level].name
+
+    def label_for(self, level: int) -> str:
+        """Observability label of ``level`` ("4KB", "2MB", "1GB", ...)."""
+        return self.levels[level].label
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(lvl.label for lvl in self.levels)
+
+    # -- sizes in bytes -------------------------------------------------
+    @property
+    def base_size(self) -> int:
+        """Base page size in bytes (4KB on x86)."""
+        return 1 << self.base_shift
+
+    @property
+    def mid_size(self) -> int:
+        """Page size in bytes at level 1 (2MB on x86)."""
+        return self.bytes_for(1)
+
+    @property
+    def large_size(self) -> int:
+        """Page size in bytes at the top level (1GB on x86)."""
+        return self.bytes_for(self.top_level)
+
+    # -- sizes in base-page frames --------------------------------------
+    @property
+    def frames_per_mid(self) -> int:
+        return 1 << self.levels[1].order
+
+    @property
+    def frames_per_large(self) -> int:
+        return 1 << self.levels[-1].order
+
+    @property
+    def mids_per_large(self) -> int:
+        return 1 << (self.levels[-1].order - self.levels[1].order)
+
+    def frames_for(self, level: int) -> int:
+        """Number of base frames covered by one page at ``level``."""
+        return 1 << self.levels[level].order
+
+    def bytes_for(self, level: int) -> int:
+        return self.frames_for(level) << self.base_shift
+
+    def order_for(self, level: int) -> int:
+        """Buddy order of one page at ``level`` (base pages = order 0)."""
+        return self.levels[level].order
+
+    def shift_for(self, level: int) -> int:
+        """log2 bytes of one page at ``level`` — the TLB tag shift."""
+        return self.base_shift + self.levels[level].order
+
+    def align_down(self, addr: int, level: int) -> int:
+        size = self.bytes_for(level)
+        return addr - (addr % size)
+
+    def align_up(self, addr: int, level: int) -> int:
+        size = self.bytes_for(level)
+        return (addr + size - 1) // size * size
+
+    def is_aligned(self, addr: int, level: int) -> bool:
+        return addr % self.bytes_for(level) == 0
+
+    def describe(self) -> str:
+        """One line per level, for ``repro geometry describe``."""
+        rows = []
+        for i, lvl in enumerate(self.levels):
+            flags = []
+            if lvl.promotable:
+                flags.append("promotable")
+            if i == self.thp_level and i != 0:
+                flags.append("thp-target")
+            rows.append(
+                f"  level {i}: {lvl.name:8s} {lvl.label:>6s}  "
+                f"order {lvl.order:2d}  {self.bytes_for(i):>12,} B"
+                f"{'  [' + ', '.join(flags) + ']' if flags else ''}"
+            )
+        return "\n".join(rows)
+
+
+#: Real x86-64 geometry: 4KB / 2MB / 1GB.
+X86_GEOMETRY = PageGeometry(base_shift=12, mid_order=9, large_order=18)
+
+#: Scaled geometry for fast experiments: 4KB base, 64KB "2MB-class" mid,
+#: 4MB "1GB-class" large.  Ratios between levels shrink from 512x to 16/64x,
+#: which keeps buddy/TLB dynamics intact while making a "63.5GB" workload
+#: simulate as ~254MB of address space.
+SCALED_GEOMETRY = PageGeometry(base_shift=12, mid_order=4, large_order=10)
+
+#: Scale factor mapping paper footprints (bytes) onto SCALED_GEOMETRY bytes.
+#: large_size shrinks 1GB -> 4MB, i.e. by 256x; footprints shrink alike so a
+#: workload still spans the same *number* of large pages as on real hardware.
+SCALE_FACTOR = X86_GEOMETRY.large_size // SCALED_GEOMETRY.large_size
+
+#: Core clock of the paper's Skylake testbed (Xeon Gold 5118, 2.3 GHz);
+#: converts translation cycles into nanoseconds on the simulated-time axis.
+FREQ_GHZ = 2.3
+
+
+# -- deprecated three-tier shim -----------------------------------------
+
+_ACTIVE_GEOMETRY: PageGeometry = SCALED_GEOMETRY
+
+
+def set_active_geometry(geometry: PageGeometry) -> None:
+    """Record the geometry the most recent System was built with.
+
+    Only the deprecated :class:`PageSize` shim reads this — migrated code
+    threads the geometry object explicitly.
+    """
+    global _ACTIVE_GEOMETRY
+    _ACTIVE_GEOMETRY = geometry
+
+
+def active_geometry() -> PageGeometry:
+    return _ACTIVE_GEOMETRY
+
+
+_PAGESIZE_MSG = (
+    "PageSize.{attr} is deprecated; page sizes are level indices of the "
+    "run's PageGeometry — use geometry.all_levels / geometry.top_level / "
+    "geometry.name_of / geometry.label_for instead (lint rule TRD003)"
+)
+
+
+class _PageSizeMeta(type):
+    """Metaclass turning ``PageSize.X`` class-attribute reads into
+    deprecation warnings resolved against the active geometry.
+
+    Mirrors the ``TouchResult`` raw-float shim: one warning per call
+    site (never per access), attributed to the consumer via stacklevel.
+    """
+
+    #: call sites (filename, lineno) that already warned
+    _warned_sites: set[tuple[str, int]] = set()
+
+    def _warn(cls, attr: str) -> None:
+        frame = sys._getframe(2)  # _warn <- property fget <- consumer
+        site = (frame.f_code.co_filename, frame.f_lineno)
+        if site in _PageSizeMeta._warned_sites:
+            return
+        _PageSizeMeta._warned_sites.add(site)
+        warnings.warn(
+            _PAGESIZE_MSG.format(attr=attr), DeprecationWarning, stacklevel=3
+        )
+
+    @property
+    def BASE(cls) -> int:
+        cls._warn("BASE")
+        return 0
+
+    @property
+    def MID(cls) -> int:
+        cls._warn("MID")
+        return 1
+
+    @property
+    def LARGE(cls) -> int:
+        cls._warn("LARGE")
+        return active_geometry().top_level
+
+    @property
+    def ALL(cls) -> tuple[int, ...]:
+        cls._warn("ALL")
+        return active_geometry().all_levels
+
+    @property
+    def NAMES(cls) -> dict[int, str]:
+        cls._warn("NAMES")
+        geo = active_geometry()
+        return {i: geo.name_of(i) for i in geo.all_levels}
+
+    @property
+    def X86_NAMES(cls) -> dict[int, str]:
+        cls._warn("X86_NAMES")
+        geo = active_geometry()
+        return {i: geo.label_for(i) for i in geo.all_levels}
+
+
+class PageSize(metaclass=_PageSizeMeta):
+    """Deprecated three-tier page-size aliases.
+
+    Page sizes are now plain level indices of the run's
+    :class:`PageGeometry`; ``BASE``/``MID``/``LARGE`` resolve to
+    0 / 1 / ``top_level`` of the *active* geometry so downstream scripts
+    keep working for one release.  Every attribute read emits one
+    :class:`DeprecationWarning` per call site (mirroring the
+    ``TouchResult`` shim).
+    """
+
+    @classmethod
+    def name_of(cls, size: int) -> str:
+        type(cls)._warn(cls, "name_of")
+        return active_geometry().name_of(size)
+
+    @classmethod
+    def reset_warned_sites(cls) -> None:
+        """Forget which call sites warned (test isolation hook)."""
+        _PageSizeMeta._warned_sites.clear()
+
+
+@dataclass(frozen=True)
 class TLBHierarchyConfig:
     """Per-core TLB shapes.  Defaults follow Table 1 (Skylake, data side).
 
@@ -181,6 +460,10 @@ class TLBHierarchyConfig:
     experiment geometry shrinks mid pages by a different factor than large
     pages, so preserving the paper's reach-to-footprint ratios requires an
     independently-sized mid L2 (see SCALED_TLB below).
+
+    These three-tier fields only cover 3-level geometries; N-level
+    geometries embed a :class:`TLBSection` per :class:`PageLevel` instead,
+    and :meth:`resolved` prefers those when present.
     """
 
     l1_base: TLBConfig = TLBConfig(64, 4)
@@ -189,6 +472,42 @@ class TLBHierarchyConfig:
     l2_shared: TLBConfig = TLBConfig(1536, 12)
     l2_large: TLBConfig = TLBConfig(16, 4)
     l2_mid: TLBConfig | None = None
+
+    def resolved(
+        self, geometry: PageGeometry
+    ) -> tuple[tuple[TLBSection, ...], dict[str, TLBConfig]]:
+        """Per-level sections and L2 group configs for ``geometry``.
+
+        Geometry-embedded sections win; otherwise the legacy three-tier
+        fields are mapped onto a 3-level geometry exactly as before the
+        N-level redesign (so x86-family hierarchies build identically).
+        """
+        if all(lvl.tlb is not None for lvl in geometry.levels):
+            return (
+                tuple(lvl.tlb for lvl in geometry.levels),
+                dict(geometry.l2_groups),
+            )
+        if geometry.n_levels != 3:
+            raise ValueError(
+                f"geometry {geometry.name or geometry.labels} has "
+                f"{geometry.n_levels} levels but no per-level TLB sections; "
+                "the legacy TLBHierarchyConfig fields only describe 3-level "
+                "geometries"
+            )
+        groups: dict[str, TLBConfig] = {
+            "shared": self.l2_shared,
+            "large": self.l2_large,
+        }
+        mid_group = "shared"
+        if self.l2_mid is not None:
+            groups["mid"] = self.l2_mid
+            mid_group = "mid"
+        sections = (
+            TLBSection(self.l1_base, "shared"),
+            TLBSection(self.l1_mid, mid_group),
+            TLBSection(self.l1_large, "large"),
+        )
+        return sections, groups
 
 
 #: TLB preset for SCALED_GEOMETRY, preserving each page size's
@@ -230,6 +549,12 @@ class WalkConfig:
     ``mem_access_cycles`` is the average cost of one walk memory access —
     page-table entries of big random working sets mostly miss the data
     caches, so this is DRAM-class latency.
+
+    Per-level overrides for N-level geometries come from the
+    :class:`PageLevel` entries themselves (``levels_skipped``,
+    ``leaf_cached_prob``); :meth:`for_geometry` bakes them into the
+    per-level tuples below.  SVNAPOT 64KB pages, for instance, are NAPOT
+    PTEs: a full-depth walk whose leaf is never structure-cached.
     """
 
     levels_base: int = 4
@@ -241,30 +566,76 @@ class WalkConfig:
     leaf_cached_prob_mid: float = 0.60
     leaf_cached_prob_large: float = 0.85
     l2_tlb_hit_cycles: int = 7
+    #: radix levels skipped per geometry level; None = "level index"
+    #: (the x86 ladder: 4KB skips 0, 2MB skips 1, 1GB skips 2)
+    levels_skipped: tuple[int, ...] | None = None
+    #: leaf structure-cache hit probability per geometry level; None =
+    #: the legacy three-tier constants above
+    leaf_cached_probs: tuple[float, ...] | None = None
 
-    def leaf_cached_prob(self, page_size: int) -> float:
+    def for_geometry(self, geometry: PageGeometry) -> "WalkConfig":
+        """Bake any per-level overrides the geometry declares into tuples.
+
+        Identity for geometries without per-level walk overrides — the
+        x86 family keeps the exact legacy behaviour.
+        """
+        if self.levels_skipped is not None or self.leaf_cached_probs is not None:
+            return self
+        has_skips = any(
+            lvl.levels_skipped is not None for lvl in geometry.levels
+        )
+        has_probs = any(
+            lvl.leaf_cached_prob is not None for lvl in geometry.levels
+        )
+        if not has_skips and not has_probs and geometry.n_levels == 3:
+            return self
+        skipped = tuple(
+            lvl.levels_skipped if lvl.levels_skipped is not None else i
+            for i, lvl in enumerate(geometry.levels)
+        )
+        probs = tuple(
+            lvl.leaf_cached_prob
+            if lvl.leaf_cached_prob is not None
+            else self._legacy_leaf_prob(i)
+            for i, lvl in enumerate(geometry.levels)
+        )
+        return replace(self, levels_skipped=skipped, leaf_cached_probs=probs)
+
+    def _legacy_leaf_prob(self, level: int) -> float:
+        if level == 0:
+            return 0.0
+        if level == 1:
+            return self.leaf_cached_prob_mid
+        return self.leaf_cached_prob_large
+
+    def leaf_cached_prob(self, level: int) -> float:
+        if self.leaf_cached_probs is not None:
+            return self.leaf_cached_probs[level]
         return {
-            PageSize.BASE: 0.0,
-            PageSize.MID: self.leaf_cached_prob_mid,
-            PageSize.LARGE: self.leaf_cached_prob_large,
-        }[page_size]
+            0: 0.0,
+            1: self.leaf_cached_prob_mid,
+            2: self.leaf_cached_prob_large,
+        }[level]
 
-    def levels_for(self, page_size: int) -> int:
-        return self.levels_base - page_size  # LARGE=2 skips 2 levels
+    def levels_for(self, level: int) -> int:
+        """Page-table levels one walk for ``level`` traverses."""
+        if self.levels_skipped is not None:
+            return self.levels_base - self.levels_skipped[level]
+        return self.levels_base - level  # x86: top level skips 2
 
-    def native_walk_accesses(self, page_size: int) -> int:
+    def native_walk_accesses(self, level: int) -> int:
         """Memory accesses for one native page walk (4 / 3 / 2 on x86)."""
-        return self.levels_for(page_size)
+        return self.levels_for(level)
 
-    def nested_walk_accesses(self, guest_size: int, host_size: int) -> int:
+    def nested_walk_accesses(self, guest_level: int, host_level: int) -> int:
         """Memory accesses for one nested (2D) walk.
 
         With nG guest levels and nH host levels the 2D walk costs
         ``(nG + 1) * (nH + 1) - 1`` accesses: 24 for 4K+4K, 15 for 2M+2M,
         8 for 1G+1G — the numbers quoted in the paper's Section 2.
         """
-        n_g = self.levels_for(guest_size)
-        n_h = self.levels_for(host_size)
+        n_g = self.levels_for(guest_level)
+        n_h = self.levels_for(host_level)
         return (n_g + 1) * (n_h + 1) - 1
 
 
@@ -314,9 +685,11 @@ class CostModel:
         are unchanged.  For the real x86 geometry this is the identity.
         """
         byte_factor = X86_GEOMETRY.large_size // geometry.large_size
-        if byte_factor == 1:
+        if byte_factor <= 1:
             return self
-        mid_factor = X86_GEOMETRY.mids_per_large // geometry.mids_per_large
+        mid_factor = max(
+            1, X86_GEOMETRY.mids_per_large // geometry.mids_per_large
+        )
         return replace(
             self,
             zero_bandwidth_bytes_per_ns=self.zero_bandwidth_bytes_per_ns
@@ -352,6 +725,9 @@ class MachineConfig:
                 "total_frames must be a whole number of large regions: "
                 f"{self.total_frames} % {self.geometry.frames_per_large} != 0"
             )
+        # Bake geometry-declared walk overrides in exactly once, so every
+        # consumer of machine.walk sees the per-level tuples.
+        object.__setattr__(self, "walk", self.walk.for_geometry(self.geometry))
 
     @property
     def total_bytes(self) -> int:

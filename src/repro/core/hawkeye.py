@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.config import PageSize
 from repro.core.thp import THPPolicy
 from repro.vm.mappability import mappable_ranges
 
@@ -64,8 +63,10 @@ class HawkEyePolicy(THPPolicy):
             accessed = 0
             for mapping in process.pagetable.iter_mappings():
                 used += self.access_sample_ns
-                if mapping.accessed and mapping.page_size == PageSize.BASE:
-                    slot = geometry.align_down(mapping.va, PageSize.MID)
+                if mapping.accessed and mapping.page_size == 0:
+                    slot = geometry.align_down(
+                        mapping.va, geometry.thp_level
+                    )
                     key = (process.pid, slot)
                     self._heat[key] = self._heat.get(key, 0) + 1
                     accessed += 1
@@ -76,8 +77,9 @@ class HawkEyePolicy(THPPolicy):
         return used
 
     def _candidate_stream(self) -> Iterator[tuple]:
-        """Hottest 2MB slots first, then the sequential remainder."""
+        """Hottest THP-level slots first, then the sequential remainder."""
         geometry = self.kernel.geometry
+        thp = geometry.thp_level
         by_pid = {p.pid: p for p in self.kernel.processes}
         ranked = sorted(self._heat.items(), key=lambda kv: -kv[1])
         seen: set[tuple[int, int]] = set()
@@ -86,28 +88,29 @@ class HawkEyePolicy(THPPolicy):
             if process is not None:
                 seen.add((pid, va))
                 self._demoted_slots.discard((pid, va))  # hot again: eligible
-                yield process, va, PageSize.MID
+                yield process, va, thp
         # Heat decays each pass so stale hot spots fade.
         self._heat = {k: v // 2 for k, v in self._heat.items() if v > 1}
         for process in list(self.kernel.processes):
             for vma in process.aspace.iter_extents():
-                for start, _ in mappable_ranges(vma, PageSize.MID, geometry):
+                for start, _ in mappable_ranges(vma, thp, geometry):
                     key = (process.pid, start)
                     if key not in seen and key not in self._demoted_slots:
-                        yield process, start, PageSize.MID
+                        yield process, start, thp
 
     # -- bloat recovery ----------------------------------------------------------
     def _bloat_recovery_tick(self, budget_ns: float) -> float:
         """Demote mostly-untouched mid pages; rematerialise touched 4KB only."""
         used = 0.0
         geometry = self.kernel.geometry
-        mid_bytes = geometry.mid_size
-        base_per_mid = geometry.frames_per_mid
+        thp = geometry.thp_level
+        mid_bytes = geometry.bytes_for(thp)
+        base_per_mid = geometry.frames_for(thp)
         for process in list(self.kernel.processes):
             if used >= budget_ns:
                 break
             victims = []
-            for mapping in list(process.pagetable.iter_mappings(PageSize.MID)):
+            for mapping in list(process.pagetable.iter_mappings(thp)):
                 used += self.access_sample_ns
                 touched = process.touched_base_pages_in(mapping.va, mid_bytes)
                 if touched / base_per_mid < self.bloat_demote_threshold:
@@ -116,7 +119,7 @@ class HawkEyePolicy(THPPolicy):
                     break
             for mapping, touched in victims:
                 used += self._demote(process, mapping)
-                slot = geometry.align_down(mapping.va, PageSize.MID)
+                slot = geometry.align_down(mapping.va, thp)
                 self._demoted_slots.add((process.pid, slot))
         self.stats.daemon_ns += used
         return used
@@ -125,20 +128,22 @@ class HawkEyePolicy(THPPolicy):
         """Split one mid mapping into base pages for touched addresses only."""
         geometry = self.kernel.geometry
         cost = self.kernel.cost
+        thp = geometry.thp_level
+        thp_bytes = geometry.bytes_for(thp)
         va = mapping.va
-        process.pagetable.unmap(va, PageSize.MID)
+        process.pagetable.unmap(va, thp)
         self._teardown(process, mapping)
         spent = cost.pte_update_ns
         copied = 0
-        for page_va in process.touched_base_vas_in(va, geometry.mid_size):
+        for page_va in process.touched_base_vas_in(va, thp_bytes):
             pfn = self._alloc_frames(0)
             if pfn is None:
                 break
-            self._install(process, page_va, PageSize.BASE, pfn)
+            self._install(process, page_va, 0, pfn)
             copied += geometry.base_size
             spent += cost.pte_update_ns
         spent += cost.copy_ns(copied)
-        process.tlb.invalidate_range(va, geometry.mid_size)
-        self.stats.demoted[PageSize.MID] += 1
-        self.stats.bloat_bytes_recovered += geometry.mid_size - copied
+        process.tlb.invalidate_range(va, thp_bytes)
+        self.stats.demoted[thp] += 1
+        self.stats.bloat_bytes_recovered += thp_bytes - copied
         return spent

@@ -17,7 +17,6 @@ reserved pool.  Three real libhugetlbfs behaviours the paper leans on:
 
 from __future__ import annotations
 
-from repro.config import PageSize
 from repro.core.policy import MemoryPolicy
 from repro.vm.fault import region_is_unmapped
 
@@ -31,15 +30,17 @@ class HugetlbfsPolicy(MemoryPolicy):
     def __init__(self, kernel, page_size: int, reserve_fraction: float = 0.65):
         """Reserve ``reserve_fraction`` of currently-free memory at boot.
 
-        ``page_size`` is the one large size this configuration uses
-        (PageSize.MID or PageSize.LARGE).
+        ``page_size`` is the one large size this configuration uses —
+        any non-base level of the machine's geometry.
         """
         super().__init__(kernel)
-        if page_size not in (PageSize.MID, PageSize.LARGE):
-            raise ValueError("hugetlbfs reserves MID or LARGE pages only")
+        if not 0 < page_size <= kernel.geometry.top_level:
+            raise ValueError(
+                "hugetlbfs reserves a non-base geometry level only"
+            )
         self.page_size = page_size
         self.reserve_fraction = reserve_fraction
-        self.name = f"{PageSize.X86_NAMES[page_size]}-Hugetlbfs"
+        self.name = f"{kernel.geometry.label_for(page_size)}-Hugetlbfs"
         self._pool: list[int] = []
         self._huge_pfns: set[int] = set()
         self.reserve_failures = 0

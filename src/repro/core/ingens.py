@@ -17,7 +17,6 @@ THP on coverage and below both THP and Trident on bloat.
 
 from __future__ import annotations
 
-from repro.config import PageSize
 from repro.core.thp import THPPolicy
 
 
@@ -41,7 +40,7 @@ class IngensPolicy(THPPolicy):
 
     def _slot_contents(self, process, va: int, page_size: int):
         present = super()._slot_contents(process, va, page_size)
-        if present is None or page_size != PageSize.MID:
+        if present is None or page_size != self.kernel.geometry.thp_level:
             return present
         accessed = sum(1 for m in present if m.accessed)
         if accessed < self.min_accessed_fraction * len(present):

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config import PageSize
+from repro.config import PageGeometry
 from repro.mem.buddy import OutOfMemoryError
 from repro.vm.pagetable import Mapping
 
@@ -38,14 +38,14 @@ class PolicyStats:
     fault_latencies: list[float] = field(default_factory=list)
     #: pages mapped directly by the fault handler, per size
     fault_mapped: dict[int, int] = field(
-        default_factory=lambda: {s: 0 for s in PageSize.ALL}
+        default_factory=lambda: {s: 0 for s in range(3)}
     )
     #: pages created by promotion, per (target) size
     promoted: dict[int, int] = field(
-        default_factory=lambda: {s: 0 for s in PageSize.ALL}
+        default_factory=lambda: {s: 0 for s in range(3)}
     )
     demoted: dict[int, int] = field(
-        default_factory=lambda: {s: 0 for s in PageSize.ALL}
+        default_factory=lambda: {s: 0 for s in range(3)}
     )
     #: large-page allocation attempts/failures at fault vs promotion time
     #: (Table 4 of the paper)
@@ -57,6 +57,11 @@ class PolicyStats:
     daemon_ns: float = 0.0
     #: bytes mapped but never touched by the application (memory bloat)
     bloat_bytes_recovered: int = 0
+
+    @classmethod
+    def for_geometry(cls, geometry: PageGeometry) -> "PolicyStats":
+        zeros = lambda: {s: 0 for s in geometry.all_levels}  # noqa: E731
+        return cls(fault_mapped=zeros(), promoted=zeros(), demoted=zeros())
 
     def mapped_pages(self, size: int) -> int:
         return self.fault_mapped[size] + self.promoted[size] - self.demoted[size]
@@ -98,7 +103,7 @@ class MemoryPolicy:
 
     def __init__(self, kernel) -> None:
         self.kernel = kernel
-        self.stats = PolicyStats()
+        self.stats = PolicyStats.for_geometry(kernel.geometry)
         obs = getattr(kernel, "obs", None)
         self._tracer = obs.tracer if obs is not None else None
         if obs is not None:
@@ -114,8 +119,9 @@ class MemoryPolicy:
         metrics.counter("policy_faults_total").set(s.faults)
         metrics.counter("policy_fault_ns_total").set(s.fault_ns)
         metrics.counter("policy_daemon_ns_total").set(s.daemon_ns)
-        for size in PageSize.ALL:
-            name = PageSize.X86_NAMES[size]
+        geometry = self.kernel.geometry
+        for size in geometry.all_levels:
+            name = geometry.label_for(size)
             metrics.counter("policy_fault_mapped_total", size=name).set(
                 s.fault_mapped[size]
             )
@@ -184,7 +190,7 @@ class MemoryPolicy:
         geometry = self.kernel.geometry
         freed = 0
         for process in list(getattr(self.kernel, "processes", ())):
-            for size in (PageSize.LARGE, PageSize.MID):
+            for size in geometry.levels_desc[:-1]:
                 for mapping in list(process.pagetable.iter_mappings(size)):
                     if freed >= frames_needed:
                         return freed
@@ -207,7 +213,7 @@ class MemoryPolicy:
         for va in keep:
             pfn = mapping.pfn + (va - mapping.va) // base
             self.kernel.buddy.alloc_at(pfn, 0)
-            self._install(process, va, PageSize.BASE, pfn)
+            self._install(process, va, 0, pfn)
         process.tlb.invalidate_range(mapping.va, nbytes)
         self.stats.demoted[mapping.page_size] += 1
         freed = nbytes // base - len(keep)
@@ -216,7 +222,8 @@ class MemoryPolicy:
         if tr is not None and tr.active:
             tr.emit(
                 "policy", "demote_in_place",
-                va=mapping.va, size=PageSize.X86_NAMES[mapping.page_size],
+                va=mapping.va,
+                size=geometry.label_for(mapping.page_size),
                 frames_freed=freed,
             )
         return freed
@@ -277,7 +284,7 @@ class MemoryPolicy:
             for va in range(lo, hi, base):
                 pfn = mapping.pfn + (va - mapping.va) // base
                 self.kernel.buddy.alloc_at(pfn, 0)
-                self._install(process, va, PageSize.BASE, pfn)
+                self._install(process, va, 0, pfn)
         process.tlb.invalidate_range(mapping.va, mbytes)
 
     def _record_fault(self, latency_ns: float, page_size: int) -> float:
@@ -288,7 +295,8 @@ class MemoryPolicy:
         tr = self._tracer
         if tr is not None and tr.active:
             tr.emit(
-                "policy", "fault_mapped", size=PageSize.X86_NAMES[page_size],
+                "policy", "fault_mapped",
+                size=self.kernel.geometry.label_for(page_size),
                 latency_ns=latency_ns,
             )
         return latency_ns
@@ -296,11 +304,11 @@ class MemoryPolicy:
     def _map_base_fault(self, process, va: int) -> float:
         """The universal last-resort path: one base page at ``va``."""
         geometry = self.kernel.geometry
-        start = geometry.align_down(va, PageSize.BASE)
+        start = geometry.align_down(va, 0)
         pfn = self._alloc_frames(0)
         if pfn is None:
             raise OutOfMemoryError("cannot allocate a base page")
-        self._install(process, start, PageSize.BASE, pfn)
+        self._install(process, start, 0, pfn)
         cost = self.kernel.cost
         latency = cost.fault_fixed_ns + cost.zero_ns(geometry.base_size)
-        return self._record_fault(latency, PageSize.BASE)
+        return self._record_fault(latency, 0)

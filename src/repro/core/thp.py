@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.config import PageSize
 from repro.core.policy import MemoryPolicy
 from repro.vm.fault import candidate_page_sizes, region_fits_vma
 from repro.vm.mappability import mappable_ranges
@@ -62,10 +61,12 @@ class THPPolicy(MemoryPolicy):
         vma = process.aspace.find_vma(va)
         if vma is None:
             raise ValueError(f"fault at unmapped va {va:#x} (no VMA)")
+        geometry = self.kernel.geometry
         extent = process.aspace.extent_of(va)
-        sizes = candidate_page_sizes(va, extent, process.pagetable, self.kernel.geometry)
-        if PageSize.MID in sizes:
-            latency = self._try_fault_map(process, va, PageSize.MID)
+        sizes = candidate_page_sizes(va, extent, process.pagetable, geometry)
+        thp = geometry.thp_level
+        if thp in sizes:
+            latency = self._try_fault_map(process, va, thp)
             if latency is not None:
                 return latency
         return self._map_base_fault(process, va)
@@ -128,12 +129,13 @@ class THPPolicy(MemoryPolicy):
 
     def _candidate_stream(self) -> Iterator[tuple]:
         """One full scanning pass over every process's address space."""
+        thp = self.kernel.geometry.thp_level
         for process in list(self.kernel.processes):
             for vma in process.aspace.iter_extents():
                 for start, _ in mappable_ranges(
-                    vma, PageSize.MID, self.kernel.geometry
+                    vma, thp, self.kernel.geometry
                 ):
-                    yield process, start, PageSize.MID
+                    yield process, start, thp
 
     # -- promotion mechanics (shared with subclasses) ---------------------------
     def _slot_contents(
@@ -163,7 +165,9 @@ class THPPolicy(MemoryPolicy):
         if not present:
             return None
         min_fraction = (
-            self.min_present_fraction_mid if page_size == PageSize.MID else 0.0
+            self.min_present_fraction_mid
+            if page_size == geometry.thp_level
+            else 0.0
         )
         present_bytes = sum(geometry.bytes_for(m.page_size) for m in present)
         if present_bytes < min_fraction * nbytes:
@@ -228,7 +232,7 @@ class THPPolicy(MemoryPolicy):
         if tr is not None and tr.active:
             tr.emit(
                 "policy", "promote", va=va,
-                size=PageSize.X86_NAMES[page_size],
+                size=geometry.label_for(page_size),
                 copied_bytes=present_bytes, small_mappings=len(present),
             )
         return (

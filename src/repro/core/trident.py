@@ -24,7 +24,6 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Iterator
 
-from repro.config import PageSize
 from repro.core.thp import THPPolicy
 from repro.vm.fault import candidate_page_sizes
 from repro.vm.mappability import mappable_ranges
@@ -63,14 +62,20 @@ class TridentPolicy(THPPolicy):
         geometry = self.kernel.geometry
         extent = process.aspace.extent_of(va)
         sizes = candidate_page_sizes(va, extent, process.pagetable, geometry)
-        if PageSize.LARGE in sizes:
+        top = geometry.top_level
+        if top in sizes:
             latency = self._try_large_fault(process, va)
             if latency is not None:
                 return latency
-        if self.use_mid and PageSize.MID in sizes:
-            latency = self._try_fault_map(process, va, PageSize.MID)
-            if latency is not None:
-                return latency
+        if self.use_mid:
+            # Intermediate levels, largest first (candidate_page_sizes
+            # yields them descending); base is the universal fallback.
+            for size in sizes:
+                if size == top or size == 0:
+                    continue
+                latency = self._try_fault_map(process, va, size)
+                if latency is not None:
+                    return latency
         return self._map_base_fault(process, va)
 
     def _try_large_fault(self, process, va: int) -> float | None:
@@ -92,9 +97,10 @@ class TridentPolicy(THPPolicy):
                     reason="no_contiguous_block",
                 )
             return None
-        start = geometry.align_down(va, PageSize.LARGE)
-        self._install(process, start, PageSize.LARGE, pfn)
-        latency = self.kernel.zerofill.fault_ns(PageSize.LARGE, used_pool)
+        top = geometry.top_level
+        start = geometry.align_down(va, top)
+        self._install(process, start, top, pfn)
+        latency = self.kernel.zerofill.fault_ns(top, used_pool)
         # kzerofilld runs on another core: the wall time this fault takes,
         # plus the time the application spends initializing the region
         # before touching the next one (~ writing one large page), is time
@@ -103,7 +109,7 @@ class TridentPolicy(THPPolicy):
             latency + 0.5 * self.kernel.cost.zero_ns(geometry.large_size),
             concurrent=True,
         )
-        return self._record_fault(latency, PageSize.LARGE)
+        return self._record_fault(latency, top)
 
     # -- extended khugepaged (Figure 5) ---------------------------------------
     def background_tick(self, budget_ns: float) -> float:
@@ -116,39 +122,44 @@ class TridentPolicy(THPPolicy):
         return used
 
     def _candidate_stream(self) -> Iterator[tuple]:
-        """Figure 5 scan order: large slots first, then leftover mid slots."""
+        """Figure 5 scan order: top-level slots first, then each lower
+        level's leftover slots outside the next level up's interior."""
         geometry = self.kernel.geometry
+        top = geometry.top_level
         for process in list(self.kernel.processes):
             for vma in process.aspace.iter_extents():
-                covered: list[tuple[int, int]] = []
-                for start, end in mappable_ranges(vma, PageSize.LARGE, geometry):
-                    covered.append((start, end))
-                    yield process, start, PageSize.LARGE
+                for start, _ in mappable_ranges(vma, top, geometry):
+                    yield process, start, top
                 if not self.use_mid:
                     continue
-                # Mid slots outside the large-mappable interior.  The large
-                # slots are sorted and disjoint, so one bisect per mid slot
-                # replaces the O(large x mid) linear overlap scan — many-VMA
-                # address spaces keep khugepaged's pass linear overall.
-                starts = [s for s, _ in covered]
-                for start, _ in mappable_ranges(vma, PageSize.MID, geometry):
-                    i = bisect_right(starts, start) - 1
-                    inside_large = i >= 0 and start < covered[i][1]
-                    if not inside_large:
-                        yield process, start, PageSize.MID
+                for level in range(top - 1, 0, -1):
+                    # Slots outside the (level+1)-mappable interior — the
+                    # interiors nest, so checking one level up suffices.
+                    # The covering slots are sorted and disjoint, so one
+                    # bisect per slot replaces the O(n x m) linear overlap
+                    # scan — many-VMA address spaces keep khugepaged's
+                    # pass linear overall.
+                    covered = list(mappable_ranges(vma, level + 1, geometry))
+                    starts = [s for s, _ in covered]
+                    for start, _ in mappable_ranges(vma, level, geometry):
+                        i = bisect_right(starts, start) - 1
+                        inside = i >= 0 and start < covered[i][1]
+                        if not inside:
+                            yield process, start, level
 
     def _try_promote(
         self, process, va: int, page_size: int, budget_ns: float = float("inf")
     ) -> float:
-        if page_size != PageSize.LARGE:
+        top = self.kernel.geometry.top_level
+        if page_size != top:
             return super()._try_promote(process, va, page_size, budget_ns)
-        present = self._slot_contents(process, va, PageSize.LARGE)
+        present = self._slot_contents(process, va, top)
         if present is None:
             return 0.0
         self.stats.promo_large_attempts += 1
         pfn, spent = self._alloc_large_for_promotion(budget_ns)
         if pfn is not None:
-            return spent + self._promote(process, va, PageSize.LARGE, pfn, present)
+            return spent + self._promote(process, va, top, pfn, present)
         self.stats.promo_large_failures += 1
         tr = self._tracer
         if tr is not None and tr.active:
@@ -160,13 +171,15 @@ class TridentPolicy(THPPolicy):
             )
         if not self.use_mid:
             return spent
-        # Figure 5 fallback: promote the slot's mid sub-ranges instead.
+        # Figure 5 fallback: promote the slot's sub-ranges at the next
+        # level down instead, so TLB resources are never left idle.
         geometry = self.kernel.geometry
-        for mid_va in range(
-            va, va + geometry.bytes_for(PageSize.LARGE), geometry.mid_size
+        sub = top - 1
+        for sub_va in range(
+            va, va + geometry.bytes_for(top), geometry.bytes_for(sub)
         ):
             spent += super()._try_promote(
-                process, mid_va, PageSize.MID, budget_ns - spent
+                process, sub_va, sub, budget_ns - spent
             )
         return spent
 

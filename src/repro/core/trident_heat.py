@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.config import PageSize
 from repro.core.trident import TridentPolicy
 
 
@@ -41,13 +40,14 @@ class TridentHeatPolicy(TridentPolicy):
     def _sample_heat(self, budget_ns: float) -> float:
         used = 0.0
         geometry = self.kernel.geometry
+        top = geometry.top_level
         for process in list(self.kernel.processes):
             if used >= budget_ns:
                 break
             for mapping in process.pagetable.iter_mappings():
                 used += self.access_sample_ns
-                if mapping.accessed and mapping.page_size != PageSize.LARGE:
-                    slot = geometry.align_down(mapping.va, PageSize.LARGE)
+                if mapping.accessed and mapping.page_size != top:
+                    slot = geometry.align_down(mapping.va, top)
                     key = (process.pid, slot)
                     self._heat[key] = self._heat.get(key, 0) + 1
                 mapping.accessed = False
@@ -59,6 +59,7 @@ class TridentHeatPolicy(TridentPolicy):
     def _candidate_stream(self) -> Iterator[tuple]:
         """Hottest large slots first; then Trident's sequential order."""
         geometry = self.kernel.geometry
+        top = geometry.top_level
         by_pid = {p.pid: p for p in self.kernel.processes}
         ranked = sorted(self._heat.items(), key=lambda kv: -kv[1])
         seen: set[tuple[int, int]] = set()
@@ -66,11 +67,11 @@ class TridentHeatPolicy(TridentPolicy):
             process = by_pid.get(pid)
             if process is not None:
                 seen.add((pid, va))
-                yield process, va, PageSize.LARGE
+                yield process, va, top
         # Decay so stale heat fades between passes.
         self._heat = {k: v // 2 for k, v in self._heat.items() if v > 1}
         for candidate in super()._candidate_stream():
             process, va, size = candidate
-            if size == PageSize.LARGE and (process.pid, va) in seen:
+            if size == top and (process.pid, va) in seen:
                 continue
             yield candidate

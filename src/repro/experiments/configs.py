@@ -6,7 +6,6 @@ These are the bar labels of the paper's figures.  Each value is a factory
 
 from __future__ import annotations
 
-from repro.config import PageSize
 from repro.core.baseline4k import Baseline4KPolicy
 from repro.core.hawkeye import HawkEyePolicy
 from repro.core.hugetlbfs import HugetlbfsPolicy
@@ -19,8 +18,12 @@ from repro.core.trident_heat import TridentHeatPolicy
 POLICY_CONFIGS = {
     "4KB": Baseline4KPolicy,
     "2MB-THP": THPPolicy,
-    "2MB-Hugetlbfs": lambda kernel: HugetlbfsPolicy(kernel, PageSize.MID),
-    "1GB-Hugetlbfs": lambda kernel: HugetlbfsPolicy(kernel, PageSize.LARGE),
+    "2MB-Hugetlbfs": lambda kernel: HugetlbfsPolicy(
+        kernel, kernel.geometry.thp_level
+    ),
+    "1GB-Hugetlbfs": lambda kernel: HugetlbfsPolicy(
+        kernel, kernel.geometry.top_level
+    ),
     "HawkEye": HawkEyePolicy,
     "Ingens": IngensPolicy,
     "Trident": TridentPolicy,

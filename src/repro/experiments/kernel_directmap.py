@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.experiments.report import print_and_save
 from repro.tlb.hierarchy import TLBHierarchy
 from repro.vm.pagetable import PageTable
@@ -55,7 +55,9 @@ def run(
         n_accesses,
     )
     rows = []
-    for size, label in ((PageSize.MID, "2MB direct map"), (PageSize.LARGE, "1GB direct map")):
+    directmap_levels = (geometry.thp_level, geometry.top_level)
+    for size in directmap_levels:
+        label = f"{geometry.label_for(size)} direct map"
         table = PageTable(geometry)
         step = geometry.bytes_for(size)
         for pa in range(0, total, step):

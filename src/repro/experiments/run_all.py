@@ -21,6 +21,7 @@ import time
 
 from repro.experiments import (
     bloat,
+    cross_isa,
     extension_5level,
     extension_heat,
     sensitivity,
@@ -63,6 +64,7 @@ MODULES = (
     ("figure2_full", figure2_full),
     ("sensitivity", sensitivity),
     ("extension_heat", extension_heat),
+    ("cross_isa", cross_isa),
 )
 
 

@@ -231,6 +231,10 @@ class RunConfig:
     n_accesses: int = 150_000
     seed: int = 7
     geometry: PageGeometry = SCALED_GEOMETRY
+    #: a geometry preset key ("x86", "sv-napot", "arm16k") or a path to a
+    #: custom .json geometry; overrides ``geometry`` and brings the
+    #: preset's TLB/walk/cost parameters along (see repro.geometries)
+    geometry_name: str | None = None
     #: machine size in large regions; None = the paper's testbed (192GB per
     #: socket = 192 1GB regions, scaled), floored at 1.15x the footprint
     machine_regions: int | None = None
@@ -326,7 +330,13 @@ class NativeRunner:
     TESTBED_REGIONS = 192
 
     def _size_machine(self) -> MachineConfig:
+        preset = None
         geometry = self.config.geometry
+        if self.config.geometry_name:
+            from repro.geometries import resolve_geometry
+
+            preset = resolve_geometry(self.config.geometry_name)
+            geometry = preset.geometry
         if self.config.machine_regions is not None:
             regions = self.config.machine_regions
         else:
@@ -335,7 +345,10 @@ class NativeRunner:
                 self.TESTBED_REGIONS,
                 int(footprint * 1.15) // geometry.large_size + 1,
             )
-        machine = default_machine(regions, geometry)
+        if preset is not None:
+            machine = preset.machine(regions)
+        else:
+            machine = default_machine(regions, geometry)
         if self.config.walk_levels != machine.walk.levels_base:
             from dataclasses import replace
 
@@ -461,6 +474,9 @@ class VirtRunConfig:
     n_accesses: int = 120_000
     seed: int = 7
     geometry: PageGeometry = SCALED_GEOMETRY
+    #: same semantics as :attr:`RunConfig.geometry_name`; both guest and
+    #: host machines are built from the preset
+    geometry_name: str | None = None
     #: guest memory in large regions; None = a 160-region ("160GB") VM,
     #: floored at 1.15x the footprint
     guest_regions: int | None = None
@@ -510,7 +526,13 @@ class VirtRunner:
 
         self.config = config
         self.workload = get_workload(config.workload)
+        preset = None
         geometry = config.geometry
+        if config.geometry_name:
+            from repro.geometries import resolve_geometry
+
+            preset = resolve_geometry(config.geometry_name)
+            geometry = preset.geometry
         footprint = self.workload.footprint_bytes
         if config.guest_regions is not None:
             guest_regions = config.guest_regions
@@ -518,11 +540,15 @@ class VirtRunner:
             guest_regions = max(
                 160, int(footprint * 1.15) // geometry.large_size + 1
             )
-        guest_machine = default_machine(guest_regions, geometry)
         host_regions = max(
             guest_regions + 8, int(guest_regions * config.host_headroom)
         )
-        host_machine = default_machine(host_regions, geometry)
+        if preset is not None:
+            guest_machine = preset.machine(guest_regions)
+            host_machine = preset.machine(host_regions)
+        else:
+            guest_machine = default_machine(guest_regions, geometry)
+            host_machine = default_machine(host_regions, geometry)
 
         if config.pv:
             def guest_factory(kernel):

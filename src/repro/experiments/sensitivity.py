@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.config import SCALE_FACTOR, PageSize, TLBConfig
+from repro.config import SCALE_FACTOR, SCALED_GEOMETRY, TLBConfig
 from repro.experiments.report import print_and_save
 from repro.experiments.runner import NativeRunner, RunConfig
 
@@ -47,7 +47,7 @@ def run_fragmentation_sweep(
                 "trident_vs_thp": metrics["2MB-THP"].runtime_ns
                 / trident.runtime_ns,
                 "trident_1gb_gb": (trident.mapped_bytes_by_size or {}).get(
-                    PageSize.LARGE, 0
+                    SCALED_GEOMETRY.top_level, 0
                 )
                 * SCALE_FACTOR
                 / (1 << 30),

@@ -18,7 +18,7 @@ Values are paper-scale GB (simulator bytes x the geometry scale factor).
 
 from __future__ import annotations
 
-from repro.config import SCALE_FACTOR, PageSize
+from repro.config import SCALE_FACTOR, SCALED_GEOMETRY
 from repro.experiments.report import print_and_save
 from repro.experiments.runner import NativeRunner, RunConfig
 from repro.workloads.registry import SHADED_EIGHT
@@ -56,10 +56,10 @@ def run(
                 ).run()
                 mapped = metrics.mapped_bytes_by_size
                 row[f"{state}:{label}:1GB"] = (
-                    mapped[PageSize.LARGE] * SCALE_FACTOR / (1 << 30)
+                    mapped[SCALED_GEOMETRY.top_level] * SCALE_FACTOR / (1 << 30)
                 )
                 row[f"{state}:{label}:2MB"] = (
-                    mapped[PageSize.MID] * SCALE_FACTOR / (1 << 30)
+                    mapped[SCALED_GEOMETRY.thp_level] * SCALE_FACTOR / (1 << 30)
                 )
         rows.append(row)
     return rows

@@ -1,0 +1,318 @@
+"""Built-in page-size geometry presets and the custom-JSON loader.
+
+Trident's thesis — "harness *all* architectural page sizes" — is not an
+x86 statement: any ISA that exposes a ladder of translation granules can
+play.  This module packages three ladders as data:
+
+* ``x86`` — the default x86-class pipeline (4KB/2MB/1GB, run at the
+  reach-preserving scaled geometry every experiment already uses).
+  Selecting it is bitwise-identical to not selecting anything.
+* ``sv-napot`` — RISC-V with the SVNAPOT extension: a **four**-level
+  4KB / 64KB-NAPOT / 2MB / 1GB ladder.  NAPOT pages are regular PTEs
+  with a contiguity hint, so their walks run the full radix depth and
+  their leaves are never structure-cached — encoded per level, not in
+  code.
+* ``arm16k`` — ARM 16KB granule with contiguous-bit 2MB-class blocks
+  and 32MB-class L2 blocks.  Contiguous-bit entries, like NAPOT, are
+  last-level PTEs (no walk shortening); only the true block mapping
+  skips a level.
+
+Like the x86 family, the non-x86 presets run *scaled* (orders shrunk,
+level ratios preserved) so figures regenerate in seconds; each preset
+records the paper-scale factor of its top level.
+
+Custom geometries load from JSON via :func:`load_geometry_json`; see
+``docs/geometry.md`` for the schema and ``repro geometry`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.config import (
+    CostModel,
+    MachineConfig,
+    PageGeometry,
+    PageLevel,
+    SCALED_GEOMETRY,
+    SCALED_TLB,
+    SCALE_FACTOR,
+    TLBConfig,
+    TLBHierarchyConfig,
+    TLBSection,
+    WalkConfig,
+    X86_GEOMETRY,
+    default_machine,
+)
+
+
+@dataclass(frozen=True)
+class GeometryPreset:
+    """A runnable geometry: the level ladder plus machine parameters."""
+
+    key: str
+    title: str
+    description: str
+    geometry: PageGeometry
+    #: legacy three-tier TLB shapes; ignored when the geometry embeds
+    #: per-level sections
+    tlb: TLBHierarchyConfig = field(default_factory=lambda: SCALED_TLB)
+    walk: WalkConfig = field(default_factory=WalkConfig)
+    #: multiplier mapping scaled bytes back to paper-scale bytes
+    scale_factor: int = 1
+
+    def machine(self, total_large_regions: int = 64) -> MachineConfig:
+        """A machine of ``total_large_regions`` top-level regions."""
+        if self.key == "x86":
+            # The canonical pipeline: must stay byte-identical to a run
+            # that never mentioned geometries at all.
+            return default_machine(total_large_regions)
+        return MachineConfig(
+            geometry=self.geometry,
+            total_frames=total_large_regions * self.geometry.frames_per_large,
+            tlb=self.tlb,
+            walk=self.walk,
+            cost=CostModel().scaled_for(self.geometry),
+        )
+
+
+def _sv_napot_geometry() -> PageGeometry:
+    """Scaled RISC-V SVNAPOT ladder: 4K / 64K-NAPOT / 2M / 1G classes.
+
+    Scaled orders (0, 2, 5, 10) keep the strict ordering and shrink the
+    top level to 4MB (the same 256x byte factor as the x86 scaled
+    geometry).  The NAPOT level walks the full radix depth —
+    ``levels_skipped=0`` — because a NAPOT "page" is 2^N ordinary PTEs
+    whose low PPN bits encode the contiguity; only the true superpage
+    levels shorten the walk.
+    """
+    shared = TLBConfig(192, 12)
+    return PageGeometry(
+        base_shift=12,
+        levels=(
+            PageLevel(
+                name="base", label="4KB", order=0, promotable=False,
+                tlb=TLBSection(TLBConfig(16, 4), "shared"),
+                levels_skipped=0, leaf_cached_prob=0.0,
+            ),
+            PageLevel(
+                name="napot", label="64KB", order=2,
+                tlb=TLBSection(TLBConfig(8, 4), "shared"),
+                # NAPOT leaves are PTEs: full-depth walk, never
+                # structure-cached.
+                levels_skipped=0, leaf_cached_prob=0.0,
+            ),
+            PageLevel(
+                name="mega", label="2MB", order=5, thp_target=True,
+                tlb=TLBSection(TLBConfig(4, 4), "mid"),
+                levels_skipped=1, leaf_cached_prob=0.60,
+            ),
+            PageLevel(
+                name="giga", label="1GB", order=10,
+                tlb=TLBSection(TLBConfig(4, 4), "large"),
+                levels_skipped=2, leaf_cached_prob=0.85,
+            ),
+        ),
+        l2_groups=(
+            ("shared", shared),
+            ("mid", TLBConfig(192, 12)),
+            ("large", TLBConfig(16, 4)),
+        ),
+        name="sv-napot",
+    )
+
+
+def _arm16k_geometry() -> PageGeometry:
+    """Scaled ARM 16K-granule ladder: 16K / 2M-contig / 32M-block classes.
+
+    Contiguous-bit entries are, like NAPOT, ordinary last-level
+    descriptors carrying a contiguity hint — full-depth walks, uncached
+    leaves, but a single TLB entry of larger reach.  Only the level-2
+    block mapping actually shortens the walk.
+    """
+    return PageGeometry(
+        base_shift=14,
+        levels=(
+            PageLevel(
+                name="granule", label="16KB", order=0, promotable=False,
+                tlb=TLBSection(TLBConfig(16, 4), "shared"),
+                levels_skipped=0, leaf_cached_prob=0.0,
+            ),
+            PageLevel(
+                name="contig", label="2MB", order=4, thp_target=True,
+                tlb=TLBSection(TLBConfig(8, 4), "shared"),
+                levels_skipped=0, leaf_cached_prob=0.0,
+            ),
+            PageLevel(
+                name="block", label="32MB", order=8,
+                tlb=TLBSection(TLBConfig(4, 4), "block"),
+                levels_skipped=1, leaf_cached_prob=0.60,
+            ),
+        ),
+        l2_groups=(
+            ("shared", TLBConfig(192, 12)),
+            ("block", TLBConfig(16, 4)),
+        ),
+        name="arm16k",
+    )
+
+
+def _presets() -> dict[str, GeometryPreset]:
+    sv = _sv_napot_geometry()
+    arm = _arm16k_geometry()
+    return {
+        "x86": GeometryPreset(
+            key="x86",
+            title="x86-64 4KB/2MB/1GB (scaled)",
+            description=(
+                "The default three-tier x86 pipeline at the scaled "
+                "geometry every experiment runs; selecting it is "
+                "bitwise-identical to the pre-geometry default."
+            ),
+            geometry=PageGeometry(
+                base_shift=SCALED_GEOMETRY.base_shift,
+                mid_order=SCALED_GEOMETRY.mid_order,
+                large_order=SCALED_GEOMETRY.large_order,
+                name="x86",
+            ),
+            tlb=SCALED_TLB,
+            scale_factor=SCALE_FACTOR,
+        ),
+        "sv-napot": GeometryPreset(
+            key="sv-napot",
+            title="RISC-V SVNAPOT 4KB/64KB/2MB/1GB (4 levels, scaled)",
+            description=(
+                "Four-level ladder with 64KB NAPOT pages: NAPOT leaves "
+                "are PTEs (full-depth walks, uncached leaves) yet one "
+                "TLB entry spans the whole naturally-aligned group."
+            ),
+            geometry=sv,
+            scale_factor=X86_GEOMETRY.large_size // sv.large_size,
+        ),
+        "arm16k": GeometryPreset(
+            key="arm16k",
+            title="ARM 16KB granule, 2MB contiguous-bit, 32MB block (scaled)",
+            description=(
+                "16KB granule with contiguous-bit 2MB-class entries and "
+                "32MB-class level-2 blocks; the contig level promotes "
+                "like THP but never shortens a walk."
+            ),
+            geometry=arm,
+            scale_factor=(32 << 20) // arm.large_size,
+        ),
+    }
+
+
+GEOMETRY_PRESETS: dict[str, GeometryPreset] = _presets()
+
+
+def resolve_geometry(name_or_path: str) -> GeometryPreset:
+    """A preset by key, or a custom geometry loaded from a JSON file."""
+    preset = GEOMETRY_PRESETS.get(name_or_path)
+    if preset is not None:
+        return preset
+    if name_or_path.endswith(".json"):
+        return load_geometry_json(name_or_path)
+    known = ", ".join(sorted(GEOMETRY_PRESETS))
+    raise ValueError(
+        f"unknown geometry {name_or_path!r}; expected one of [{known}] "
+        "or a path to a .json geometry file"
+    )
+
+
+def _tlb_config(obj: dict, where: str) -> TLBConfig:
+    try:
+        return TLBConfig(int(obj["entries"]), int(obj["ways"]))
+    except KeyError as e:
+        raise ValueError(f"{where}: TLB config needs 'entries' and 'ways'") from e
+
+
+def geometry_from_dict(spec: dict, *, name: str = "") -> GeometryPreset:
+    """Validate and build a custom geometry from a parsed JSON object.
+
+    Raises :class:`ValueError` with a actionable message on any schema
+    violation; :class:`PageGeometry`'s own validation (monotone orders,
+    unique names, section/group consistency) runs on top.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError("geometry spec must be a JSON object")
+    for key in ("base_shift", "levels"):
+        if key not in spec:
+            raise ValueError(f"geometry spec is missing {key!r}")
+    raw_levels = spec["levels"]
+    if not isinstance(raw_levels, list) or len(raw_levels) < 2:
+        raise ValueError("'levels' must be a list of at least two levels")
+    groups = tuple(
+        (str(gname), _tlb_config(gcfg, f"l2_groups[{gname}]"))
+        for gname, gcfg in (spec.get("l2_groups") or {}).items()
+    )
+    levels = []
+    for i, raw in enumerate(raw_levels):
+        if not isinstance(raw, dict):
+            raise ValueError(f"levels[{i}] must be an object")
+        for key in ("name", "order"):
+            if key not in raw:
+                raise ValueError(f"levels[{i}] is missing {key!r}")
+        section = None
+        if "l1" in raw:
+            section = TLBSection(
+                _tlb_config(raw["l1"], f"levels[{i}].l1"),
+                raw.get("l2", "shared"),
+            )
+        levels.append(
+            PageLevel(
+                name=str(raw["name"]),
+                label=str(raw.get("label", raw["name"])),
+                order=int(raw["order"]),
+                promotable=bool(raw.get("promotable", i > 0)),
+                thp_target=bool(raw.get("thp_target", False)),
+                tlb=section,
+                levels_skipped=(
+                    int(raw["levels_skipped"])
+                    if "levels_skipped" in raw
+                    else None
+                ),
+                leaf_cached_prob=(
+                    float(raw["leaf_cached_prob"])
+                    if "leaf_cached_prob" in raw
+                    else None
+                ),
+            )
+        )
+    geometry = PageGeometry(
+        base_shift=int(spec["base_shift"]),
+        mid_order=None,
+        large_order=None,
+        levels=tuple(levels),
+        l2_groups=groups,
+        name=str(spec.get("name", name)),
+    )
+    walk_spec = spec.get("walk") or {}
+    walk = WalkConfig(
+        levels_base=int(walk_spec.get("levels_base", 4)),
+        mem_access_cycles=int(walk_spec.get("mem_access_cycles", 160)),
+        pwc_hit_rate=float(walk_spec.get("pwc_hit_rate", 0.80)),
+    )
+    scale = X86_GEOMETRY.large_size // geometry.large_size
+    return GeometryPreset(
+        key=geometry.name or name or "custom",
+        title=spec.get("title", geometry.name or "custom geometry"),
+        description=spec.get("description", "custom JSON geometry"),
+        geometry=geometry,
+        walk=walk,
+        scale_factor=max(1, scale),
+    )
+
+
+def load_geometry_json(path: str) -> GeometryPreset:
+    """Load and validate a custom geometry from a JSON file."""
+    with open(path) as f:
+        try:
+            spec = json.load(f)
+        except json.JSONDecodeError as e:
+            raise ValueError(f"{path}: not valid JSON ({e})") from e
+    try:
+        return geometry_from_dict(spec, name=path)
+    except ValueError as e:
+        raise ValueError(f"{path}: {e}") from e

@@ -309,7 +309,7 @@ class ExperimentProtocol(Rule):
 
 
 class FrameArithmetic(Rule):
-    """TRD003: frame/order arithmetic hygiene in ``mem/`` + ``experiments/``.
+    """TRD003: frame/order arithmetic hygiene and three-tier hygiene.
 
     Frame counts, PFNs and orders are exact integers; a single true
     division silently floats an entire downstream computation (the zero-fill
@@ -317,42 +317,104 @@ class FrameArithmetic(Rule):
     numbers (order 9/18, 512 frames per 2MB, 262144 per 1GB, the 256x paper
     scale) must come from ``config.py`` so scaled and full geometries stay
     interchangeable.
+
+    Since the N-level :class:`~repro.config.PageGeometry` redesign, the
+    rule additionally polices the three-tier assumption itself, across the
+    whole ``repro`` package (``config.py`` excepted, where the shim lives):
+    reads of the deprecated ``PageSize.BASE/MID/LARGE`` aliases, and magic
+    x86 order literals (``1 << 9``-style shifts), both of which silently
+    pin code to a geometry shape that SVNAPOT and ARM granule configs do
+    not have.  Pre-existing findings ratchet via ``lint-baseline.json``.
     """
 
     code = "TRD003"
     name = "frame-arithmetic"
     description = (
-        "no float creep into frame/order arithmetic; geometry constants "
-        "come from config.py, not magic numbers"
+        "no float creep into frame/order arithmetic; no magic geometry "
+        "numbers or deprecated three-tier PageSize aliases"
     )
     rationale = (
         "Frame counts, PFNs and orders are exact integers; one true "
         "division floats everything downstream (the PR 1 zero-fill "
         "accounting bug started exactly this way). Geometry numbers "
         "(512 frames per 2MB, order 9/18, the 256x scale) must come "
-        "from config.py so scaled and full geometries interchange."
+        "from the active geometry so scaled, full, and N-level "
+        "geometries interchange. PageSize.BASE/MID/LARGE reads go "
+        "through a deprecation shim that hardcodes the three-tier "
+        "shape; 4-level SVNAPOT configs break such call sites."
     )
-    example_bad = "mid_frames = frames / 512        # float, magic number\n"
-    example_good = "mid_frames = frames // geometry.frames_per_mid\n"
+    example_bad = (
+        "mid_frames = frames / 512        # float, magic number\n"
+        "mapped = by_size[PageSize.MID]   # deprecated three-tier alias\n"
+    )
+    example_good = (
+        "mid_frames = frames // geometry.frames_for(geometry.thp_level)\n"
+        "mapped = by_size[geometry.thp_level]\n"
+    )
 
     SCOPES = ("repro/mem/", "repro/experiments/")
     #: identifier fragments that mark a value as frame/order-typed
     FRAMEISH = frozenset({"frame", "frames", "pfn", "pfns", "order", "orders"})
-    #: geometry literals that must be spelled via config.PageGeometry
+    #: geometry literals that must be spelled via the active PageGeometry
     MAGIC_GEOMETRY = {
-        9: "PageGeometry.mid_order (X86_GEOMETRY) or geometry.mid_order",
-        18: "PageGeometry.large_order (X86_GEOMETRY) or geometry.large_order",
+        9: "geometry.order_for(geometry.thp_level)",
+        18: "geometry.order_for(geometry.top_level)",
         512: "geometry.frames_per_mid",
         262144: "geometry.frames_per_large",
     }
     SCALE = 256  # config.SCALE_FACTOR
+    #: deprecated three-tier aliases served by the config.PageSize shim;
+    #: each read warns at runtime — lint catches them statically
+    DEPRECATED_PAGESIZE = frozenset(
+        {"BASE", "MID", "LARGE", "ALL", "NAMES", "X86_NAMES"}
+    )
+    #: the shim's home (and the only place allowed to spell it)
+    SHIM_HOME = "repro/config.py"
 
     def check(self, ctx: LintContext) -> list[Finding]:
         findings: list[Finding] = []
         for scope in self.SCOPES:
             for module in ctx.under(scope):
                 findings.extend(self._check_module(module))
+        for module in ctx.under("repro/"):
+            if module.package_path == self.SHIM_HOME:
+                continue
+            findings.extend(self._check_three_tier(module))
         return findings
+
+    def _check_three_tier(self, module: SourceModule) -> Iterator[Finding]:
+        """Package-wide three-tier hygiene (outside mem/ + experiments/).
+
+        PageSize alias reads are flagged everywhere; magic order shifts
+        are flagged here only for modules the frame-arithmetic scope does
+        not already cover, so each site reports once.
+        """
+        in_scope = any(module.package_path.startswith(s) for s in self.SCOPES)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                yield from self._check_pagesize_alias(module, node)
+            elif (
+                not in_scope
+                and isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.LShift, ast.RShift))
+            ):
+                yield from self._check_shift(module, node)
+
+    def _check_pagesize_alias(
+        self, module: SourceModule, node: ast.Attribute
+    ) -> Iterator[Finding]:
+        if node.attr not in self.DEPRECATED_PAGESIZE:
+            return
+        parts = _dotted(node).split(".")
+        if len(parts) >= 2 and parts[-2] == "PageSize":
+            yield self.finding(
+                module,
+                node.lineno,
+                f"deprecated PageSize.{node.attr} resolves through the "
+                "three-tier runtime shim; use the active geometry's level "
+                "indices instead (0, geometry.thp_level, "
+                "geometry.top_level, geometry.all_levels)",
+            )
 
     def _check_module(self, module: SourceModule) -> Iterator[Finding]:
         container_lines = self._container_literal_ids(module.tree)
@@ -450,8 +512,9 @@ class FrameArithmetic(Rule):
                 yield self.finding(
                     module,
                     first.lineno,
-                    f"magic page-size index {first.value}; use "
-                    "PageSize.BASE/MID/LARGE from config.py",
+                    f"magic page-size index {first.value}; use geometry "
+                    "level indices (0, geometry.thp_level, "
+                    "geometry.top_level)",
                 )
 
     def _check_subscript(
@@ -467,8 +530,9 @@ class FrameArithmetic(Rule):
             yield self.finding(
                 module,
                 node.lineno,
-                f"magic page-size index {index.value}; use "
-                "PageSize.BASE/MID/LARGE from config.py",
+                f"magic page-size index {index.value}; use geometry "
+                "level indices (0, geometry.thp_level, "
+                "geometry.top_level)",
             )
 
     def _check_shift(

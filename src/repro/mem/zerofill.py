@@ -14,7 +14,7 @@ returns the pool under memory pressure.
 
 from __future__ import annotations
 
-from repro.config import CostModel, PageGeometry, PageSize
+from repro.config import CostModel, PageGeometry
 from repro.mem.buddy import BuddyAllocator
 
 
@@ -180,6 +180,6 @@ class ZeroFillEngine:
         return self.cost.large_fault_mapped_ns
 
     def fault_ns(self, page_size: int, used_pool: bool) -> float:
-        if page_size == PageSize.LARGE and used_pool:
+        if page_size == self.geometry.top_level and used_pool:
             return self.pooled_fault_ns()
         return self.sync_fault_ns(page_size)

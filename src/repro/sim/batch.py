@@ -30,7 +30,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import PageSize
 from repro.tlb.batch import hierarchy_touch_batch
 
 _RAW_FLOAT_MSG = (
@@ -62,7 +61,7 @@ class TouchResult(float):
     _warned_sites: set[tuple[str, int]] = set()
 
     def __new__(
-        cls, cycles: float, faulted: bool = False, page_size: int = PageSize.BASE
+        cls, cycles: float, faulted: bool = False, page_size: int = 0
     ) -> "TouchResult":
         self = super().__new__(cls, cycles)
         self.faulted = faulted
@@ -92,7 +91,7 @@ class TouchResult(float):
         return (
             f"TouchResult(cycles={float.__float__(self)!r}, "
             f"faulted={self.faulted}, "
-            f"page_size={PageSize.name_of(self.page_size)})"
+            f"page_size={self.page_size})"
         )
 
 
@@ -140,7 +139,7 @@ class BatchResult:
     faults: int = 0
     fault_ns: float = 0.0
     walks_by_size: dict[int, int] = field(
-        default_factory=lambda: {s: 0 for s in PageSize.ALL}
+        default_factory=lambda: {s: 0 for s in range(3)}
     )
 
     @property
@@ -207,9 +206,9 @@ class BatchEngine:
         pagetable = process.pagetable
         # Touched-page bookkeeping and access bits, once per distinct page
         # instead of once per access (both are idempotent set/flag writes).
-        base_vpns = np.unique(seg >> pagetable._shifts[PageSize.BASE])
+        base_vpns = np.unique(seg >> pagetable._shifts[0])
         process.touched_pages.update(base_vpns.tolist())
-        for size in PageSize.ALL:
+        for size in range(pagetable.n_levels):
             level = pagetable._levels[size]
             if mapped_vpns is not None:
                 vpns = mapped_vpns.get(size)
@@ -255,7 +254,7 @@ def translate_segment(pagetable, seg: np.ndarray):
     sizes = np.empty(n, dtype=np.int64)
     remaining = np.ones(n, dtype=bool)
     mapped_vpns: dict[int, np.ndarray] = {}
-    for size in (PageSize.LARGE, PageSize.MID, PageSize.BASE):
+    for size in pagetable.levels_desc:
         level = pagetable._levels[size]
         if not level:
             continue

@@ -24,7 +24,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.experiments.configs import policy_factory, resolve_policy
 from repro.sim.system import System
 from repro.workloads.access import zipf
@@ -66,15 +66,13 @@ def state_fingerprint(system: System, process) -> dict[str, Any]:
         "since_daemon": system._accesses_since_daemon,
     }
     structs = {f"l1:{size}": t for size, t in tlb.l1.items()}
-    structs["l2_shared"] = tlb.l2_shared
-    structs["l2_large"] = tlb.l2_large
-    if tlb.l2_mid is not None:
-        structs["l2_mid"] = tlb.l2_mid
+    for group, t in tlb.l2.items():
+        structs[f"l2_{group}"] = t
     for name, t in structs.items():
         d[f"tlb:{name}"] = (t.hits, t.misses, [list(s.keys()) for s in t._sets])
     for size, h in tlb._h_walk.items():
         d[f"hist:{size}"] = (h.count, h.sum, list(h.bucket_counts))
-    for size in PageSize.ALL:
+    for size in range(process.pagetable.n_levels):
         level = process.pagetable._levels[size]
         d[f"accessed:{size}"] = sorted(
             vpn for vpn, m in level.items() if m.accessed

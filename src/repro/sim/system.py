@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.config import FREQ_GHZ, MachineConfig, PageSize
+from repro.config import FREQ_GHZ, MachineConfig, set_active_geometry
 from repro.core.compaction import NormalCompactor, SmartCompactor
 from repro.core.rmap import ReverseMap
 from repro.mem.buddy import BuddyAllocator
@@ -47,6 +47,8 @@ class System:
     ) -> None:
         self.machine = machine
         self.geometry = machine.geometry
+        # Deprecated PageSize aliases resolve against the live machine.
+        set_active_geometry(self.geometry)
         self.cost = machine.cost
         #: the machine's only RNG: a seeded generator threaded from the run
         #: config so every stochastic kernel behaviour replays byte-for-byte
@@ -159,9 +161,9 @@ class System:
             lambda: float(self.buddy.free_frames),
             unit="frames",
         )
-        for size in PageSize.ALL:
+        for size in self.geometry.all_levels:
             sampler.add_series(
-                f"mapped_bytes_{PageSize.X86_NAMES[size]}",
+                f"mapped_bytes_{self.geometry.label_for(size)}",
                 self._mapped_bytes_reader(size),
                 unit="bytes",
             )
@@ -198,20 +200,20 @@ class System:
         metrics.gauge("sim_clock_ns").set(self.obs.clock.now_ns)
         metrics.counter("system_daemon_ns_total").set(self.daemon_ns_total)
         accesses = l1 = l2 = 0
-        walks = {s: 0 for s in PageSize.ALL}
+        walks = {s: 0 for s in self.geometry.all_levels}
         for process in self.processes:
             stats = process.tlb.stats
             accesses += stats.accesses
             l1 += stats.l1_hits
             l2 += stats.l2_hits
-            for size in PageSize.ALL:
+            for size in self.geometry.all_levels:
                 walks[size] += stats.walks_by_size[size]
         metrics.counter("tlb_accesses_total").set(accesses)
         metrics.counter("tlb_l1_hits_total").set(l1)
         metrics.counter("tlb_l2_hits_total").set(l2)
-        for size in PageSize.ALL:
+        for size in self.geometry.all_levels:
             metrics.counter(
-                "tlb_walks_total", size=PageSize.X86_NAMES[size]
+                "tlb_walks_total", size=self.geometry.label_for(size)
             ).set(walks[size])
 
     def _reserve_kernel_memory(self) -> None:
@@ -430,7 +432,8 @@ class System:
             faults=process.faults - before[6],
             fault_ns=policy_stats.fault_ns - before[7],
             walks_by_size={
-                s: stats.walks_by_size[s] - before[5][s] for s in PageSize.ALL
+                s: stats.walks_by_size[s] - before[5][s]
+                for s in self.geometry.all_levels
             },
         )
         if self._numa_active:
@@ -459,7 +462,7 @@ class System:
         levels = self.machine.walk.levels_for
         if not self.pt_replication and process.pt_node != process.home_node:
             walk_accesses = sum(
-                levels(s) * br.walks_by_size[s] for s in PageSize.ALL
+                levels(s) * w for s, w in br.walks_by_size.items()
             )
             walk_pen = walk_accesses * extra * mem_ns
             if walk_pen > 0.0:
@@ -548,7 +551,8 @@ class System:
     # -- metrics helpers ----------------------------------------------------------
     def mapped_bytes_by_size(self, process: Process) -> dict[int, int]:
         return {
-            size: process.pagetable.mapped_bytes(size) for size in PageSize.ALL
+            size: process.pagetable.mapped_bytes(size)
+            for size in self.geometry.all_levels
         }
 
     def total_fault_ns(self) -> float:

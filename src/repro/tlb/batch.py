@@ -59,7 +59,7 @@ from bisect import bisect_left
 
 import numpy as np
 
-from repro.config import FREQ_GHZ, PageSize
+from repro.config import FREQ_GHZ
 from repro.tlb.tlb import SetAssocTLB
 
 #: per-call budget (scaled by stream length) of long-window elements the
@@ -338,7 +338,8 @@ def _write_back_state(
 def hierarchy_touch_batch(hierarchy, sizes: np.ndarray, vas: np.ndarray) -> None:
     """Batched equivalent of per-access ``hierarchy.access(va, mapping)``.
 
-    ``sizes`` holds each access's mapping page size (``PageSize`` values);
+    ``sizes`` holds each access's mapping page size (geometry level
+    indices);
     the caller guarantees the page table is static across the batch and has
     already set the mappings' accessed bits.  All counters — per-structure
     hits/misses, :class:`TranslationStats`, walker totals, walk histograms,
@@ -352,10 +353,11 @@ def hierarchy_touch_batch(hierarchy, sizes: np.ndarray, vas: np.ndarray) -> None
     stats = hierarchy.stats
     stats.accesses += n
 
-    # L1: one structure per page size, keyed by size-granular VPN.
+    # L1: one structure per geometry level, keyed by level-granular VPN.
+    n_levels = hierarchy.n_levels
     vpns = np.empty(n, dtype=np.int64)
     l1_hit = np.zeros(n, dtype=bool)
-    for size in PageSize.ALL:
+    for size in range(n_levels):
         idx = np.flatnonzero(sizes == size)
         if len(idx) == 0:
             continue
@@ -374,9 +376,9 @@ def hierarchy_touch_batch(hierarchy, sizes: np.ndarray, vas: np.ndarray) -> None
     miss_sizes = sizes[miss_idx]
     l2_hit = np.zeros(len(miss_idx), dtype=bool)
     # Keyed on the structure itself (identity): shared L2s dedupe, and
-    # iteration follows PageSize.ALL insertion order deterministically.
+    # iteration follows ascending level order deterministically.
     by_struct: dict[SetAssocTLB, list[int]] = {}
-    for size in PageSize.ALL:
+    for size in range(n_levels):
         l2 = hierarchy._l2_for(size)
         by_struct.setdefault(l2, []).append(size)
     for l2, struct_sizes in by_struct.items():
@@ -421,12 +423,13 @@ def _accumulate_misses(
     tracer = hierarchy._tracer
     trace = tracer is not None and tracer.active
     l2c = float(hierarchy.walk_config.l2_tlb_hit_cycles)
+    n_levels = hierarchy.n_levels
     walk_cycles_of = {
-        s: walker.native_walk_cycles(s) for s in PageSize.ALL
+        s: walker.native_walk_cycles(s) for s in range(n_levels)
     }
     if not trace and (clock is None or not clock._listeners):
         cyc_lut = np.array(
-            [walk_cycles_of[s] for s in sorted(PageSize.ALL)]
+            [walk_cycles_of[s] for s in range(n_levels)]
         )
         walk_mask = ~l2_hit
         walk_sizes = miss_sizes[walk_mask]
@@ -434,8 +437,8 @@ def _accumulate_misses(
         stats.l2_hits += n_l2_hits
         stats.walks += len(walk_sizes)
         walker.walks += len(walk_sizes)
-        size_counts = np.bincount(walk_sizes, minlength=len(PageSize.ALL))
-        for s in PageSize.ALL:
+        size_counts = np.bincount(walk_sizes, minlength=n_levels)
+        for s in range(n_levels):
             stats.walks_by_size[s] += int(size_counts[s])
         walk_adds = cyc_lut[walk_sizes]
         tc_adds = np.where(l2_hit, l2c, cyc_lut[miss_sizes] + l2c)
@@ -449,7 +452,7 @@ def _accumulate_misses(
             # listeners (checked above), so no span can miss the jump.
             clock.now_ns = _seeded_total(clock.now_ns, tc_adds / FREQ_GHZ)  # trd: ignore[TRD006] listener-free fast path advances in one jump
         if h_walk is not None:
-            for s in PageSize.ALL:
+            for s in range(n_levels):
                 k = int(size_counts[s])
                 if not k:
                     continue
@@ -487,6 +490,6 @@ def _accumulate_misses(
                     "tlb",
                     "walk",
                     vpn=int(miss_vpns[k]),
-                    size=PageSize.X86_NAMES[size],
+                    size=hierarchy._labels[size],
                     cycles=cycles,
                 )

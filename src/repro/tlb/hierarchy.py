@@ -1,13 +1,20 @@
 """The per-core TLB hierarchy (Table 1 of the paper, data side).
 
-Structure (Skylake defaults):
+Structure (Skylake defaults, x86 three-tier geometry):
 
-* L1 dTLB — three structures, one per page size: 64x4 (4KB), 32x4 (2MB),
+* L1 dTLB — one structure per geometry level: 64x4 (4KB), 32x4 (2MB),
   4-entry fully associative (1GB).  Every load/store probes the structure
   matching its mapping's page size; an L1 hit costs nothing extra.
-* L2 sTLB — a 1536-entry 12-way array shared by 4KB and 2MB translations
-  plus a separate 16-entry 4-way array for 1GB.  An L2 hit costs a few
+* L2 sTLB — named groups of set-associative arrays; each level's
+  :class:`~repro.config.TLBSection` points at its group.  On x86 a
+  1536-entry 12-way array is shared by 4KB and 2MB translations and a
+  separate 16-entry 4-way array serves 1GB.  An L2 hit costs a few
   cycles; an L2 miss triggers a page walk.
+
+Other geometries declare more levels (SVNAPOT's 64KB NAPOT pages) or
+different groupings (ARM's contiguous-bit entries share the granule
+array); the hierarchy builds whatever ladder
+:meth:`TLBHierarchyConfig.resolved` hands it, one SetAssocTLB per level.
 
 The simulator is trace-driven: the caller translates each virtual address
 through the page table first (so the mapping's page size is known — hardware
@@ -20,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.config import FREQ_GHZ, PageGeometry, PageSize, TLBHierarchyConfig, WalkConfig
+from repro.config import FREQ_GHZ, PageGeometry, TLBHierarchyConfig, WalkConfig
 from repro.tlb.tlb import SetAssocTLB
 from repro.tlb.walker import PageWalker
 from repro.vm.pagetable import Mapping
@@ -37,8 +44,12 @@ class TranslationStats:
     walk_cycles: float = 0.0
     translation_cycles: float = 0.0
     walks_by_size: dict[int, int] = field(
-        default_factory=lambda: {s: 0 for s in PageSize.ALL}
+        default_factory=lambda: {s: 0 for s in range(3)}
     )
+
+    @classmethod
+    def for_geometry(cls, geometry: PageGeometry) -> "TranslationStats":
+        return cls(walks_by_size={s: 0 for s in geometry.all_levels})
 
     @property
     def l1_miss_rate(self) -> float:
@@ -50,7 +61,7 @@ class TranslationStats:
 
 
 class TLBHierarchy:
-    """L1 (per-size) + L2 (shared and 1GB) TLBs over one page table."""
+    """L1 (per-level) + grouped L2 TLBs over one page table."""
 
     #: walk-latency histogram bucket upper bounds, in cycles
     WALK_BUCKETS = (10, 20, 40, 60, 80, 120, 160, 240, 320, 640)
@@ -64,6 +75,8 @@ class TLBHierarchy:
     ) -> None:
         self.geometry = geometry
         self.walk_config = walk
+        self.n_levels = geometry.n_levels
+        self._labels = geometry.labels
         self._tracer = None
         self._clock = None
         self._h_walk = None
@@ -74,34 +87,33 @@ class TLBHierarchy:
                 s: obs.metrics.histogram(
                     "tlb_walk_cycles",
                     buckets=self.WALK_BUCKETS,
-                    size=PageSize.X86_NAMES[s],
+                    size=self._labels[s],
                 )
-                for s in PageSize.ALL
+                for s in geometry.all_levels
             }
+        sections, groups = config.resolved(geometry)
         self.l1 = {
-            PageSize.BASE: SetAssocTLB(config.l1_base),
-            PageSize.MID: SetAssocTLB(config.l1_mid),
-            PageSize.LARGE: SetAssocTLB(config.l1_large),
+            level: SetAssocTLB(sections[level].l1)
+            for level in geometry.all_levels
         }
-        self.l2_shared = SetAssocTLB(config.l2_shared)
-        self.l2_large = SetAssocTLB(config.l2_large)
-        self.l2_mid = (
-            SetAssocTLB(config.l2_mid) if config.l2_mid is not None else None
-        )
+        #: named L2 group -> structure, in declaration order
+        self.l2 = {name: SetAssocTLB(cfg) for name, cfg in groups.items()}
+        self._l2_by_level = [
+            self.l2[sections[level].l2] for level in geometry.all_levels
+        ]
+        # Legacy attribute aliases; state fingerprints and the x86-era
+        # tooling address the groups by these names.
+        self.l2_shared = self.l2.get("shared")
+        self.l2_large = self.l2.get("large")
+        self.l2_mid = self.l2.get("mid")
         self.walker = PageWalker(walk)
-        self.stats = TranslationStats()
+        self.stats = TranslationStats.for_geometry(geometry)
         self._shifts = {
-            PageSize.BASE: geometry.base_shift,
-            PageSize.MID: geometry.base_shift + geometry.mid_order,
-            PageSize.LARGE: geometry.base_shift + geometry.large_order,
+            level: geometry.shift_for(level) for level in geometry.all_levels
         }
 
     def _l2_for(self, page_size: int) -> SetAssocTLB:
-        if page_size == PageSize.LARGE:
-            return self.l2_large
-        if page_size == PageSize.MID and self.l2_mid is not None:
-            return self.l2_mid
-        return self.l2_shared
+        return self._l2_by_level[page_size]
 
     def access(self, va: int, mapping: Mapping) -> float:
         """One load/store to ``va``; returns translation cycles beyond L1 hit.
@@ -117,7 +129,7 @@ class TLBHierarchy:
         if self.l1[size].lookup(vpn):
             stats.l1_hits += 1
             return 0.0
-        l2 = self._l2_for(size)
+        l2 = self._l2_by_level[size]
         if l2.lookup(vpn):
             stats.l2_hits += 1
             self.l1[size].insert(vpn)
@@ -141,7 +153,7 @@ class TLBHierarchy:
             if tr.active:
                 tr.emit(
                     "tlb", "walk", vpn=vpn,
-                    size=PageSize.X86_NAMES[size], cycles=cycles,
+                    size=self._labels[size], cycles=cycles,
                 )
         l2.insert(vpn)
         self.l1[size].insert(vpn)
@@ -153,11 +165,11 @@ class TLBHierarchy:
         Drops every entry whose page lies inside [start, start+length) from
         all levels.  Ranges are page-size aligned in all call sites.
         """
-        for size in PageSize.ALL:
+        for size in range(self.n_levels):
             shift = self._shifts[size]
             first = start >> shift
             last = (start + length - 1) >> shift
-            structures = (self.l1[size], self._l2_for(size))
+            structures = (self.l1[size], self._l2_by_level[size])
             # Small ranges: invalidate per page; huge ranges: flush.
             if last - first + 1 > 4096:
                 for s in structures:
@@ -170,17 +182,13 @@ class TLBHierarchy:
     def flush(self) -> None:
         for tlb in self.l1.values():
             tlb.flush()
-        self.l2_shared.flush()
-        self.l2_large.flush()
-        if self.l2_mid is not None:
-            self.l2_mid.flush()
+        for tlb in self.l2.values():
+            tlb.flush()
 
     def reset_stats(self) -> None:
-        self.stats = TranslationStats()
+        self.stats = TranslationStats.for_geometry(self.geometry)
         self.walker.reset_stats()
         for tlb in self.l1.values():
             tlb.reset_stats()
-        self.l2_shared.reset_stats()
-        self.l2_large.reset_stats()
-        if self.l2_mid is not None:
-            self.l2_mid.reset_stats()
+        for tlb in self.l2.values():
+            tlb.reset_stats()

@@ -11,7 +11,7 @@ costs up to (nG+1)*(nH+1)-1 memory accesses: 24 / 15 / 8 for 4K+4K / 2M+2M /
 
 from __future__ import annotations
 
-from repro.config import PageGeometry, PageSize, TLBHierarchyConfig, WalkConfig
+from repro.config import PageGeometry, TLBHierarchyConfig, WalkConfig
 from repro.tlb.hierarchy import TranslationStats
 from repro.tlb.tlb import SetAssocTLB
 from repro.tlb.walker import PageWalker
@@ -32,33 +32,30 @@ class NestedTranslationUnit:
         self.geometry = geometry
         self.walk_config = walk
         self.host_table = host_table
+        self.n_levels = geometry.n_levels
         #: host virtual address where the guest-physical range is mapped
         #: (the VM process's RAM allocation in the host)
         self.hva_base = hva_base
+        sections, groups = config.resolved(geometry)
         self.l1 = {
-            PageSize.BASE: SetAssocTLB(config.l1_base),
-            PageSize.MID: SetAssocTLB(config.l1_mid),
-            PageSize.LARGE: SetAssocTLB(config.l1_large),
+            level: SetAssocTLB(sections[level].l1)
+            for level in geometry.all_levels
         }
-        self.l2_shared = SetAssocTLB(config.l2_shared)
-        self.l2_large = SetAssocTLB(config.l2_large)
-        self.l2_mid = (
-            SetAssocTLB(config.l2_mid) if config.l2_mid is not None else None
-        )
+        self.l2 = {name: SetAssocTLB(cfg) for name, cfg in groups.items()}
+        self._l2_by_level = [
+            self.l2[sections[level].l2] for level in geometry.all_levels
+        ]
+        self.l2_shared = self.l2.get("shared")
+        self.l2_large = self.l2.get("large")
+        self.l2_mid = self.l2.get("mid")
         self.walker = PageWalker(walk)
-        self.stats = TranslationStats()
+        self.stats = TranslationStats.for_geometry(geometry)
         self._shifts = {
-            PageSize.BASE: geometry.base_shift,
-            PageSize.MID: geometry.base_shift + geometry.mid_order,
-            PageSize.LARGE: geometry.base_shift + geometry.large_order,
+            level: geometry.shift_for(level) for level in geometry.all_levels
         }
 
     def _l2_for(self, size: int) -> SetAssocTLB:
-        if size == PageSize.LARGE:
-            return self.l2_large
-        if size == PageSize.MID and self.l2_mid is not None:
-            return self.l2_mid
-        return self.l2_shared
+        return self._l2_by_level[size]
 
     def gpa_of(self, guest_mapping: Mapping, va: int) -> int:
         """Guest-physical address ``va`` resolves to."""
@@ -91,7 +88,7 @@ class NestedTranslationUnit:
         if self.l1[size].lookup(vpn):
             stats.l1_hits += 1
             return 0.0
-        l2 = self._l2_for(size)
+        l2 = self._l2_by_level[size]
         if l2.lookup(vpn):
             stats.l2_hits += 1
             self.l1[size].insert(vpn)
@@ -111,11 +108,11 @@ class NestedTranslationUnit:
 
     def invalidate_range(self, start: int, length: int) -> None:
         """Shootdown of guest-virtual range after remapping at either level."""
-        for size in PageSize.ALL:
+        for size in range(self.n_levels):
             shift = self._shifts[size]
             first = start >> shift
             last = (start + length - 1) >> shift
-            structures = (self.l1[size], self._l2_for(size))
+            structures = (self.l1[size], self._l2_by_level[size])
             if last - first + 1 > 4096:
                 for s in structures:
                     s.flush()
@@ -127,7 +124,5 @@ class NestedTranslationUnit:
     def flush(self) -> None:
         for tlb in self.l1.values():
             tlb.flush()
-        self.l2_shared.flush()
-        self.l2_large.flush()
-        if self.l2_mid is not None:
-            self.l2_mid.flush()
+        for tlb in self.l2.values():
+            tlb.flush()

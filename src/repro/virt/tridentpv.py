@@ -14,7 +14,6 @@ Graph500, Canneal) gain little from Trident-pv (Figure 13).
 
 from __future__ import annotations
 
-from repro.config import PageSize
 from repro.core.trident import TridentPolicy
 from repro.vm.pagetable import Mapping
 from repro.virt.hypercall import PVExchangeInterface
@@ -47,13 +46,15 @@ class TridentPVPolicy(TridentPolicy):
     def _promote(
         self, process, va: int, page_size: int, pfn: int, present: list[Mapping]
     ) -> float:
-        if page_size != PageSize.LARGE:
+        top = self.kernel.geometry.top_level
+        if page_size != top:
             return super()._promote(process, va, page_size, pfn, present)
         geometry = self.kernel.geometry
         cost = self.kernel.cost
         base = geometry.base_size
-        nbytes = geometry.bytes_for(PageSize.LARGE)
-        # Partition the present mappings: mid chunks exchange, base pages copy.
+        nbytes = geometry.bytes_for(top)
+        # Partition the present mappings: non-base chunks exchange, base
+        # pages copy (exchanging base pages costs more than copying).
         pairs: list[tuple[int, int, int]] = []
         copy_bytes = 0
         for mapping in present:
@@ -61,7 +62,7 @@ class TridentPVPolicy(TridentPolicy):
             offset = mapping.va - va
             dst_gpa = (pfn * base) + offset
             src_gpa = mapping.pfn * base
-            if mapping.page_size == PageSize.MID:
+            if mapping.page_size > 0:
                 pairs.append((src_gpa, dst_gpa, chunk_bytes))
             else:
                 copy_bytes += chunk_bytes
@@ -73,14 +74,16 @@ class TridentPVPolicy(TridentPolicy):
             spent += cost.copy_ns(copy_bytes)
             self.copied_promotions += 1
         present_bytes = copy_bytes + sum(
-            geometry.bytes_for(m.page_size) for m in present if m.page_size == PageSize.MID
+            geometry.bytes_for(m.page_size)
+            for m in present
+            if m.page_size > 0
         )
         for mapping in present:
             process.pagetable.unmap(mapping.va, mapping.page_size)
             self._teardown(process, mapping)
-        self._install(process, va, PageSize.LARGE, pfn)
+        self._install(process, va, top, pfn)
         process.tlb.invalidate_range(va, nbytes)
-        self.stats.promoted[PageSize.LARGE] += 1
+        self.stats.promoted[top] += 1
         self.stats.promo_copy_bytes += copy_bytes  # only truly-copied bytes
         spent += (
             cost.zero_ns(nbytes - present_bytes)

@@ -4,13 +4,13 @@ On a fault at ``va`` the handler must decide which page sizes *could* map the
 faulting address: a size is a candidate iff the size-aligned region around
 ``va`` lies entirely inside the faulting VMA (the paper's two mappability
 conditions) and none of that region is already mapped.  The policy layers in
-:mod:`repro.core` then pick among the candidates (THP stops at mid, Trident
-prefers large, 4KB-only ignores both).
+:mod:`repro.core` then pick among the candidates (THP stops at its target
+level, Trident prefers the largest declared level, 4KB-only ignores all).
 """
 
 from __future__ import annotations
 
-from repro.config import PageGeometry, PageSize
+from repro.config import PageGeometry
 from repro.vm.addrspace import VMA
 from repro.vm.pagetable import PageTable
 
@@ -32,20 +32,17 @@ def region_is_unmapped(
     start = geometry.align_down(va, page_size)
     if table.translate(start) is not None:
         return False
-    if page_size == PageSize.BASE:
+    if page_size == 0:
         return True
-    if page_size == PageSize.LARGE:
-        return not table._large_children.get(table.vpn(start, PageSize.LARGE), 0)
-    # MID: no base children within the mid slot and not covered from above.
-    return not table._mid_children.get(table.vpn(start, PageSize.MID), 0)
+    return not table.children_in_slot(page_size, table.vpn(start, page_size))
 
 
 def candidate_page_sizes(
     va: int, vma: VMA, table: PageTable, geometry: PageGeometry
 ) -> list[int]:
-    """Page sizes that could legally map a fresh fault at ``va``, largest first."""
+    """Levels that could legally map a fresh fault at ``va``, largest first."""
     sizes = []
-    for size in (PageSize.LARGE, PageSize.MID, PageSize.BASE):
+    for size in geometry.levels_desc:
         if region_fits_vma(va, size, vma, geometry) and region_is_unmapped(
             va, size, table, geometry
         ):

@@ -44,45 +44,46 @@ def mappable_bytes(aspace: AddressSpace, page_size: int) -> int:
     return total
 
 
+def _classify_span(
+    lo: int, hi: int, level: int, geometry: PageGeometry
+) -> Iterator[tuple[int, int, str]]:
+    """Recursively colour [lo, hi) with the mappability ladder.
+
+    The aligned interior at ``level`` takes that level's name; the
+    leftovers on either side fall through to the next level down, until
+    the base level absorbs whatever remains.
+    """
+    if hi <= lo:
+        return
+    if level == 0:
+        yield lo, hi, geometry.name_of(0)
+        return
+    interior_lo = geometry.align_up(lo, level)
+    interior_hi = geometry.align_down(hi, level)
+    if interior_hi > interior_lo:
+        yield from _classify_span(lo, interior_lo, level - 1, geometry)
+        yield interior_lo, interior_hi, geometry.name_of(level)
+        yield from _classify_span(interior_hi, hi, level - 1, geometry)
+    else:
+        yield from _classify_span(lo, hi, level - 1, geometry)
+
+
 def classify_regions(
     aspace: AddressSpace, geometry: PageGeometry
 ) -> list[tuple[int, int, str]]:
     """Split the mapped space into (start, end, class) regions.
 
-    Classes: ``"large"`` (1GB-mappable), ``"mid"`` (2MB- but not
-    1GB-mappable), ``"base"`` (neither).  Figure 4 colours its x-axis with
+    Classes are the geometry's level names, assigned largest-first: a
+    region is classed by the biggest level whose aligned slot covers it
+    ("large" = 1GB-mappable, "mid" = 2MB- but not 1GB-mappable, "base" =
+    neither, on the x86 ladder).  Figure 4 colours its x-axis with
     exactly this classification.
     """
-    from repro.config import PageSize
-
     regions: list[tuple[int, int, str]] = []
     for vma in aspace.iter_extents():
-        large_lo = geometry.align_up(vma.start, PageSize.LARGE)
-        large_hi = geometry.align_down(vma.end, PageSize.LARGE)
-        spans: list[tuple[int, int, str]] = []
-        if large_hi > large_lo:
-            spans.append((large_lo, large_hi, "large"))
-        # The rest of the VMA (before/after the large-aligned interior) is at
-        # best mid-mappable; classify its mid-aligned interior.
-        leftovers = []
-        if large_hi > large_lo:
-            if vma.start < large_lo:
-                leftovers.append((vma.start, large_lo))
-            if large_hi < vma.end:
-                leftovers.append((large_hi, vma.end))
-        else:
-            leftovers.append((vma.start, vma.end))
-        for lo, hi in leftovers:
-            mid_lo = geometry.align_up(lo, PageSize.MID)
-            mid_hi = geometry.align_down(hi, PageSize.MID)
-            if mid_hi > mid_lo:
-                if lo < mid_lo:
-                    spans.append((lo, mid_lo, "base"))
-                spans.append((mid_lo, mid_hi, "mid"))
-                if mid_hi < hi:
-                    spans.append((mid_hi, hi, "base"))
-            else:
-                spans.append((lo, hi, "base"))
+        spans = list(
+            _classify_span(vma.start, vma.end, geometry.top_level, geometry)
+        )
         spans.sort()
         # Merge adjacent same-class spans, but never across VMA boundaries so
         # callers can attribute each region to exactly one VMA.
@@ -108,9 +109,8 @@ class MappabilityScanner:
         self.samples: list[tuple[str, int, int]] = []
 
     def sample(self, label: str = "") -> tuple[int, int]:
-        from repro.config import PageSize
-
-        large = mappable_bytes(self.aspace, PageSize.LARGE)
-        mid = mappable_bytes(self.aspace, PageSize.MID)
+        geometry = self.aspace.geometry
+        large = mappable_bytes(self.aspace, geometry.top_level)
+        mid = mappable_bytes(self.aspace, 1)
         self.samples.append((label, large, mid))
         return large, mid

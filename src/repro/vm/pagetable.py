@@ -1,24 +1,26 @@
-"""Per-process page table with base / mid / large leaf mappings.
+"""Per-process page table with leaf mappings at every geometry level.
 
 x86-64 page tables are a 4-level radix tree whose leaves can sit at three
-depths: PTE (4KB), PMD (2MB) and PUD (1GB).  For simulation we store each
-leaf level as a dict keyed by the virtual page number at that level's
-granularity, plus child counters that enforce the radix tree's structural
-invariant — a large leaf cannot coexist with any smaller mapping inside its
-range.  Walk *cost* (how many levels a hardware walk touches) is derived
-from the leaf's page size by :class:`repro.config.WalkConfig`, which is all
-the radix shape is needed for.
+depths: PTE (4KB), PMD (2MB) and PUD (1GB); other geometries declare more
+(SVNAPOT's 64KB NAPOT pages) or different (ARM 16K granules) leaf levels.
+For simulation we store each leaf level as a dict keyed by the virtual
+page number at that level's granularity, plus child counters that enforce
+the radix tree's structural invariant — a leaf cannot coexist with any
+smaller mapping inside its range.  Walk *cost* (how many levels a
+hardware walk touches) is derived from the leaf's level by
+:class:`repro.config.WalkConfig`, which is all the radix shape is needed
+for.
 
-Each mapping carries an ``accessed`` bit, set by the TLB simulator on every
-touch and cleared/sampled by the access-bit scanner (Figure 4) and by
-HawkEye's miss-frequency estimator.
+Each mapping carries an ``accessed`` bit, set by the TLB simulator on
+every touch and cleared/sampled by the access-bit scanner (Figure 4) and
+by HawkEye's miss-frequency estimator.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.config import PageGeometry, PageSize
+from repro.config import PageGeometry
 
 
 class MappingConflictError(ValueError):
@@ -26,7 +28,7 @@ class MappingConflictError(ValueError):
 
 
 class Mapping:
-    """One leaf page-table entry."""
+    """One leaf page-table entry; ``page_size`` is the geometry level."""
 
     __slots__ = ("va", "page_size", "pfn", "accessed", "dirty")
 
@@ -39,7 +41,7 @@ class Mapping:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Mapping(va={self.va:#x}, size={PageSize.name_of(self.page_size)}, "
+            f"Mapping(va={self.va:#x}, level={self.page_size}, "
             f"pfn={self.pfn})"
         )
 
@@ -49,21 +51,23 @@ class PageTable:
 
     def __init__(self, geometry: PageGeometry) -> None:
         self.geometry = geometry
-        self._shifts = {
-            PageSize.BASE: geometry.base_shift,
-            PageSize.MID: geometry.base_shift + geometry.mid_order,
-            PageSize.LARGE: geometry.base_shift + geometry.large_order,
-        }
-        # vpn (at that size's granularity) -> Mapping
-        self._levels: dict[int, dict[int, Mapping]] = {
-            PageSize.BASE: {},
-            PageSize.MID: {},
-            PageSize.LARGE: {},
-        }
-        # Structural child counters: how many smaller mappings live inside
-        # each large slot / mid slot.  Enforce leaf exclusivity in O(1).
-        self._large_children: dict[int, int] = {}
-        self._mid_children: dict[int, int] = {}
+        self.n_levels = geometry.n_levels
+        self.top_level = geometry.top_level
+        #: level indices, largest page first — translation precedence
+        self.levels_desc = geometry.levels_desc
+        self._shifts: list[int] = [
+            geometry.shift_for(level) for level in geometry.all_levels
+        ]
+        # vpn (at that level's granularity) -> Mapping, one dict per level
+        self._levels: list[dict[int, Mapping]] = [
+            {} for _ in geometry.all_levels
+        ]
+        # Structural child counters, one per non-base level: how many
+        # smaller mappings live inside each slot at that level.  Enforce
+        # leaf exclusivity in O(n_levels) per map/unmap.
+        self._children: list[dict[int, int]] = [
+            {} for _ in geometry.all_levels
+        ]
         # Optional per-NUMA-node resident-frame counters, maintained
         # incrementally on map/unmap once enable_node_accounting installs
         # a pfn -> node hook.  None keeps the non-NUMA hot path untouched.
@@ -78,12 +82,17 @@ class PageTable:
     def page_bytes(self, page_size: int) -> int:
         return 1 << self._shifts[page_size]
 
+    def children_in_slot(self, level: int, slot_vpn: int) -> int:
+        """Number of smaller mappings inside slot ``slot_vpn`` of ``level``."""
+        return self._children[level].get(slot_vpn, 0)
+
     # -- map/unmap --------------------------------------------------------------
     def map_page(self, va: int, page_size: int, pfn: int) -> Mapping:
         """Install a leaf mapping; ``va`` must be size-aligned and unmapped."""
         if va % self.page_bytes(page_size):
             raise ValueError(
-                f"va {va:#x} not aligned to {PageSize.name_of(page_size)} page"
+                f"va {va:#x} not aligned to "
+                f"{self.geometry.name_of(page_size)} page"
             )
         self._check_conflicts(va, page_size)
         mapping = Mapping(va, page_size, pfn)
@@ -92,57 +101,49 @@ class PageTable:
             frames = self.geometry.frames_for(page_size)
             self._node_frames[self._node_of(pfn)] += frames
             self._resident_frames += frames
-        if page_size != PageSize.LARGE:
-            lslot = self.vpn(va, PageSize.LARGE)
-            self._large_children[lslot] = self._large_children.get(lslot, 0) + 1
-            if page_size == PageSize.BASE:
-                mslot = self.vpn(va, PageSize.MID)
-                self._mid_children[mslot] = self._mid_children.get(mslot, 0) + 1
+        for level in range(page_size + 1, self.n_levels):
+            slot = self.vpn(va, level)
+            counts = self._children[level]
+            counts[slot] = counts.get(slot, 0) + 1
         return mapping
 
     def _check_conflicts(self, va: int, page_size: int) -> None:
-        lslot = self.vpn(va, PageSize.LARGE)
-        if lslot in self._levels[PageSize.LARGE]:
-            raise MappingConflictError(
-                f"va {va:#x} already covered by a large mapping"
-            )
-        if page_size == PageSize.LARGE:
-            if self._large_children.get(lslot, 0):
+        # Larger levels first: a bigger leaf shadows everything below it.
+        for level in range(self.top_level, page_size, -1):
+            if self.vpn(va, level) in self._levels[level]:
                 raise MappingConflictError(
-                    f"large slot {lslot} contains smaller mappings"
+                    f"va {va:#x} already covered by a "
+                    f"{self.geometry.name_of(level)} mapping"
                 )
-            return
-        mslot = self.vpn(va, PageSize.MID)
-        if mslot in self._levels[PageSize.MID]:
-            raise MappingConflictError(f"va {va:#x} already covered by a mid mapping")
-        if page_size == PageSize.MID:
-            if self._mid_children.get(mslot, 0):
-                raise MappingConflictError(f"mid slot {mslot} contains base mappings")
-            return
-        if self.vpn(va, PageSize.BASE) in self._levels[PageSize.BASE]:
-            raise MappingConflictError(f"va {va:#x} already mapped at base size")
+        slot = self.vpn(va, page_size)
+        if slot in self._levels[page_size]:
+            raise MappingConflictError(
+                f"va {va:#x} already mapped at "
+                f"{self.geometry.name_of(page_size)} size"
+            )
+        if page_size > 0 and self._children[page_size].get(slot, 0):
+            raise MappingConflictError(
+                f"{self.geometry.name_of(page_size)} slot {slot} contains "
+                "smaller mappings"
+            )
 
     def unmap(self, va: int, page_size: int) -> Mapping:
         """Remove the leaf mapping at ``va``; returns it (caller frees frames)."""
         mapping = self._levels[page_size].pop(self.vpn(va, page_size), None)
         if mapping is None or mapping.va != self.geometry.align_down(va, page_size):
             raise ValueError(
-                f"no {PageSize.name_of(page_size)} mapping at va {va:#x}"
+                f"no {self.geometry.name_of(page_size)} mapping at va {va:#x}"
             )
         if self._node_frames is not None:
             frames = self.geometry.frames_for(page_size)
             self._node_frames[self._node_of(mapping.pfn)] -= frames
             self._resident_frames -= frames
-        if page_size != PageSize.LARGE:
-            lslot = self.vpn(va, PageSize.LARGE)
-            self._large_children[lslot] -= 1
-            if not self._large_children[lslot]:
-                del self._large_children[lslot]
-            if page_size == PageSize.BASE:
-                mslot = self.vpn(va, PageSize.MID)
-                self._mid_children[mslot] -= 1
-                if not self._mid_children[mslot]:
-                    del self._mid_children[mslot]
+        for level in range(page_size + 1, self.n_levels):
+            slot = self.vpn(va, level)
+            counts = self._children[level]
+            counts[slot] -= 1
+            if not counts[slot]:
+                del counts[slot]
         return mapping
 
     def unmap_range(
@@ -163,7 +164,7 @@ class PageTable:
             raise ValueError(
                 f"mapping at {front.va:#x} straddles unmap range start"
             )
-        for size in (PageSize.LARGE, PageSize.MID, PageSize.BASE):
+        for size in self.levels_desc:
             page_bytes = self.page_bytes(size)
             level = self._levels[size]
             if len(level) <= (length // page_bytes):
@@ -235,13 +236,11 @@ class PageTable:
     # -- translation ---------------------------------------------------------
     def translate(self, va: int) -> Mapping | None:
         """The leaf mapping covering ``va``, or None if unmapped."""
-        m = self._levels[PageSize.LARGE].get(va >> self._shifts[PageSize.LARGE])
-        if m is not None:
-            return m
-        m = self._levels[PageSize.MID].get(va >> self._shifts[PageSize.MID])
-        if m is not None:
-            return m
-        return self._levels[PageSize.BASE].get(va >> self._shifts[PageSize.BASE])
+        for level in self.levels_desc:
+            m = self._levels[level].get(va >> self._shifts[level])
+            if m is not None:
+                return m
+        return None
 
     def is_mapped(self, va: int) -> bool:
         return self.translate(va) is not None
@@ -249,7 +248,7 @@ class PageTable:
     # -- iteration / accounting -------------------------------------------------
     def iter_mappings(self, page_size: int | None = None) -> Iterator[Mapping]:
         sizes: Iterable[int] = (
-            PageSize.ALL if page_size is None else (page_size,)
+            range(self.n_levels) if page_size is None else (page_size,)
         )
         for size in sizes:
             yield from self._levels[size].values()
@@ -260,7 +259,7 @@ class PageTable:
     def mapped_bytes(self, page_size: int | None = None) -> int:
         if page_size is not None:
             return self.count(page_size) * self.page_bytes(page_size)
-        return sum(self.mapped_bytes(s) for s in PageSize.ALL)
+        return sum(self.mapped_bytes(s) for s in range(self.n_levels))
 
     def mappings_in_range(self, start: int, length: int, page_size: int) -> list[Mapping]:
         """Mappings of ``page_size`` whose va lies in [start, start+length)."""
@@ -283,8 +282,8 @@ class PageTable:
 
     # -- access bits ------------------------------------------------------------
     def clear_access_bits(self) -> None:
-        for size in PageSize.ALL:
-            for m in self._levels[size].values():
+        for level in self._levels:
+            for m in level.values():
                 m.accessed = False
 
     def accessed_mappings(self) -> list[Mapping]:

@@ -1,12 +1,13 @@
 """Tests for the Ingens utilization-threshold baseline."""
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.ingens import IngensPolicy
 from repro.core.thp import THPPolicy
 from repro.sim.system import System
 
 G = default_machine(16).geometry
 BASE, MID = G.base_size, G.mid_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 def make(policy):
@@ -32,7 +33,7 @@ class TestIngens:
         system, p = make(IngensPolicy)
         grow_base_pages(system, p, 2 * G.frames_per_mid, touch_fraction=1.0)
         system.settle_until_quiet(budget_ns=1e9)
-        assert p.pagetable.count(PageSize.MID) >= 1
+        assert p.pagetable.count(LVL_MID) >= 1
 
     def test_sparse_region_not_promoted(self):
         system, p = make(IngensPolicy)
@@ -44,7 +45,7 @@ class TestIngens:
                 if i < G.frames_per_mid * 3 // 10:
                     system.touch(p, a)
         system.settle(20, budget_ns=1e9)
-        assert p.pagetable.count(PageSize.MID) == 0
+        assert p.pagetable.count(LVL_MID) == 0
 
     def test_thp_promotes_where_ingens_declines(self):
         """The bloat trade: one present page is enough for THP, not Ingens."""
@@ -64,7 +65,7 @@ class TestIngens:
             for a in addrs[:: G.frames_per_mid]:  # one page per slot
                 system2.touch(p2, a)
             system2.settle(30, budget_ns=1e9)
-            results[name] = p2.pagetable.count(PageSize.MID)
+            results[name] = p2.pagetable.count(LVL_MID)
         assert results["thp"] >= 1
         assert results["ingens"] == 0
 

@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.madvise import MADV_HUGEPAGE, MADV_NOHUGEPAGE, MadvisePolicy
 from repro.sim.system import System
 
 G = default_machine(16).geometry
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 def make():
@@ -20,14 +21,14 @@ class TestMadvise:
         system, p = make()
         addr = system.sys_mmap(p, 2 * LARGE)
         system.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.BASE
+        assert p.pagetable.translate(addr).page_size == LVL_BASE
 
     def test_advised_range_gets_large_pages(self):
         system, p = make()
         addr = system.sys_mmap(p, 2 * LARGE)
         system.policy.sys_madvise(p, addr, 2 * LARGE, MADV_HUGEPAGE)
         system.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.LARGE
+        assert p.pagetable.translate(addr).page_size == LVL_LARGE
 
     def test_nohugepage_unmarks(self):
         system, p = make()
@@ -35,7 +36,7 @@ class TestMadvise:
         system.policy.sys_madvise(p, addr, 2 * LARGE, MADV_HUGEPAGE)
         system.policy.sys_madvise(p, addr, 2 * LARGE, MADV_NOHUGEPAGE)
         system.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.BASE
+        assert p.pagetable.translate(addr).page_size == LVL_BASE
 
     def test_advice_is_range_scoped(self):
         system, p = make()
@@ -43,8 +44,8 @@ class TestMadvise:
         system.policy.sys_madvise(p, addr, LARGE, MADV_HUGEPAGE)
         system.touch(p, addr)  # inside the advice
         system.touch(p, addr + LARGE)  # outside
-        assert p.pagetable.translate(addr).page_size == PageSize.LARGE
-        assert p.pagetable.translate(addr + LARGE).page_size == PageSize.BASE
+        assert p.pagetable.translate(addr).page_size == LVL_LARGE
+        assert p.pagetable.translate(addr + LARGE).page_size == LVL_BASE
 
     def test_promotion_respects_advice(self):
         system, p = make()
@@ -52,12 +53,12 @@ class TestMadvise:
         addr = system.sys_mmap(p, LARGE)
         for off in range(0, LARGE, BASE):
             system.touch(p, addr + off)
-        assert p.pagetable.count(PageSize.LARGE) == 0
+        assert p.pagetable.count(LVL_LARGE) == 0
         system.settle(20, budget_ns=1e9)
-        assert p.pagetable.count(PageSize.LARGE) == 0  # unadvised: never
+        assert p.pagetable.count(LVL_LARGE) == 0  # unadvised: never
         system.policy.sys_madvise(p, addr, LARGE, MADV_HUGEPAGE)
         system.settle_until_quiet(budget_ns=1e9)
-        assert p.pagetable.count(PageSize.LARGE) == 1
+        assert p.pagetable.count(LVL_LARGE) == 1
 
     def test_adjacent_advice_coalesces(self):
         system, p = make()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.baseline4k import Baseline4KPolicy
 from repro.core.hawkeye import HawkEyePolicy
 from repro.core.hugetlbfs import HugetlbfsPolicy
@@ -13,6 +13,7 @@ from repro.sim.system import System
 MACHINE = default_machine(16)
 G = MACHINE.geometry
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 def make(policy_factory, regions=16, **kwargs):
@@ -27,8 +28,8 @@ class TestBaseline4K:
         addr = system.sys_mmap(p, 4 * MID)
         system.touch(p, addr)
         system.touch(p, addr + BASE)
-        assert p.pagetable.count(PageSize.BASE) == 2
-        assert p.pagetable.count(PageSize.MID) == 0
+        assert p.pagetable.count(LVL_BASE) == 2
+        assert p.pagetable.count(LVL_MID) == 0
 
     def test_fault_outside_vma_raises(self):
         system, p = make(Baseline4KPolicy)
@@ -42,13 +43,13 @@ class TestTHP:
         addr = system.sys_mmap(p, 4 * MID)
         system.touch(p, addr + 5)
         m = p.pagetable.translate(addr)
-        assert m.page_size == PageSize.MID
+        assert m.page_size == LVL_MID
 
     def test_fault_falls_back_to_base_in_small_vma(self):
         system, p = make(THPPolicy)
         addr = system.sys_mmap(p, BASE)
         system.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.BASE
+        assert p.pagetable.translate(addr).page_size == LVL_BASE
 
     def test_never_maps_large(self):
         system, p = make(THPPolicy)
@@ -56,7 +57,7 @@ class TestTHP:
         for off in range(0, 4 * LARGE, BASE * 7):
             system.touch(p, addr + off)
         system.settle(20)
-        assert p.pagetable.count(PageSize.LARGE) == 0
+        assert p.pagetable.count(LVL_LARGE) == 0
 
     def test_khugepaged_promotes_base_to_mid(self):
         system, p = make(THPPolicy)
@@ -68,10 +69,10 @@ class TestTHP:
             a = system.sys_mmap(p, BASE)
             system.touch(p, a)
             addrs.append(a)
-        assert p.pagetable.count(PageSize.BASE) >= G.frames_per_mid
+        assert p.pagetable.count(LVL_BASE) >= G.frames_per_mid
         system.settle(30)
-        assert p.pagetable.count(PageSize.MID) >= 1
-        assert system.policy.stats.promoted[PageSize.MID] >= 1
+        assert p.pagetable.count(LVL_MID) >= 1
+        assert system.policy.stats.promoted[LVL_MID] >= 1
 
     def test_promotion_frees_old_frames(self):
         system, p = make(THPPolicy)
@@ -98,16 +99,16 @@ class TestTrident:
         system, p = make(TridentPolicy)
         addr = system.sys_mmap(p, 2 * LARGE)
         system.touch(p, addr + 123)
-        assert p.pagetable.translate(addr).page_size == PageSize.LARGE
+        assert p.pagetable.translate(addr).page_size == LVL_LARGE
 
     def test_fault_falls_back_mid_then_base(self):
         system, p = make(TridentPolicy)
         addr = system.sys_mmap(p, MID)  # too small for large
         system.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.MID
+        assert p.pagetable.translate(addr).page_size == LVL_MID
         addr2 = system.sys_mmap(p, BASE)
         system.touch(p, addr2)
-        assert p.pagetable.translate(addr2).page_size == PageSize.BASE
+        assert p.pagetable.translate(addr2).page_size == LVL_BASE
 
     def test_fault_uses_zerofill_pool(self):
         system, p = make(TridentPolicy)
@@ -131,10 +132,10 @@ class TestTrident:
         for _ in range(2 * G.mids_per_large):
             a = system.sys_mmap(p, MID)
             system.touch(p, a)
-        assert p.pagetable.count(PageSize.LARGE) == 0
+        assert p.pagetable.count(LVL_LARGE) == 0
         system.settle_until_quiet()
-        assert p.pagetable.count(PageSize.LARGE) >= 1
-        assert system.policy.stats.promoted[PageSize.LARGE] >= 1
+        assert p.pagetable.count(LVL_LARGE) >= 1
+        assert system.policy.stats.promoted[LVL_LARGE] >= 1
 
     def test_promotion_disabled_flag(self):
         system, p = make(lambda k: TridentPolicy(k, promote=False))
@@ -142,13 +143,13 @@ class TestTrident:
             a = system.sys_mmap(p, MID)
             system.touch(p, a)
         system.settle(30)
-        assert p.pagetable.count(PageSize.LARGE) == 0
+        assert p.pagetable.count(LVL_LARGE) == 0
 
     def test_1gonly_skips_mid(self):
         system, p = make(lambda k: TridentPolicy(k, use_mid=False))
         addr = system.sys_mmap(p, MID)
         system.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.BASE
+        assert p.pagetable.translate(addr).page_size == LVL_BASE
 
     def test_fragmented_fault_fails_large_then_promotes(self):
         system, p = make(TridentPolicy, regions=24)
@@ -162,7 +163,7 @@ class TestTrident:
         system.settle_until_quiet()
         # Smart compaction should eventually produce at least one chunk.
         assert (
-            p.pagetable.count(PageSize.LARGE) >= 1
+            p.pagetable.count(LVL_LARGE) >= 1
             or stats.promo_large_failures > 0
         )
 
@@ -187,41 +188,41 @@ class TestTrident:
 
 class TestHugetlbfs:
     def test_reserves_pool_at_boot(self):
-        system, p = make(lambda k: HugetlbfsPolicy(k, PageSize.LARGE))
+        system, p = make(lambda k: HugetlbfsPolicy(k, LVL_LARGE))
         assert system.policy.reserved_pages > 0
 
     def test_eligible_heap_gets_huge_pages(self):
-        system, p = make(lambda k: HugetlbfsPolicy(k, PageSize.MID))
+        system, p = make(lambda k: HugetlbfsPolicy(k, LVL_MID))
         addr = system.sys_mmap(p, 4 * MID, kind="heap")
         system.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.MID
+        assert p.pagetable.translate(addr).page_size == LVL_MID
 
     def test_stack_not_eligible(self):
-        system, p = make(lambda k: HugetlbfsPolicy(k, PageSize.MID))
+        system, p = make(lambda k: HugetlbfsPolicy(k, LVL_MID))
         addr = system.sys_mmap(p, 4 * MID, kind="stack")
         system.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.BASE
+        assert p.pagetable.translate(addr).page_size == LVL_BASE
 
     def test_morecore_spill_maps_beyond_heap_end(self):
-        system, p = make(lambda k: HugetlbfsPolicy(k, PageSize.LARGE))
+        system, p = make(lambda k: HugetlbfsPolicy(k, LVL_LARGE))
         addr = system.sys_mmap(p, MID, kind="heap")  # smaller than a large page
         system.touch(p, addr)
         m = p.pagetable.translate(addr)
-        assert m.page_size == PageSize.LARGE  # rounded up, hugetlb-style
+        assert m.page_size == LVL_LARGE  # rounded up, hugetlb-style
 
     def test_fragmented_boot_under_reserves(self):
         machine = default_machine(16)
         # Fragment first, then boot the hugetlbfs policy on the same system.
         system2 = System(machine, Baseline4KPolicy, seed=1)
         system2.fragment()
-        policy = HugetlbfsPolicy(system2, PageSize.LARGE)
+        policy = HugetlbfsPolicy(system2, LVL_LARGE)
         policy.on_boot()
         frames = system2.machine.total_frames
         possible = int(frames * 0.65) >> machine.geometry.large_order
         assert policy.reserved_pages < possible
 
     def test_pool_returns_on_unmap(self):
-        system, p = make(lambda k: HugetlbfsPolicy(k, PageSize.MID))
+        system, p = make(lambda k: HugetlbfsPolicy(k, LVL_MID))
         before = system.policy.reserved_pages
         addr = system.sys_mmap(p, MID, kind="heap")
         system.touch(p, addr)
@@ -237,18 +238,18 @@ class TestHawkEye:
         for a in addrs:
             system.touch(p, a)
         system.settle(40)
-        assert p.pagetable.count(PageSize.MID) >= 1
+        assert p.pagetable.count(LVL_MID) >= 1
 
     def test_bloat_recovery_demotes_untouched_mid(self):
         system, p = make(HawkEyePolicy)
         addr = system.sys_mmap(p, 2 * MID)
         system.touch(p, addr)  # fault maps a whole mid page; 1 page touched
-        assert p.pagetable.translate(addr).page_size == PageSize.MID
+        assert p.pagetable.translate(addr).page_size == LVL_MID
         system.settle(40)
         # Mostly-untouched mid page gets demoted to base pages.
-        assert system.policy.stats.demoted[PageSize.MID] >= 1
+        assert system.policy.stats.demoted[LVL_MID] >= 1
         m = p.pagetable.translate(addr)
-        assert m is not None and m.page_size == PageSize.BASE
+        assert m is not None and m.page_size == LVL_BASE
 
     def test_bloat_recovery_reduces_mapped_bytes(self):
         system, p = make(HawkEyePolicy)
@@ -271,7 +272,7 @@ class TestHawkEye:
         # One kbinmanager pass plus a tiny promotion budget: the hot slot
         # should be first in line.
         system.run_daemons(budget_ns=5e5)
-        promoted = [m.va for m in p.pagetable.iter_mappings(PageSize.MID)]
+        promoted = [m.va for m in p.pagetable.iter_mappings(LVL_MID)]
         if promoted:
             hot_extent = p.aspace.extent_of(hot[0])
             assert any(hot_extent.start <= va < hot_extent.end for va in promoted)
@@ -284,7 +285,7 @@ class TestSystemPlumbing:
         addr = system.sys_mmap(p, 8 * BASE)
         for off in range(0, 8 * BASE, BASE):
             system.touch(p, addr + off)  # needs reclaim to succeed
-        assert p.pagetable.count(PageSize.BASE) == 8
+        assert p.pagetable.count(LVL_BASE) == 8
 
     def test_split_mapping_on_partial_overlap_munmap(self):
         system, p = make(TridentPolicy)
@@ -294,7 +295,7 @@ class TestSystemPlumbing:
         a2 = system.sys_mmap(p, LARGE)
         system.touch(p, a1)
         m = p.pagetable.translate(a1)
-        assert m.page_size == PageSize.LARGE
+        assert m.page_size == LVL_LARGE
         system.sys_munmap(p, a1)
         assert p.pagetable.translate(a1) is None
         # The portion inside the second VMA survived as base pages.

@@ -1,13 +1,14 @@
 """Memory-pressure demotion: huge pages never cause avoidable OOMs."""
 
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.baseline4k import Baseline4KPolicy
 from repro.core.trident import TridentPolicy
 from repro.sim.system import System
 
 G = default_machine(8).geometry
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 def make(regions=8):
@@ -22,7 +23,7 @@ class TestPressureDemotion:
         addr = system.sys_mmap(p, 7 * LARGE)
         for off in range(0, 7 * LARGE, LARGE):
             system.touch(p, addr + off)
-        assert p.pagetable.count(PageSize.LARGE) >= 6
+        assert p.pagetable.count(LVL_LARGE) >= 6
         # Another process needs lots of base pages: without demotion this
         # would OOM; with it, dead frames inside the bloat get freed.
         q = system.create_process("q")
@@ -31,8 +32,8 @@ class TestPressureDemotion:
         for _ in range(G.frames_per_large):
             qaddr = system.sys_mmap(q, BASE, kind="stack")
             system.touch(q, qaddr)
-        assert q.pagetable.count(PageSize.BASE) == G.frames_per_large
-        assert system.policy.stats.demoted[PageSize.LARGE] >= 1
+        assert q.pagetable.count(LVL_BASE) == G.frames_per_large
+        assert system.policy.stats.demoted[LVL_LARGE] >= 1
         system.buddy.check_invariants()
 
     def test_touched_pages_survive_demotion(self):
@@ -50,7 +51,7 @@ class TestPressureDemotion:
         # place, on their original frames.
         m = p.pagetable.translate(addr)
         assert m is not None
-        if m.page_size == PageSize.BASE:
+        if m.page_size == LVL_BASE:
             assert m.pfn == pfn_before
         m2 = p.pagetable.translate(addr + 5 * BASE)
         assert m2 is not None
@@ -70,12 +71,12 @@ class TestPressureDemotion:
                 filled += 1
         except Exception:
             pass  # genuine OOM is acceptable here; splitting live pages is not
-        assert p.pagetable.count(PageSize.LARGE) == 2
-        assert system.policy.stats.demoted[PageSize.LARGE] == 0
+        assert p.pagetable.count(LVL_LARGE) == 2
+        assert system.policy.stats.demoted[LVL_LARGE] == 0
 
     def test_baseline_unaffected(self):
         system = System(default_machine(8), Baseline4KPolicy, seed=1)
         p = system.create_process("t")
         addr = system.sys_mmap(p, MID)
         system.touch(p, addr)
-        assert system.policy.stats.demoted[PageSize.LARGE] == 0
+        assert system.policy.stats.demoted[LVL_LARGE] == 0

@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.thp import THPPolicy
 from repro.sim.system import System
 
 G = default_machine(16).geometry
 BASE, MID = G.base_size, G.mid_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 def make(defrag):
@@ -40,7 +41,7 @@ class TestDefragModes:
         addr = system.sys_mmap(p, 2 * MID)
         latency = system.policy.handle_fault(p, addr)
         mapping = p.pagetable.translate(addr)
-        if mapping.page_size == PageSize.MID:
+        if mapping.page_size == LVL_MID:
             # Paid the compaction stall inside the fault.
             assert latency > system.cost.zero_ns(MID)
 

@@ -1,9 +1,11 @@
 """khugepaged candidate-stream order (Figure 5 scan) after the bisect rewrite."""
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.trident import TridentPolicy
 from repro.sim.system import System
 from repro.vm.mappability import mappable_ranges
+
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
 
 
 def make(regions=16, **policy_kwargs):
@@ -23,14 +25,14 @@ def naive_candidates(policy):
     for process in list(policy.kernel.processes):
         for vma in process.aspace.iter_extents():
             covered = []
-            for start, end in mappable_ranges(vma, PageSize.LARGE, geometry):
+            for start, end in mappable_ranges(vma, LARGE, geometry):
                 covered.append((start, end))
-                out.append((process.pid, start, PageSize.LARGE))
+                out.append((process.pid, start, LARGE))
             if not policy.use_mid:
                 continue
-            for start, _ in mappable_ranges(vma, PageSize.MID, geometry):
+            for start, _ in mappable_ranges(vma, MID, geometry):
                 if not any(s <= start < e for s, e in covered):
-                    out.append((process.pid, start, PageSize.MID))
+                    out.append((process.pid, start, MID))
     return out
 
 
@@ -50,7 +52,7 @@ class TestCandidateStreamOrder:
         candidates = stream_of(system.policy)
         assert candidates == naive_candidates(system.policy)
         sizes = {size for _, _, size in candidates}
-        assert sizes == {PageSize.LARGE, PageSize.MID}
+        assert sizes == {LARGE, MID}
 
     def test_mid_slots_inside_large_slots_are_skipped(self):
         system, p = make()
@@ -60,10 +62,10 @@ class TestCandidateStreamOrder:
         large_spans = [
             (start, start + G.large_size)
             for _, start, size in candidates
-            if size == PageSize.LARGE
+            if size == LARGE
         ]
         for _, start, size in candidates:
-            if size == PageSize.MID:
+            if size == MID:
                 assert not any(s <= start < e for s, e in large_spans)
 
     def test_matches_naive_across_processes(self):
@@ -80,4 +82,4 @@ class TestCandidateStreamOrder:
         system.sys_mmap(p, 2 * G.large_size + 2 * G.mid_size)
         candidates = stream_of(system.policy)
         assert candidates == naive_candidates(system.policy)
-        assert all(size == PageSize.LARGE for _, _, size in candidates)
+        assert all(size == LARGE for _, _, size in candidates)

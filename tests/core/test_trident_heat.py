@@ -2,12 +2,13 @@
 
 import numpy as np
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.trident_heat import TridentHeatPolicy
 from repro.sim.system import System
 
 G = default_machine(16).geometry
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 def make(regions=24):
@@ -20,7 +21,7 @@ class TestTridentHeat:
         system, p = make()
         addr = system.sys_mmap(p, 2 * LARGE)
         system.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.LARGE
+        assert p.pagetable.translate(addr).page_size == LVL_LARGE
 
     def test_promotes_eventually(self):
         system, p = make()
@@ -28,7 +29,7 @@ class TestTridentHeat:
             a = system.sys_mmap(p, MID)
             system.touch(p, a)
         system.settle_until_quiet(budget_ns=1e9)
-        assert p.pagetable.count(PageSize.LARGE) >= 1
+        assert p.pagetable.count(LVL_LARGE) >= 1
 
     def test_hot_slot_promoted_before_cold(self):
         system, p = make(regions=32)
@@ -46,7 +47,7 @@ class TestTridentHeat:
         # One sampling tick plus a budget for exactly one large promotion.
         promo_cost = system.cost.copy_ns(LARGE) * 1.4
         system.run_daemons(budget_ns=promo_cost)
-        larges = [m.va for m in p.pagetable.iter_mappings(PageSize.LARGE)]
+        larges = [m.va for m in p.pagetable.iter_mappings(LVL_LARGE)]
         if larges:
             hot_extent = p.aspace.extent_of(hot[0])
             assert any(hot_extent.start <= va < hot_extent.end for va in larges)

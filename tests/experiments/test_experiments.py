@@ -13,6 +13,8 @@ from repro.experiments.runner import (
     VirtRunner,
 )
 
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
+
 
 class TestConfigs:
     def test_all_paper_configs_present(self):
@@ -164,10 +166,9 @@ class TestCrossPolicyShapes:
         ].speedup_over(base) > 1.0
 
     def test_trident_maps_large(self, metrics):
-        from repro.config import PageSize
 
-        assert metrics["Trident"].mapped_bytes_by_size[PageSize.LARGE] > 0
-        assert metrics["2MB-THP"].mapped_bytes_by_size[PageSize.LARGE] == 0
+        assert metrics["Trident"].mapped_bytes_by_size[LARGE] > 0
+        assert metrics["2MB-THP"].mapped_bytes_by_size[LARGE] == 0
 
 
 class TestBarChart:

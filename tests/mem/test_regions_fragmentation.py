@@ -5,11 +5,13 @@ import random
 import numpy as np
 import pytest
 
-from repro.config import CostModel, PageGeometry, PageSize
+from repro.config import CostModel, PageGeometry
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.fragmentation import FragmentationInjector, fmfi
 from repro.mem.regions import RegionTracker
 from repro.mem.zerofill import ZeroFillEngine
+
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
 
 GEOM = PageGeometry(base_shift=12, mid_order=2, large_order=4)  # large = 16 frames
 
@@ -197,8 +199,8 @@ class TestZeroFillEngine:
         x86 = PageGeometry(12, 9, 18)
         buddy = BuddyAllocator(1 << 18, 18)
         engine = ZeroFillEngine(buddy, x86, CostModel())
-        sync_ns = engine.fault_ns(PageSize.LARGE, used_pool=False)
-        async_ns = engine.fault_ns(PageSize.LARGE, used_pool=True)
+        sync_ns = engine.fault_ns(LARGE, used_pool=False)
+        async_ns = engine.fault_ns(LARGE, used_pool=True)
         assert 300e6 < sync_ns < 500e6  # ~400 ms
         assert 2e6 < async_ns < 4e6  # ~2.7 ms
         assert sync_ns / async_ns > 100

@@ -4,6 +4,8 @@ from repro.config import CostModel, PageGeometry
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.zerofill import ZeroFillEngine
 
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
+
 GEOM = PageGeometry(base_shift=12, mid_order=2, large_order=4)
 
 
@@ -79,14 +81,13 @@ class TestProgressCarryOver:
 
 class TestStatsHelpers:
     def test_policy_stats_mapped_pages(self):
-        from repro.config import PageSize
         from repro.core.policy import PolicyStats
 
         stats = PolicyStats()
-        stats.fault_mapped[PageSize.MID] = 5
-        stats.promoted[PageSize.MID] = 3
-        stats.demoted[PageSize.MID] = 2
-        assert stats.mapped_pages(PageSize.MID) == 6
+        stats.fault_mapped[MID] = 5
+        stats.promoted[MID] = 3
+        stats.demoted[MID] = 2
+        assert stats.mapped_pages(MID) == 6
 
     def test_compaction_result_merge(self):
         from repro.core.compaction import CompactionResult

@@ -16,12 +16,14 @@ import warnings
 import numpy as np
 import pytest
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core import Baseline4KPolicy, HawkEyePolicy, THPPolicy, TridentPolicy
 from repro.sim.batch import BatchResult, TouchResult
 from repro.sim.bench import state_fingerprint
 from repro.sim.system import System
 from repro.workloads.access import zipf
+
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
 
 FOOTPRINT = 16 * 1024 * 1024
 
@@ -82,7 +84,7 @@ def test_batch_result_matches_stats_delta():
     assert first.l1_hits + second.l1_hits == stats.l1_hits
     assert first.walks + second.walks == stats.walks
     assert first.faults + second.faults == process.faults
-    for size in PageSize.ALL:
+    for size in (BASE, MID, LARGE):
         assert (
             first.walks_by_size[size] + second.walks_by_size[size]
             == stats.walks_by_size[size]
@@ -99,7 +101,7 @@ def test_scalar_touch_returns_typed_result():
     again = system.touch(process, base)
     assert isinstance(first, TouchResult)
     assert first.faulted and not again.faulted
-    assert first.page_size == PageSize.BASE
+    assert first.page_size == BASE
     # deprecation shim: the result still behaves as the bare cycle count
     # (warning under test in TestTouchResultDeprecationShim)
     with warnings.catch_warnings():
@@ -147,11 +149,11 @@ class TestTouchResultDeprecationShim:
         assert caught[0].filename == __file__
 
     def test_typed_reads_never_warn(self):
-        res = TouchResult(7.0, faulted=True, page_size=PageSize.LARGE)
+        res = TouchResult(7.0, faulted=True, page_size=LARGE)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             assert res.cycles == 7.0
-            assert res.faulted and res.page_size == PageSize.LARGE
+            assert res.faulted and res.page_size == LARGE
             repr(res)
             assert res == 7.0  # comparisons stay silent by design
             _ = {res: "hashable"}

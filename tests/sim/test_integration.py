@@ -5,8 +5,9 @@ paper's key orderings on tiny inputs so they run in CI time.
 """
 
 
-from repro.config import PageSize
 from repro.experiments.runner import NativeRunner, RunConfig, VirtRunConfig, VirtRunner
+
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
 
 
 def native(workload, policy, **kw):
@@ -41,8 +42,8 @@ class TestNativePipeline:
     def test_fragmentation_reduces_but_does_not_kill_trident(self):
         clean = native("Canneal", "Trident")
         frag = native("Canneal", "Trident", fragmented=True)
-        clean_large = clean.mapped_bytes_by_size[PageSize.LARGE]
-        frag_large = frag.mapped_bytes_by_size[PageSize.LARGE]
+        clean_large = clean.mapped_bytes_by_size[LARGE]
+        frag_large = frag.mapped_bytes_by_size[LARGE]
         assert frag_large <= clean_large
         assert frag_large > 0  # smart compaction recovered chunks
 

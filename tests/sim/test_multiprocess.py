@@ -2,13 +2,14 @@
 
 import numpy as np
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.thp import THPPolicy
 from repro.core.trident import TridentPolicy
 from repro.sim.system import System
 
 G = default_machine(16).geometry
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 class TestMultiProcess:
@@ -34,7 +35,7 @@ class TestMultiProcess:
                 system.touch(p, a)
         system.settle_until_quiet(budget_ns=1e9)
         for p in procs:
-            assert p.pagetable.count(PageSize.MID) >= 1, p.name
+            assert p.pagetable.count(LVL_MID) >= 1, p.name
 
     def test_exit_process_returns_all_memory(self):
         system = System(default_machine(24), TridentPolicy, seed=3)
@@ -71,10 +72,10 @@ class TestMultiProcess:
         for off in range(0, 8 * LARGE, LARGE):
             system.touch(p1, a1 + off)
             system.touch(p2, a2 + off)
-        total_large = p1.pagetable.count(PageSize.LARGE) + p2.pagetable.count(
-            PageSize.LARGE
+        total_large = p1.pagetable.count(LVL_LARGE) + p2.pagetable.count(
+            LVL_LARGE
         )
         # 20 regions minus kernel reserve: both got some, not everything.
         assert total_large <= 20
-        assert p1.pagetable.count(PageSize.LARGE) >= 1
-        assert p2.pagetable.count(PageSize.LARGE) >= 1
+        assert p1.pagetable.count(LVL_LARGE) >= 1
+        assert p2.pagetable.count(LVL_LARGE) >= 1

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.thp import THPPolicy
 from repro.core.trident import TridentPolicy
 from repro.sim.perfmodel import PerfModel, RunMetrics
@@ -12,6 +12,7 @@ from repro.sim.system import System
 MACHINE = default_machine(16)
 G = MACHINE.geometry
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 def make(policy=TridentPolicy, regions=16, **kw):
@@ -82,7 +83,7 @@ class TestSystem:
         addr = system.sys_mmap(p, LARGE)
         system.touch(p, addr)
         by_size = system.mapped_bytes_by_size(p)
-        assert by_size[PageSize.LARGE] == LARGE
+        assert by_size[LVL_LARGE] == LARGE
 
 
 class TestPerfModel:
@@ -149,7 +150,7 @@ class TestPerfModel:
         m = model.collect(system, p, "w")
         assert m.accesses == 1
         assert m.fault_ns > 0
-        assert m.mapped_bytes_by_size[PageSize.MID] == MID
+        assert m.mapped_bytes_by_size[LVL_MID] == MID
 
     def test_validation(self):
         with pytest.raises(ValueError):

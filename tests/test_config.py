@@ -11,10 +11,11 @@ from repro.config import (
     CostModel,
     MachineConfig,
     PageGeometry,
-    PageSize,
     WalkConfig,
     default_machine,
 )
+
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
 
 
 class TestPageGeometry:
@@ -44,7 +45,7 @@ class TestPageGeometry:
         if mid_order >= large_order:
             return
         g = PageGeometry(base_shift, mid_order, large_order)
-        for size in PageSize.ALL:
+        for size in (BASE, MID, LARGE):
             nbytes = g.bytes_for(size)
             for addr in (0, nbytes - 1, nbytes, 3 * nbytes + 17):
                 down = g.align_down(addr, size)
@@ -56,23 +57,23 @@ class TestPageGeometry:
 
     def test_frames_for_consistency(self):
         g = SCALED_GEOMETRY
-        assert g.frames_for(PageSize.BASE) == 1
-        assert g.frames_for(PageSize.MID) * g.mids_per_large == g.frames_for(
-            PageSize.LARGE
+        assert g.frames_for(BASE) == 1
+        assert g.frames_for(MID) * g.mids_per_large == g.frames_for(
+            LARGE
         )
 
 
 class TestWalkConfig:
     def test_five_level_counts(self):
         w = WalkConfig(levels_base=5)
-        assert w.native_walk_accesses(PageSize.BASE) == 5
-        assert w.nested_walk_accesses(PageSize.BASE, PageSize.BASE) == 35
+        assert w.native_walk_accesses(BASE) == 5
+        assert w.nested_walk_accesses(BASE, BASE) == 35
 
     def test_leaf_cached_prob_per_size(self):
         w = WalkConfig()
-        assert w.leaf_cached_prob(PageSize.BASE) == 0.0
-        assert w.leaf_cached_prob(PageSize.MID) < w.leaf_cached_prob(
-            PageSize.LARGE
+        assert w.leaf_cached_prob(BASE) == 0.0
+        assert w.leaf_cached_prob(MID) < w.leaf_cached_prob(
+            LARGE
         )
 
 

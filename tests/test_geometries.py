@@ -1,0 +1,282 @@
+"""Geometry presets, random N-level geometries, and the PageSize shim.
+
+The N-level :class:`~repro.config.PageGeometry` redesign claims that no
+derived quantity depends on there being exactly three tiers.  These tests
+pin that down three ways: the built-in presets boot and run end-to-end,
+randomly generated valid geometries satisfy the arithmetic invariants the
+rest of the simulator leans on, and the deprecated ``PageSize`` aliases
+resolve against the active geometry while warning once per call site
+(mirroring the ``TouchResult`` shim, lint rule TRD003).
+"""
+
+import warnings
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.config import (
+    SCALED_GEOMETRY,
+    PageGeometry,
+    PageLevel,
+    PageSize,
+    TLBConfig,
+    TLBSection,
+    default_machine,
+    set_active_geometry,
+)
+from repro.geometries import (
+    GEOMETRY_PRESETS,
+    geometry_from_dict,
+    resolve_geometry,
+)
+from repro.mem.buddy import BuddyAllocator
+
+
+@st.composite
+def geometries(draw):
+    """A random valid N-level geometry (2..5 levels, embedded TLB specs)."""
+    n = draw(st.integers(2, 5))
+    base_shift = draw(st.integers(12, 14))
+    orders = [0]
+    for _ in range(n - 1):
+        orders.append(orders[-1] + draw(st.integers(1, 4)))
+    levels = tuple(
+        PageLevel(
+            name=f"l{i}",
+            label=f"L{i}",
+            order=order,
+            promotable=i > 0,
+            thp_target=(i == 1),
+            tlb=TLBSection(TLBConfig(8, 4), "shared"),
+            levels_skipped=draw(st.integers(0, min(i, 3))),
+            leaf_cached_prob=(
+                draw(st.floats(0.0, 1.0)) if i else 0.0
+            ),
+        )
+        for i, order in enumerate(orders)
+    )
+    return PageGeometry(
+        base_shift=base_shift,
+        levels=levels,
+        l2_groups=(("shared", TLBConfig(64, 4)),),
+        name="random",
+    )
+
+
+class TestGeometryProperties:
+    """Arithmetic invariants over random valid geometries."""
+
+    @given(geometries())
+    def test_shifts_and_sizes_strictly_increase(self, g):
+        shifts = [g.shift_for(level) for level in g.all_levels]
+        assert shifts == sorted(set(shifts))
+        sizes = [g.bytes_for(level) for level in g.all_levels]
+        assert sizes == sorted(set(sizes))
+        assert g.order_for(0) == 0
+        assert g.bytes_for(0) == g.base_size == 1 << g.base_shift
+
+    @given(geometries())
+    def test_frames_match_orders(self, g):
+        for level in g.all_levels:
+            assert g.frames_for(level) == 1 << g.order_for(level)
+            assert g.bytes_for(level) == g.frames_for(level) * g.base_size
+            assert g.shift_for(level) == g.base_shift + g.order_for(level)
+
+    @given(geometries(), st.integers(0, (1 << 40) - 1))
+    def test_alignment_invariants(self, g, addr):
+        for level in g.all_levels:
+            size = g.bytes_for(level)
+            down = g.align_down(addr, level)
+            up = g.align_up(addr, level)
+            assert down % size == 0 and up % size == 0
+            assert down <= addr < down + size
+            assert up == (down if addr == down else down + size)
+            assert g.align_down(down, level) == down
+            assert g.align_up(down, level) == down
+
+    @given(geometries())
+    def test_level_orderings(self, g):
+        assert g.all_levels == tuple(range(g.n_levels))
+        assert g.levels_desc == tuple(reversed(g.all_levels))
+        assert g.top_level == g.n_levels - 1
+        assert 0 < g.thp_level <= g.top_level
+        assert len(set(lvl.name for lvl in g.levels)) == g.n_levels
+
+    @settings(deadline=None)
+    @given(geometries())
+    def test_buddy_split_coalesce_round_trip(self, g):
+        """Alloc/free one block of every level's order restores the pool."""
+        top_order = g.order_for(g.top_level)
+        total = 2 << top_order
+        buddy = BuddyAllocator(total, top_order)
+        for level in g.all_levels:
+            pfn = buddy.alloc(g.order_for(level))
+            assert buddy.free_frames == total - g.frames_for(level)
+            buddy.free(pfn)
+            assert buddy.free_frames == total
+            buddy.check_invariants()
+        # Splitting all the way down and back up coalesces to max blocks.
+        assert buddy.free_blocks(top_order) == 2
+
+
+class TestPresets:
+    def test_x86_preset_machine_is_the_default_machine(self):
+        assert GEOMETRY_PRESETS["x86"].machine(16) == default_machine(16)
+
+    def test_sv_napot_is_four_levels(self):
+        g = GEOMETRY_PRESETS["sv-napot"].geometry
+        assert g.n_levels == 4
+        assert g.labels == ("4KB", "64KB", "2MB", "1GB")
+        # NAPOT pages are PTEs: full-depth walks, never structure-cached.
+        walk = GEOMETRY_PRESETS["sv-napot"].walk.for_geometry(g)
+        assert walk.levels_for(1) == walk.levels_for(0)
+        assert walk.leaf_cached_prob(1) == 0.0
+        # True superpage levels do shorten the walk.
+        assert walk.levels_for(2) < walk.levels_for(0)
+
+    def test_arm16k_granule_shift(self):
+        g = GEOMETRY_PRESETS["arm16k"].geometry
+        assert g.base_shift == 14
+        walk = GEOMETRY_PRESETS["arm16k"].walk.for_geometry(g)
+        # Contiguous-bit entries never shorten a walk; blocks do.
+        assert walk.levels_for(1) == walk.levels_for(0)
+        assert walk.levels_for(2) < walk.levels_for(0)
+
+    @pytest.mark.parametrize("key", sorted(GEOMETRY_PRESETS))
+    def test_preset_runs_end_to_end(self, key):
+        from repro.core.trident import TridentPolicy
+        from repro.sim.system import System
+
+        preset = GEOMETRY_PRESETS[key]
+        machine = preset.machine(16)
+        system = System(machine, TridentPolicy, seed=5)
+        process = system.create_process("smoke")
+        va = system.sys_mmap(process, 4 << 20)
+        rng = np.random.default_rng(42)
+        addrs = (va + rng.integers(0, 4 << 20, size=5000)).astype(np.int64)
+        result = system.touch_batch(process, addrs)
+        g = machine.geometry
+        assert set(result.walks_by_size) == set(g.all_levels)
+        assert process.tlb.n_levels == g.n_levels
+        assert result.accesses == 5000
+        system.run_daemons(2_000_000)
+        assert sum(
+            process.pagetable.mapped_bytes(s) for s in g.all_levels
+        ) == 4 << 20
+
+    def test_resolve_geometry_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown geometry"):
+            resolve_geometry("no-such-geometry")
+
+    def test_repeat_runs_are_deterministic(self):
+        from repro.core.trident import TridentPolicy
+        from repro.sim.bench import state_fingerprint
+        from repro.sim.system import System
+
+        def run():
+            preset = GEOMETRY_PRESETS["sv-napot"]
+            system = System(preset.machine(16), TridentPolicy, seed=5)
+            process = system.create_process("det")
+            va = system.sys_mmap(process, 4 << 20)
+            rng = np.random.default_rng(7)
+            addrs = (va + rng.integers(0, 4 << 20, size=8000)).astype(np.int64)
+            system.touch_batch(process, addrs)
+            return state_fingerprint(system, process)
+
+        assert run() == run()
+
+
+class TestGeometryFromDict:
+    SPEC = {
+        "name": "toy",
+        "base_shift": 12,
+        "levels": [
+            {"name": "base", "order": 0, "l1": {"entries": 16, "ways": 4}},
+            {"name": "big", "order": 4, "l1": {"entries": 4, "ways": 4},
+             "l2": "shared", "thp_target": True},
+        ],
+        "l2_groups": {"shared": {"entries": 64, "ways": 8}},
+    }
+
+    def test_valid_spec_loads(self):
+        preset = geometry_from_dict(self.SPEC)
+        g = preset.geometry
+        assert g.n_levels == 2
+        assert g.bytes_for(1) == 1 << 16
+        assert g.thp_level == 1
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda s: s.pop("levels"), "missing 'levels'"),
+            (lambda s: s.pop("base_shift"), "missing 'base_shift'"),
+            (lambda s: s.update(levels=[s["levels"][0]]), "at least two"),
+            (lambda s: s["levels"][1].pop("order"), "missing 'order'"),
+        ],
+    )
+    def test_schema_violations_raise(self, mutate, match):
+        import copy
+
+        spec = copy.deepcopy(self.SPEC)
+        mutate(spec)
+        with pytest.raises(ValueError, match=match):
+            geometry_from_dict(spec)
+
+
+class TestPageSizeDeprecationShim:
+    """PageSize aliases warn once per call site and track the live geometry."""
+
+    def setup_method(self):
+        PageSize.reset_warned_sites()
+        set_active_geometry(SCALED_GEOMETRY)
+
+    def teardown_method(self):
+        PageSize.reset_warned_sites()
+        set_active_geometry(SCALED_GEOMETRY)
+
+    def test_warns_once_per_call_site_not_per_read(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(100):
+                assert PageSize.MID == 1  # one call site, read 100 times
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        assert "PageSize.MID is deprecated" in str(caught[0].message)
+        assert "TRD003" in str(caught[0].message)
+
+    def test_distinct_call_sites_each_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _ = PageSize.BASE  # site 1
+            _ = PageSize.LARGE  # site 2
+        assert len(caught) == 2
+
+    def test_warning_attributed_to_caller(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _ = PageSize.ALL
+        assert caught[0].filename == __file__
+
+    def test_aliases_resolve_against_active_geometry(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert (PageSize.BASE, PageSize.MID, PageSize.LARGE) == (0, 1, 2)
+            assert PageSize.ALL == (0, 1, 2)
+            assert PageSize.X86_NAMES == {0: "4KB", 1: "2MB", 2: "1GB"}
+            set_active_geometry(GEOMETRY_PRESETS["sv-napot"].geometry)
+            assert PageSize.LARGE == 3
+            assert PageSize.ALL == (0, 1, 2, 3)
+            assert PageSize.NAMES[1] == "napot"
+
+    def test_system_boot_sets_active_geometry(self):
+        from repro.core.baseline4k import Baseline4KPolicy
+        from repro.sim.system import System
+
+        preset = GEOMETRY_PRESETS["arm16k"]
+        System(preset.machine(4), Baseline4KPolicy, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert PageSize.ALL == (0, 1, 2)
+            assert PageSize.X86_NAMES[0] == "16KB"

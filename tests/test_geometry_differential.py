@@ -1,0 +1,82 @@
+"""Full-system differential: ``--geometry x86`` is bitwise pre-redesign.
+
+``tests/golden/x86_geometry_fingerprints.json`` freezes the complete
+:func:`repro.sim.bench.state_fingerprint` (TLB LRU orders, walk
+histograms, policy counters, accessed bits, simulated clock) of the
+pre-redesign three-tier pipeline for the four headline policies under a
+fixed cold zipf scenario.  Replaying the identical scenario through the
+x86 geometry preset must reproduce every byte — any drift in the default
+pipeline introduced by the N-level redesign fails here first.
+
+Regenerate the golden (only after an *intentional* behaviour change)
+with ``PYTHONPATH=src python scripts/gen_geometry_golden.py``.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Baseline4KPolicy,
+    HawkEyePolicy,
+    THPPolicy,
+    TridentPolicy,
+)
+from repro.geometries import GEOMETRY_PRESETS
+from repro.sim.bench import state_fingerprint
+from repro.sim.system import System
+from repro.workloads.access import zipf
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "x86_geometry_fingerprints.json"
+)
+
+POLICIES = {
+    "Trident": TridentPolicy,
+    "THP": THPPolicy,
+    "Baseline4K": Baseline4KPolicy,
+    "HawkEye": HawkEyePolicy,
+}
+
+
+def _canonical(obj):
+    """JSON-stable form of a fingerprint: str keys, lists for tuples."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    return obj
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_x86_geometry_matches_pre_redesign_fingerprint(name, golden):
+    scenario = golden["scenario"]
+    machine = GEOMETRY_PRESETS["x86"].machine(scenario["machine_regions"])
+    system = System(machine, POLICIES[name], seed=scenario["seed"])
+    system.daemon_period_accesses = scenario["daemon_period"]
+    process = system.create_process()
+    base = system.sys_mmap(process, scenario["footprint"])
+    rng = np.random.default_rng(scenario["stream_seed"])
+    stream = zipf(rng, base, scenario["footprint"], scenario["accesses"])
+    result = system.touch_batch(process, stream)
+    fp = _canonical(state_fingerprint(system, process))
+    fp["batch_result"] = {
+        "accesses": result.accesses,
+        "translation_cycles": result.translation_cycles,
+        "l1_hits": result.l1_hits,
+        "l2_hits": result.l2_hits,
+        "walks": result.walks,
+        "faults": result.faults,
+        "fault_ns": result.fault_ns,
+        "walks_by_size": _canonical(result.walks_by_size),
+    }
+    expected = golden["policies"][name]
+    assert fp == expected

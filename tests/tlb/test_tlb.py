@@ -2,9 +2,11 @@
 
 import pytest
 
-from repro.config import TLBConfig, WalkConfig, PageSize
+from repro.config import TLBConfig, WalkConfig
 from repro.tlb.tlb import SetAssocTLB
 from repro.tlb.walker import PageWalker
+
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
 
 
 class TestSetAssocTLB:
@@ -82,48 +84,48 @@ class TestSetAssocTLB:
 class TestWalkConfig:
     def test_native_walk_accesses(self):
         w = WalkConfig()
-        assert w.native_walk_accesses(PageSize.BASE) == 4
-        assert w.native_walk_accesses(PageSize.MID) == 3
-        assert w.native_walk_accesses(PageSize.LARGE) == 2
+        assert w.native_walk_accesses(BASE) == 4
+        assert w.native_walk_accesses(MID) == 3
+        assert w.native_walk_accesses(LARGE) == 2
 
     def test_nested_walk_accesses_match_paper(self):
         # Section 2: 24 accesses for 4K+4K, 15 for 2M+2M, 8 for 1G+1G.
         w = WalkConfig()
-        assert w.nested_walk_accesses(PageSize.BASE, PageSize.BASE) == 24
-        assert w.nested_walk_accesses(PageSize.MID, PageSize.MID) == 15
-        assert w.nested_walk_accesses(PageSize.LARGE, PageSize.LARGE) == 8
+        assert w.nested_walk_accesses(BASE, BASE) == 24
+        assert w.nested_walk_accesses(MID, MID) == 15
+        assert w.nested_walk_accesses(LARGE, LARGE) == 8
 
     def test_nested_mixed_sizes(self):
         w = WalkConfig()
         # 1GB guest over 4KB host: (2+1)*(4+1)-1 = 14.
-        assert w.nested_walk_accesses(PageSize.LARGE, PageSize.BASE) == 14
+        assert w.nested_walk_accesses(LARGE, BASE) == 14
 
 
 class TestPageWalker:
     def test_larger_pages_walk_faster(self):
         w = PageWalker(WalkConfig())
-        c_base = w.native_walk(PageSize.BASE)
-        c_mid = w.native_walk(PageSize.MID)
-        c_large = w.native_walk(PageSize.LARGE)
+        c_base = w.native_walk(BASE)
+        c_mid = w.native_walk(MID)
+        c_large = w.native_walk(LARGE)
         assert c_base > c_mid > c_large
 
     def test_nested_costs_more_than_native(self):
         w = PageWalker(WalkConfig())
-        assert w.nested_walk(PageSize.BASE, PageSize.BASE) > w.native_walk(
-            PageSize.BASE
+        assert w.nested_walk(BASE, BASE) > w.native_walk(
+            BASE
         )
 
     def test_pwc_discount(self):
         hot = PageWalker(WalkConfig(pwc_hit_rate=1.0))
         cold = PageWalker(WalkConfig(pwc_hit_rate=0.0))
         # Perfect PWC: only the leaf access remains.
-        assert hot.native_walk(PageSize.BASE) == WalkConfig().mem_access_cycles
-        assert cold.native_walk(PageSize.BASE) == 4 * WalkConfig().mem_access_cycles
+        assert hot.native_walk(BASE) == WalkConfig().mem_access_cycles
+        assert cold.native_walk(BASE) == 4 * WalkConfig().mem_access_cycles
 
     def test_stats_accumulate(self):
         w = PageWalker(WalkConfig())
-        w.native_walk(PageSize.BASE)
-        w.native_walk(PageSize.MID)
+        w.native_walk(BASE)
+        w.native_walk(MID)
         assert w.walks == 2
         assert w.walk_cycles > 0
         w.reset_stats()

@@ -1,7 +1,7 @@
 """Trident-pv batching behaviour and dual-level fragmentation combos."""
 
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.trident import TridentPolicy
 from repro.virt.hypercall import PVExchangeInterface
 from repro.virt.machine import VirtualMachine
@@ -11,6 +11,7 @@ GUEST = default_machine(16)
 HOST = default_machine(24)
 G = GUEST.geometry
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 def make_vm(batched=True):
@@ -36,7 +37,7 @@ class TestBatching:
             grow_mids(vm, p, G.mids_per_large)
             vm.guest.settle_until_quiet(budget_ns=1e9)
             policy = vm.guest.policy
-            assert policy.stats.promoted[PageSize.LARGE] >= 1
+            assert policy.stats.promoted[LVL_LARGE] >= 1
             costs[batched] = policy.pv.time_ns
         assert costs[True] < costs[False]
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import PageSize, default_machine
+from repro.config import default_machine
 from repro.core.thp import THPPolicy
 from repro.core.trident import TridentPolicy
 from repro.virt.hypercall import PVExchangeInterface
@@ -13,6 +13,7 @@ GUEST = default_machine(12)
 HOST = default_machine(18)
 G = GUEST.geometry
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 def make_vm(guest_policy=TridentPolicy, host_policy=TridentPolicy, pv=False):
@@ -66,7 +67,7 @@ class TestGuestExecution:
         vm, p = make_vm()
         addr = vm.guest.sys_mmap(p, 2 * LARGE)
         vm.guest.touch(p, addr)
-        assert p.pagetable.translate(addr).page_size == PageSize.LARGE
+        assert p.pagetable.translate(addr).page_size == LVL_LARGE
         # Second access inside the same large page should hit (effective
         # page size LARGE at both levels).
         vm.guest.touch(p, addr + MID)
@@ -78,8 +79,8 @@ class TestGuestExecution:
         vm.guest.touch(p, addr)
         gm = p.pagetable.translate(addr)
         hm = p.tlb.host_mapping_for(gm, addr)
-        assert gm.page_size == PageSize.LARGE
-        assert hm.page_size == PageSize.MID  # host THP never maps 1GB
+        assert gm.page_size == LVL_LARGE
+        assert hm.page_size == LVL_MID  # host THP never maps 1GB
 
 
 class TestExchangeHypercall:
@@ -104,10 +105,10 @@ class TestExchangeHypercall:
         vm, p = make_vm()
         hv = vm.hypervisor
         hv.ensure_backed(0)  # host Trident maps a whole large page
-        assert hv.host_table.translate(hv.hva(0)).page_size == PageSize.LARGE
+        assert hv.host_table.translate(hv.hva(0)).page_size == LVL_LARGE
         hv.exchange_ranges([(0, MID, MID)])
         # After the exchange the covering page was split to mid granularity.
-        assert hv.host_table.translate(hv.hva(0)).page_size == PageSize.MID
+        assert hv.host_table.translate(hv.hva(0)).page_size == LVL_MID
         vm.host.buddy.check_invariants()
 
     def test_misaligned_exchange_rejected(self):
@@ -144,7 +145,7 @@ class TestTridentPV:
         self._grow_mid_heap(vm, p, 2 * G.mids_per_large)
         vm.guest.settle_until_quiet()
         policy = vm.guest.policy
-        assert policy.stats.promoted[PageSize.LARGE] >= 1
+        assert policy.stats.promoted[LVL_LARGE] >= 1
         assert policy.pv_promotions >= 1
         assert policy.pv.exchanges > 0
         # Mid chunks were exchanged, not copied.
@@ -159,8 +160,8 @@ class TestTridentPV:
 
         pv_ns, pv_policy = run(True)
         copy_ns, copy_policy = run(False)
-        assert pv_policy.stats.promoted[PageSize.LARGE] >= 1
-        assert copy_policy.stats.promoted[PageSize.LARGE] >= 1
+        assert pv_policy.stats.promoted[LVL_LARGE] >= 1
+        assert copy_policy.stats.promoted[LVL_LARGE] >= 1
         assert pv_ns < copy_ns
 
     def test_base_pages_still_copy(self):
@@ -171,5 +172,5 @@ class TestTridentPV:
             vm.guest.touch(p, a)
         vm.guest.settle_until_quiet()
         policy = vm.guest.policy
-        if policy.stats.promoted[PageSize.LARGE]:
+        if policy.stats.promoted[LVL_LARGE]:
             assert policy.stats.promo_copy_bytes > 0

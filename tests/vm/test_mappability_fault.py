@@ -1,6 +1,6 @@
 """Tests for mappability analysis and fault-candidate selection."""
 
-from repro.config import SCALED_GEOMETRY, PageSize
+from repro.config import SCALED_GEOMETRY
 from repro.vm.addrspace import VMA, AddressSpace
 from repro.vm.fault import candidate_page_sizes, region_fits_vma
 from repro.vm.mappability import (
@@ -13,23 +13,24 @@ from repro.vm.pagetable import PageTable
 
 G = SCALED_GEOMETRY
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 
 
 class TestMappableRanges:
     def test_aligned_vma_fully_large_mappable(self):
         vma = VMA(LARGE, 3 * LARGE)
-        ranges = list(mappable_ranges(vma, PageSize.LARGE, G))
+        ranges = list(mappable_ranges(vma, LVL_LARGE, G))
         assert ranges == [(LARGE, 2 * LARGE), (2 * LARGE, 3 * LARGE)]
 
     def test_misaligned_vma_loses_edges(self):
         vma = VMA(LARGE + MID, 3 * LARGE + MID)
-        ranges = list(mappable_ranges(vma, PageSize.LARGE, G))
+        ranges = list(mappable_ranges(vma, LVL_LARGE, G))
         assert ranges == [(2 * LARGE, 3 * LARGE)]
 
     def test_short_vma_not_large_mappable_but_mid(self):
         vma = VMA(LARGE, LARGE + 4 * MID)
-        assert list(mappable_ranges(vma, PageSize.LARGE, G)) == []
-        assert len(list(mappable_ranges(vma, PageSize.MID, G))) == 4
+        assert list(mappable_ranges(vma, LVL_LARGE, G)) == []
+        assert len(list(mappable_ranges(vma, LVL_MID, G))) == 4
 
 
 class TestMappableBytes:
@@ -37,8 +38,8 @@ class TestMappableBytes:
         a = AddressSpace(G)
         a.mmap(3 * LARGE + 5 * MID + 3 * BASE)
         a.mmap(7 * MID)
-        large = mappable_bytes(a, PageSize.LARGE)
-        mid = mappable_bytes(a, PageSize.MID)
+        large = mappable_bytes(a, LVL_LARGE)
+        mid = mappable_bytes(a, LVL_MID)
         assert mid >= large
         assert large % LARGE == 0
         assert mid % MID == 0
@@ -50,17 +51,17 @@ class TestMappableBytes:
         inc = AddressSpace(G)
         for _ in range(4 * LARGE // (3 * BASE)):
             inc.mmap(3 * BASE)
-        assert mappable_bytes(pre, PageSize.LARGE) == 4 * LARGE
+        assert mappable_bytes(pre, LVL_LARGE) == 4 * LARGE
         # Contiguous small mmaps may merge into mappable spans, but first-fit
         # with odd sizes keeps alignment poor; mid mappability survives.
-        assert mappable_bytes(inc, PageSize.LARGE) <= mappable_bytes(
-            inc, PageSize.MID
+        assert mappable_bytes(inc, LVL_LARGE) <= mappable_bytes(
+            inc, LVL_MID
         )
 
     def test_empty_space_is_zero(self):
         a = AddressSpace(G)
-        assert mappable_bytes(a, PageSize.LARGE) == 0
-        assert mappable_bytes(a, PageSize.MID) == 0
+        assert mappable_bytes(a, LVL_LARGE) == 0
+        assert mappable_bytes(a, LVL_MID) == 0
 
 
 class TestClassifyRegions:
@@ -104,36 +105,36 @@ class TestFaultCandidates:
         vma = a.mmap(2 * LARGE, align=LARGE)
         t = PageTable(G)
         sizes = candidate_page_sizes(vma.start, vma, t, G)
-        assert sizes == [PageSize.LARGE, PageSize.MID, PageSize.BASE]
+        assert sizes == [LVL_LARGE, LVL_MID, LVL_BASE]
 
     def test_small_vma_offers_only_smaller_sizes(self):
         a = AddressSpace(G)
         vma = a.mmap(2 * MID, align=MID)
         t = PageTable(G)
         sizes = candidate_page_sizes(vma.start, vma, t, G)
-        assert sizes == [PageSize.MID, PageSize.BASE]
+        assert sizes == [LVL_MID, LVL_BASE]
 
     def test_existing_mapping_blocks_larger_size(self):
         a = AddressSpace(G)
         vma = a.mmap(2 * LARGE, align=LARGE)
         t = PageTable(G)
-        t.map_page(vma.start, PageSize.BASE, 0)
+        t.map_page(vma.start, LVL_BASE, 0)
         sizes = candidate_page_sizes(vma.start + BASE, vma, t, G)
-        assert PageSize.LARGE not in sizes
-        assert PageSize.MID not in sizes  # same mid slot as the base page
-        assert sizes == [PageSize.BASE]
+        assert LVL_LARGE not in sizes
+        assert LVL_MID not in sizes  # same mid slot as the base page
+        assert sizes == [LVL_BASE]
 
     def test_mapping_in_other_mid_slot_blocks_only_large(self):
         a = AddressSpace(G)
         vma = a.mmap(2 * LARGE, align=LARGE)
         t = PageTable(G)
-        t.map_page(vma.start, PageSize.BASE, 0)
+        t.map_page(vma.start, LVL_BASE, 0)
         sizes = candidate_page_sizes(vma.start + MID, vma, t, G)
-        assert sizes == [PageSize.MID, PageSize.BASE]
+        assert sizes == [LVL_MID, LVL_BASE]
 
     def test_region_fits_vma_edges(self):
         vma = VMA(LARGE, 2 * LARGE)
-        assert region_fits_vma(LARGE, PageSize.LARGE, vma, G)
-        assert region_fits_vma(2 * LARGE - 1, PageSize.LARGE, vma, G)
+        assert region_fits_vma(LARGE, LVL_LARGE, vma, G)
+        assert region_fits_vma(2 * LARGE - 1, LVL_LARGE, vma, G)
         off_vma = VMA(LARGE + BASE, 2 * LARGE)
-        assert not region_fits_vma(LARGE + BASE, PageSize.LARGE, off_vma, G)
+        assert not region_fits_vma(LARGE + BASE, LVL_LARGE, off_vma, G)

@@ -2,11 +2,12 @@
 
 import pytest
 
-from repro.config import SCALED_GEOMETRY, PageSize
+from repro.config import SCALED_GEOMETRY
 from repro.vm.pagetable import MappingConflictError, PageTable
 
 G = SCALED_GEOMETRY
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 VA0 = 0x7000_0000_0000
 
 
@@ -15,7 +16,7 @@ def make():
 
 
 class TestMapTranslate:
-    @pytest.mark.parametrize("size", PageSize.ALL)
+    @pytest.mark.parametrize("size", (LVL_BASE, LVL_MID, LVL_LARGE))
     def test_map_and_translate_each_size(self, size):
         t = make()
         m = t.map_page(VA0, size, pfn=42)
@@ -30,14 +31,14 @@ class TestMapTranslate:
     def test_misaligned_map_rejected(self):
         t = make()
         with pytest.raises(ValueError):
-            t.map_page(VA0 + BASE, PageSize.MID, pfn=0)
+            t.map_page(VA0 + BASE, LVL_MID, pfn=0)
 
     def test_translate_unmapped_is_none(self):
         assert make().translate(VA0) is None
 
     def test_is_mapped(self):
         t = make()
-        t.map_page(VA0, PageSize.BASE, 1)
+        t.map_page(VA0, LVL_BASE, 1)
         assert t.is_mapped(VA0)
         assert not t.is_mapped(VA0 + BASE)
 
@@ -45,83 +46,83 @@ class TestMapTranslate:
 class TestConflicts:
     def test_double_map_same_size_rejected(self):
         t = make()
-        t.map_page(VA0, PageSize.BASE, 1)
+        t.map_page(VA0, LVL_BASE, 1)
         with pytest.raises(MappingConflictError):
-            t.map_page(VA0, PageSize.BASE, 2)
+            t.map_page(VA0, LVL_BASE, 2)
 
     def test_large_over_base_rejected(self):
         t = make()
-        t.map_page(VA0 + 3 * BASE, PageSize.BASE, 1)
+        t.map_page(VA0 + 3 * BASE, LVL_BASE, 1)
         with pytest.raises(MappingConflictError):
-            t.map_page(VA0, PageSize.LARGE, 2)
+            t.map_page(VA0, LVL_LARGE, 2)
 
     def test_base_under_large_rejected(self):
         t = make()
-        t.map_page(VA0, PageSize.LARGE, 1)
+        t.map_page(VA0, LVL_LARGE, 1)
         with pytest.raises(MappingConflictError):
-            t.map_page(VA0 + 5 * BASE, PageSize.BASE, 2)
+            t.map_page(VA0 + 5 * BASE, LVL_BASE, 2)
 
     def test_mid_under_large_rejected(self):
         t = make()
-        t.map_page(VA0, PageSize.LARGE, 1)
+        t.map_page(VA0, LVL_LARGE, 1)
         with pytest.raises(MappingConflictError):
-            t.map_page(VA0 + MID, PageSize.MID, 2)
+            t.map_page(VA0 + MID, LVL_MID, 2)
 
     def test_mid_over_base_rejected(self):
         t = make()
-        t.map_page(VA0 + BASE, PageSize.BASE, 1)
+        t.map_page(VA0 + BASE, LVL_BASE, 1)
         with pytest.raises(MappingConflictError):
-            t.map_page(VA0, PageSize.MID, 2)
+            t.map_page(VA0, LVL_MID, 2)
 
     def test_disjoint_sizes_coexist(self):
         t = make()
-        t.map_page(VA0, PageSize.LARGE, 1)
-        t.map_page(VA0 + LARGE, PageSize.MID, 2)
-        t.map_page(VA0 + LARGE + MID, PageSize.BASE, 3)
-        assert t.count(PageSize.LARGE) == 1
-        assert t.count(PageSize.MID) == 1
-        assert t.count(PageSize.BASE) == 1
+        t.map_page(VA0, LVL_LARGE, 1)
+        t.map_page(VA0 + LARGE, LVL_MID, 2)
+        t.map_page(VA0 + LARGE + MID, LVL_BASE, 3)
+        assert t.count(LVL_LARGE) == 1
+        assert t.count(LVL_MID) == 1
+        assert t.count(LVL_BASE) == 1
 
     def test_conflict_cleared_after_unmap(self):
         t = make()
-        t.map_page(VA0 + MID, PageSize.BASE, 1)
-        t.unmap(VA0 + MID, PageSize.BASE)
-        t.map_page(VA0, PageSize.LARGE, 2)  # now legal
-        assert t.translate(VA0).page_size == PageSize.LARGE
+        t.map_page(VA0 + MID, LVL_BASE, 1)
+        t.unmap(VA0 + MID, LVL_BASE)
+        t.map_page(VA0, LVL_LARGE, 2)  # now legal
+        assert t.translate(VA0).page_size == LVL_LARGE
 
 
 class TestUnmap:
     def test_unmap_returns_mapping(self):
         t = make()
-        t.map_page(VA0, PageSize.MID, 7)
-        m = t.unmap(VA0, PageSize.MID)
+        t.map_page(VA0, LVL_MID, 7)
+        m = t.unmap(VA0, LVL_MID)
         assert m.pfn == 7
         assert t.translate(VA0) is None
 
     def test_unmap_missing_rejected(self):
         t = make()
         with pytest.raises(ValueError):
-            t.unmap(VA0, PageSize.BASE)
+            t.unmap(VA0, LVL_BASE)
 
     def test_unmap_range_removes_all_sizes(self):
         t = make()
-        t.map_page(VA0, PageSize.LARGE, 1)
-        t.map_page(VA0 + LARGE, PageSize.MID, 2)
-        t.map_page(VA0 + LARGE + MID, PageSize.BASE, 3)
+        t.map_page(VA0, LVL_LARGE, 1)
+        t.map_page(VA0 + LARGE, LVL_MID, 2)
+        t.map_page(VA0 + LARGE + MID, LVL_BASE, 3)
         removed = t.unmap_range(VA0, 2 * LARGE)
         assert len(removed) == 3
         assert t.mapped_bytes() == 0
 
     def test_unmap_range_straddle_rejected(self):
         t = make()
-        t.map_page(VA0, PageSize.MID, 1)
+        t.map_page(VA0, LVL_MID, 1)
         with pytest.raises(ValueError):
             t.unmap_range(VA0 + BASE, MID)
 
     def test_unmap_range_only_within(self):
         t = make()
-        t.map_page(VA0, PageSize.BASE, 1)
-        t.map_page(VA0 + BASE, PageSize.BASE, 2)
+        t.map_page(VA0, LVL_BASE, 1)
+        t.map_page(VA0 + BASE, LVL_BASE, 2)
         removed = t.unmap_range(VA0, BASE)
         assert [m.pfn for m in removed] == [1]
         assert t.is_mapped(VA0 + BASE)
@@ -130,23 +131,23 @@ class TestUnmap:
 class TestAccounting:
     def test_mapped_bytes_by_size(self):
         t = make()
-        t.map_page(VA0, PageSize.LARGE, 1)
-        t.map_page(VA0 + LARGE, PageSize.MID, 2)
-        assert t.mapped_bytes(PageSize.LARGE) == LARGE
-        assert t.mapped_bytes(PageSize.MID) == MID
+        t.map_page(VA0, LVL_LARGE, 1)
+        t.map_page(VA0 + LARGE, LVL_MID, 2)
+        assert t.mapped_bytes(LVL_LARGE) == LARGE
+        assert t.mapped_bytes(LVL_MID) == MID
         assert t.mapped_bytes() == LARGE + MID
 
     def test_mappings_in_range(self):
         t = make()
         for i in range(4):
-            t.map_page(VA0 + i * MID, PageSize.MID, i)
-        found = t.mappings_in_range(VA0 + MID, 2 * MID, PageSize.MID)
+            t.map_page(VA0 + i * MID, LVL_MID, i)
+        found = t.mappings_in_range(VA0 + MID, 2 * MID, LVL_MID)
         assert [m.pfn for m in found] == [1, 2]
 
     def test_access_bits_clear_and_collect(self):
         t = make()
-        m1 = t.map_page(VA0, PageSize.BASE, 1)
-        m2 = t.map_page(VA0 + BASE, PageSize.BASE, 2)
+        m1 = t.map_page(VA0, LVL_BASE, 1)
+        m2 = t.map_page(VA0 + BASE, LVL_BASE, 2)
         m1.accessed = True
         assert t.accessed_mappings() == [m1]
         t.clear_access_bits()

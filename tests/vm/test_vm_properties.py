@@ -3,17 +3,18 @@
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
-from repro.config import SCALED_GEOMETRY, PageSize
+from repro.config import SCALED_GEOMETRY
 from repro.vm.addrspace import AddressSpace
 from repro.vm.mappability import mappable_bytes, mappable_ranges
 from repro.vm.pagetable import MappingConflictError, PageTable
 
 G = SCALED_GEOMETRY
 BASE, MID, LARGE = G.base_size, G.mid_size, G.large_size
+LVL_BASE, LVL_MID, LVL_LARGE = 0, 1, 2  # geometry level indices
 VA0 = 0x7000_0000_0000
 
 page_specs = st.lists(
-    st.tuples(st.integers(0, 63), st.sampled_from(PageSize.ALL)),
+    st.tuples(st.integers(0, 63), st.sampled_from((LVL_BASE, LVL_MID, LVL_LARGE))),
     min_size=1,
     max_size=40,
 )
@@ -75,8 +76,8 @@ def test_mid_mappable_superset_of_large_mappable(lengths):
     aspace = AddressSpace(G)
     for pages in lengths:
         aspace.mmap(pages * BASE)
-    large = mappable_bytes(aspace, PageSize.LARGE)
-    mid = mappable_bytes(aspace, PageSize.MID)
+    large = mappable_bytes(aspace, LVL_LARGE)
+    mid = mappable_bytes(aspace, LVL_MID)
     assert large <= mid <= aspace.mapped_bytes
     assert large % LARGE == 0
     assert mid % MID == 0
@@ -123,7 +124,7 @@ def test_extents_cover_exactly_the_vmas(lengths):
         assert a.end < b.start or a.name != b.name
 
 
-@given(st.integers(0, 40), st.sampled_from(PageSize.ALL))
+@given(st.integers(0, 40), st.sampled_from((LVL_BASE, LVL_MID, LVL_LARGE)))
 def test_mappable_ranges_are_aligned_and_inside(pages, size):
     aspace = AddressSpace(G)
     if pages == 0:

@@ -5,6 +5,8 @@ import pytest
 
 from repro.workloads.kernels import BPlusTree, CSRGraph, HashIndex
 
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
+
 
 class TestBPlusTree:
     def make(self, size=1 << 22, node=256, fanout=16):
@@ -126,7 +128,7 @@ class TestStructuralVsStatistical:
     qualitatively like their statistical stand-ins."""
 
     def test_btree_stream_is_tlb_hostile_like_pointer_chase(self):
-        from repro.config import SCALED_TLB, SCALED_GEOMETRY, WalkConfig, PageSize
+        from repro.config import SCALED_TLB, SCALED_GEOMETRY, WalkConfig
         from repro.tlb.hierarchy import TLBHierarchy
         from repro.vm.pagetable import PageTable
 
@@ -139,7 +141,7 @@ class TestStructuralVsStatistical:
 
         table = PageTable(geometry)
         for va in range(base, base + size, geometry.base_size):
-            table.map_page(va, PageSize.BASE, (va - base) // geometry.base_size)
+            table.map_page(va, BASE, (va - base) // geometry.base_size)
         tlb = TLBHierarchy(SCALED_TLB, WalkConfig(), geometry)
         for va in stream:
             tlb.access(int(va), table.translate(int(va)))

@@ -14,6 +14,8 @@ from repro.workloads.registry import (
     get_workload,
 )
 
+BASE, MID, LARGE = 0, 1, 2  # three-tier level indices (x86-shaped test geometry)
+
 G = default_machine(8).geometry
 
 
@@ -185,14 +187,13 @@ class TestAllocationCharacter:
     """Table 3's driver: pre-allocators vs incremental allocators."""
 
     def test_preallocators_are_large_mappable_up_front(self):
-        from repro.config import PageSize
         from repro.vm.mappability import mappable_bytes
 
         for name in ("GUPS", "XSBench"):
             w = get_workload(name)
             api = _FakeAPI()
             w.setup(api)
-            large = mappable_bytes(api.aspace, PageSize.LARGE)
+            large = mappable_bytes(api.aspace, LARGE)
             assert large > 0.85 * w.footprint_bytes, name
 
     def test_incremental_allocators_fault_no_large_pages(self):
@@ -222,9 +223,8 @@ class TestAllocationCharacter:
         # large pages (Table 3: 0GB page-fault-only).  The couple it does
         # map cover the stack segment, which Trident (unlike hugetlbfs)
         # CAN back with large pages - the paper's Section 7 point.
-        from repro.config import PageSize
 
-        large_mapped = system.policy.stats.fault_mapped[PageSize.LARGE]
+        large_mapped = system.policy.stats.fault_mapped[LARGE]
         assert large_mapped * G.large_size < 0.1 * w.footprint_bytes
 
 
